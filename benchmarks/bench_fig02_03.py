@@ -1,0 +1,23 @@
+"""Figs. 2-3 — model-size popularity and LMSYS invocation frequencies."""
+
+from repro.workloads import huggingface_size_popularity, lmsys_request_rates
+
+
+def test_fig2_hf_popularity(run_once):
+    stats = run_once(huggingface_size_popularity)
+    print("\nFig. 2: HuggingFace size-popularity CDF anchors")
+    for threshold in (1, 3, 8, 13, 34, 70):
+        print(
+            f"  <= {threshold:3d}B params: downloads {stats.cdf_by(stats.downloads, threshold):.2f} "
+            f"likes {stats.cdf_by(stats.likes, threshold):.2f}"
+        )
+    assert abs(stats.downloads_under_8b - 0.87) < 0.05
+    assert abs(stats.likes_under_8b - 0.60) < 0.05
+
+
+def test_fig3_lmsys_rates(run_once):
+    rates = run_once(lmsys_request_rates)
+    print("\nFig. 3: per-model requests/hour (sorted)")
+    print("  " + " ".join(f"{r:.1f}" for r in rates))
+    assert 0.4 <= (rates < 5.0).mean() <= 0.72  # "56% receive <5 req/h"
+    assert rates[0] > 20

@@ -1,0 +1,56 @@
+"""Figs. 6-8 — TTFT/TPOT characterization across hardware and models."""
+
+from repro.experiments import run_fig6_ttft_curves, run_fig7_8_tpot_curves
+from repro.models import LLAMA2_13B
+from repro.slo import ttft_slo
+
+
+def test_fig6_ttft_curves(run_once):
+    curves = run_once(run_fig6_ttft_curves)
+    print("\nFig. 6: TTFT (s) vs input length")
+    for curve in curves:
+        series = " ".join(f"{v:6.2f}" for v in curve.ttft_s)
+        print(f"  {curve.label:6s} {series}")
+    by_label = {curve.label: curve for curve in curves}
+    # CPUs meet the SLO for 7B/13B at short inputs; 34B never does.
+    c7 = by_label["C-7B"]
+    assert all(t <= s for t, s, l in zip(c7.ttft_s, c7.slo_s, c7.lengths) if l <= 4096)
+    c34 = by_label["C-34B"]
+    assert any(t > s for t, s, l in zip(c34.ttft_s, c34.slo_s, c34.lengths) if l >= 256)
+    # GPUs meet the SLO everywhere plotted.
+    for label in ("G-7B", "G-13B", "G-34B"):
+        curve = by_label[label]
+        assert all(t <= s for t, s in zip(curve.ttft_s, curve.slo_s))
+
+
+def test_fig7_tpot_7b(run_once):
+    curves = run_once(run_fig7_8_tpot_curves)
+    print("\nFig. 7: Llama-2-7B TPOT (ms) vs batch size")
+    for curve in curves:
+        series = " ".join(f"{1000 * v:5.0f}" for v in curve.tpot_s)
+        print(f"  {curve.label:6s} {series}")
+    by_label = {curve.label: curve for curve in curves}
+    # CPU meets the 250 ms TPOT SLO with moderate batching at 1K tokens.
+    c1k = by_label["C-1K"]
+    idx16 = c1k.batches.index(16)
+    assert c1k.tpot_s[idx16] <= 0.25
+    # Batching is sub-linear: 4-batch is ~14% over 1-batch (§IV-A2).
+    ratio = c1k.tpot_s[c1k.batches.index(4)] / c1k.tpot_s[0]
+    assert 1.05 < ratio < 1.25
+
+
+def test_fig8_tpot_13b(run_once):
+    curves = run_once(run_fig7_8_tpot_curves, model=LLAMA2_13B)
+    by_label = {curve.label: curve for curve in curves}
+    print("\nFig. 8: Llama-2-13B TPOT (ms) vs batch size")
+    for curve in curves:
+        series = " ".join(f"{1000 * v:5.0f}" for v in curve.tpot_s)
+        print(f"  {curve.label:6s} {series}")
+    # 13B at 32-batch: 2K-token contexts clearly violate the SLO while 512
+    # grazes it (§IV-A2; our calibrated law puts 512/32 at ~259 ms, within
+    # a few percent of the 250 ms boundary the figure shows it touching).
+    c512, c2k = by_label["C-512"], by_label["C-2K"]
+    idx32 = c512.batches.index(32)
+    assert c512.tpot_s[idx32] <= 0.27
+    assert c2k.tpot_s[idx32] > 0.30
+    assert 1.6 < c2k.tpot_s[idx32] / c512.tpot_s[idx32] < 2.4

@@ -1,0 +1,41 @@
+"""Figs. 9 & 12 — memory footprint and concurrency under real workloads."""
+
+from conftest import grid
+
+from repro.experiments import run_fig9_memory_footprint
+from repro.models import LLAMA2_13B, LLAMA2_7B
+
+GB = 1e9
+
+
+def test_fig9_fig12_footprint_and_concurrency(run_once):
+    percentiles = grid((99.0, 95.0, 90.0, 80.0, 50.0), (99.0, 90.0, 50.0))
+
+    def both_models():
+        return {
+            "7B": run_fig9_memory_footprint(model=LLAMA2_7B, percentiles=percentiles),
+            "13B": run_fig9_memory_footprint(model=LLAMA2_13B, percentiles=percentiles),
+        }
+
+    profiles = run_once(both_models)
+    print("\nFig. 9: memory footprint (GB) | Fig. 12: concurrency")
+    for size, rows in profiles.items():
+        for profile in rows:
+            conc = profile.concurrency_cdf
+            peak_conc = conc.percentile(100) if not conc.empty else 0
+            print(
+                f"  {profile.label:10s} min={profile.min_footprint / GB:5.1f} "
+                f"median={profile.footprint_cdf.median / GB:6.1f} "
+                f"peak={profile.peak_footprint / GB:6.1f} | peak-conc={peak_conc:4.0f}"
+            )
+    # Shape: the weights floor matches §IV-B (≈14 GB / 26 GB)...
+    assert abs(profiles["7B"][0].min_footprint / GB - 14) < 1.5
+    assert abs(profiles["13B"][0].min_footprint / GB - 26) < 2.5
+    # ...the P99 function bursts far above the median function (the gap
+    # widens further at REPRO_SCALE=full where full-length bursts appear)...
+    p99 = profiles["7B"][0]
+    p50 = profiles["7B"][-1]
+    assert p99.peak_footprint > 1.5 * p50.peak_footprint
+    # ...yet most of the time even the P99 footprint stays low (§IV-B:
+    # "more than 50% of the time, memory footprint remains below 17 GB").
+    assert p99.footprint_cdf.median < 30 * GB

@@ -1,0 +1,47 @@
+"""Figs. 10-11 & 28 — host-CPU usage of GPU engines and stress tolerance."""
+
+from repro.hardware import HostCpuModel
+from repro.models import LLAMA2_7B
+from repro.perf.laws import LatencyLaw
+from repro.hardware import A100_80GB
+
+
+def test_fig10_throughput_vs_core_use(run_once):
+    def characterize():
+        law = LatencyLaw(A100_80GB, LLAMA2_7B)
+        host = HostCpuModel()
+        rows = []
+        for batch in (1, 2, 4, 8, 16, 32, 64):
+            tpot = law.decode_seconds(batch, 1024)
+            rows.append((batch, batch / tpot, host.core_usage(1)))
+        return rows
+
+    rows = run_once(characterize)
+    print("\nFig. 10: decode throughput (tok/s) and host-core use vs batch")
+    for batch, throughput, cores in rows:
+        print(f"  bs={batch:3d}: {throughput:7.0f} tok/s, {cores:.2f} cores")
+    # Throughput grows with batch; core use never exceeds one core.
+    throughputs = [r[1] for r in rows]
+    assert throughputs == sorted(throughputs)
+    assert throughputs[-1] > 900  # ~1k tok/s at bs 64 (Fig. 10)
+    assert all(r[2] <= 1.1 for r in rows)
+
+
+def test_fig11_stress_slowdown(run_once):
+    host = HostCpuModel(host_cores=32)
+    rows = run_once(lambda: [(n, host.stress_slowdown(n)) for n in (0, 4, 8, 16, 32, 64)])
+    print("\nFig. 11: TPOT slowdown under background CPU stress")
+    for procs, slowdown in rows:
+        print(f"  {procs:3d} stress procs: {100 * (slowdown - 1):.1f}% slower")
+    # §IV-A1: only ~4% loss at 64 stress processes on 32 cores.
+    assert rows[-1][1] <= 1.05
+
+
+def test_fig28_colocation_core_usage(run_once):
+    host = HostCpuModel(host_cores=32)
+    rows = run_once(lambda: [(n, host.core_usage(n)) for n in (1, 2, 4, 8)])
+    print("\nFig. 28: total host-core usage vs colocated instances")
+    for instances, cores in rows:
+        print(f"  {instances} instances: {cores:.2f} cores")
+    # §IX-I3: eight instances only "slightly exceed one core".
+    assert 1.0 < rows[-1][1] < 1.6

@@ -1,0 +1,21 @@
+"""Fig. 17 — KV-cache scaling overhead."""
+
+from repro.experiments import run_fig17_scaling_cost
+
+
+def test_fig17_scaling_cost(run_once):
+    points = run_once(run_fig17_scaling_cost)
+    print("\nFig. 17: KV-cache resize cost (s), half-full cache")
+    for point in points:
+        print(
+            f"  {point.cache_gib:3d} GiB: to 0.5x {point.down_seconds:5.2f}s, "
+            f"to 2x {point.up_seconds:5.2f}s"
+        )
+    by_size = {point.cache_gib: point for point in points}
+    # Calibration anchors: 32 GB → 16 GB ≈ 0.3 s; 32 GB → 64 GB ≈ 1.9 s.
+    assert abs(by_size[32].down_seconds - 0.3) < 0.06
+    assert abs(by_size[32].up_seconds - 1.9) < 0.2
+    # Shape: monotone in size, scale-up dominates scale-down.
+    ups = [point.up_seconds for point in points]
+    assert ups == sorted(ups)
+    assert all(point.up_seconds > point.down_seconds for point in points)

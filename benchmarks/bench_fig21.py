@@ -1,0 +1,39 @@
+"""Fig. 21 — Azure serverless trace characterization."""
+
+from conftest import at_full_scale
+
+from repro.experiments.common import FULL_SCALE, current_scale
+from repro.models import LLAMA2_7B
+from repro.workloads import AzureServerlessConfig, synthesize_azure_trace
+from repro.workloads.azure_serverless import replica_models
+
+PAPER_TOTALS = {32: 2366, 64: 4684, 128: 9266}
+
+
+def test_fig21_trace_characterization(run_once):
+    def characterize():
+        rows = []
+        for n_models in (32, 64, 128):
+            config = AzureServerlessConfig(n_models=n_models, seed=1)
+            workload = synthesize_azure_trace(replica_models(LLAMA2_7B, n_models), config)
+            per_minute = workload.per_minute_counts()
+            rows.append(
+                (
+                    n_models,
+                    workload.total_requests,
+                    workload.aggregated_rpm,
+                    max(per_minute),
+                    workload.top_share(0.01),
+                )
+            )
+        return rows
+
+    rows = run_once(characterize)
+    print("\nFig. 21: synthetic Azure trace characterization (30 min)")
+    print("  models | total | agg RPM | peak RPM | top-1% share")
+    for n_models, total, rpm, peak, share in rows:
+        print(f"  {n_models:6d} | {total:5d} | {rpm:7.1f} | {peak:8d} | {share:.2f}")
+    for n_models, total, rpm, peak, share in rows:
+        assert abs(total - PAPER_TOTALS[n_models]) / PAPER_TOTALS[n_models] < 0.10
+        assert peak > 1.5 * rpm  # bursty
+        assert 0.12 <= share <= 0.45  # §III-C: top 1% ≈ 26%

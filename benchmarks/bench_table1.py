@@ -1,0 +1,23 @@
+"""Table I — Llama-2-7B on 3rd- vs 4th-gen Xeon CPUs."""
+
+from repro.experiments import run_table1
+
+
+def test_table1(run_once):
+    rows = run_once(run_table1)
+    print("\nTable I: Llama-2-7B TTFT/TPOT (ms) per CPU generation")
+    header = "CPU              | TTFT 256 | TTFT 1K | TTFT 4K | 1bs-1K | 32bs-1K | 1bs-4K | 32bs-4K"
+    print(header)
+    for row in rows:
+        print(
+            f"{row.cpu:16s} | {row.ttft_ms[256]:8.0f} | {row.ttft_ms[1024]:7.0f} "
+            f"| {row.ttft_ms[4096]:7.0f} | {row.tpot_ms[(1, 1024)]:6.0f} "
+            f"| {row.tpot_ms[(32, 1024)]:7.0f} | {row.tpot_ms[(1, 4096)]:6.0f} "
+            f"| {row.tpot_ms[(32, 4096)]:7.0f}"
+        )
+    gen3, gen4 = rows
+    # Shape: 6.7-7.3× prefill speedup, 1.4-1.7× decode speedup (Table I).
+    for length in (256, 1024, 4096):
+        assert 6.5 <= gen3.ttft_ms[length] / gen4.ttft_ms[length] <= 7.5
+    for key in gen4.tpot_ms:
+        assert 1.3 <= gen3.tpot_ms[key] / gen4.tpot_ms[key] <= 1.8

@@ -1,0 +1,34 @@
+"""Table II — aggregated concurrency limits vs resource fractions."""
+
+from collections import defaultdict
+
+from repro.experiments import run_table2
+
+
+def test_table2(run_once):
+    cells = run_once(run_table2)
+    by_scenario = defaultdict(dict)
+    for cell in cells:
+        by_scenario[cell.scenario][cell.fraction_label] = cell
+    print("\nTable II: per-instance (aggregate) concurrency limits")
+    print("scenario  |   1/4    |   1/3    |   1/2    |    1")
+    for scenario, cells_by_fraction in by_scenario.items():
+        parts = []
+        for label in ("1/4", "1/3", "1/2", "1"):
+            cell = cells_by_fraction[label]
+            text = "-" if cell.per_instance_limit == 0 else (
+                f"{cell.per_instance_limit}({cell.aggregate_limit})"
+            )
+            parts.append(f"{text:>8s}")
+        print(f"{scenario:9s} | " + " | ".join(parts))
+
+    # Shape checks against the published cells.
+    assert abs(by_scenario["C-7B-2K"]["1"].per_instance_limit - 27) <= 1
+    assert abs(by_scenario["C-7B-4K"]["1"].per_instance_limit - 15) <= 1
+    assert by_scenario["C-7B-2K"]["1/4"].per_instance_limit == 0  # the "-" cell
+    assert abs(by_scenario["G-7B-2K"]["1"].per_instance_limit - 66) <= 2
+    assert abs(by_scenario["G-13B-4K"]["1"].per_instance_limit - 16) <= 2
+    # §IV-C: three 1/3 instances reach about half the full aggregate.
+    full = by_scenario["G-7B-2K"]["1"].aggregate_limit
+    thirds = by_scenario["G-7B-2K"]["1/3"].aggregate_limit
+    assert thirds < 0.7 * full

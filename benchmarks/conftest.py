@@ -1,0 +1,35 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints
+the corresponding rows/series (absolute numbers come from the calibrated
+simulator; the assertions check the paper's *shape*: who wins, by roughly
+what factor, where crossovers fall).
+
+Scale control: ``REPRO_SCALE=full`` replays the paper's 30-minute traces;
+the default ``quick`` replays rate-preserving 10-minute slices.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def at_full_scale() -> bool:
+    return os.environ.get("REPRO_SCALE", "quick").lower() == "full"
+
+
+def grid(full, quick):
+    """Pick a parameter grid depending on the configured scale."""
+    return full if at_full_scale() else quick
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

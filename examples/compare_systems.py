@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Compare SLINFER against the ServerlessLLM baseline family.
+
+Reproduces a slice of Fig. 22b: 64 Llama-2-7B deployments on the 4+4
+testbed, served by sllm / sllm+c / sllm+c+s / SLINFER, with the metrics the
+paper reports (SLO-met requests, TTFT CDF, decode speed, nodes used).
+
+Run:  python examples/compare_systems.py  [--full]
+"""
+
+import argparse
+
+from repro.baselines import make_sllm, make_sllm_c, make_sllm_cs
+from repro.core import Slinfer
+from repro.hardware import paper_testbed
+from repro.models import LLAMA2_7B
+from repro.workloads import AzureServerlessConfig, synthesize_azure_trace
+from repro.workloads.azure_serverless import replica_models
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="30-minute paper-scale trace")
+    parser.add_argument("--models", type=int, default=64)
+    args = parser.parse_args()
+
+    duration = 1800.0 if args.full else 480.0
+    per_model = 73.0 * duration / 1800.0
+    workload = synthesize_azure_trace(
+        replica_models(LLAMA2_7B, args.models),
+        AzureServerlessConfig(
+            n_models=args.models, duration=duration, requests_per_model=per_model, seed=1
+        ),
+    )
+    print(f"Workload: {workload.total_requests} requests / {duration:.0f}s "
+          f"/ {args.models} models\n")
+
+    results = {}
+    for factory in (make_sllm, make_sllm_c, make_sllm_cs, Slinfer):
+        report = factory(paper_testbed()).run(workload)
+        results[report.system] = report
+        ttft = report.ttft_cdf()
+        median = f"{ttft.median:.2f}s" if not ttft.empty else "n/a"
+        print(report.summary_line())
+        print(f"{'':14s}TTFT median {median}, "
+              f"mean batch {report.mean_batch_size:.1f}")
+
+    slinfer, sllm = results["slinfer"], results["sllm"]
+    gain = slinfer.slo_met_count / max(1, sllm.slo_met_count) - 1.0
+    print(f"\nSLINFER serves {100 * gain:.0f}% more SLO-met requests than sllm "
+          f"while using {sllm.avg_nodes_used_gpu - slinfer.avg_nodes_used_gpu:.1f} "
+          f"fewer GPUs on average.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: serve 16 Llama-2-7B deployments with SLINFER.
+
+Builds the paper's 4-CPU + 4-GPU testbed, synthesizes a 5-minute Azure-style
+serverless workload, serves it with SLINFER, and prints the outcome.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Slinfer, SlinferConfig
+from repro.hardware import paper_testbed
+from repro.models import LLAMA2_7B
+from repro.workloads import AzureServerlessConfig, synthesize_azure_trace
+from repro.workloads.azure_serverless import replica_models
+
+
+def main() -> None:
+    # 1. Deploy 16 private copies of Llama-2-7B ("functions").
+    models = replica_models(LLAMA2_7B, 16)
+
+    # 2. Synthesize a serverless invocation trace: bursty, heavy-tailed,
+    #    token lengths from the Azure conversation distribution.
+    workload = synthesize_azure_trace(
+        models,
+        AzureServerlessConfig(n_models=16, duration=300.0, requests_per_model=15, seed=7),
+    )
+    print(f"Workload: {workload.total_requests} requests over {workload.duration:.0f}s "
+          f"({workload.aggregated_rpm:.1f} req/min aggregate)")
+
+    # 3. Serve it with SLINFER on 4 CPU + 4 GPU nodes.
+    system = Slinfer(paper_testbed(), config=SlinferConfig(seed=7))
+    report = system.run(workload)
+
+    # 4. Inspect the outcome.
+    print(report.summary_line())
+    ttft = report.ttft_cdf()
+    print(f"TTFT: median {ttft.median:.2f}s, P95 {ttft.percentile(95):.2f}s")
+    print(f"Cold starts: {report.cold_starts}, migrations: {report.migrations}, "
+          f"preemptions: {report.preemptions}")
+    print(f"KV scaling ops: {report.scaling_ops} "
+          f"({100 * report.scaling_time_fraction:.1f}% of node-busy time)")
+    assert report.slo_rate > 0.9, "expected healthy SLO compliance at this load"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — a reproduction of "Towards Resource-Efficient Serverless LLM
+Inference with SLINFER" (HPCA 2026).
+
+Public API quick reference::
+
+    from repro import Slinfer, SlinferConfig, paper_testbed
+    from repro.workloads import synthesize_azure_trace, AzureServerlessConfig
+    from repro.workloads.azure_serverless import replica_models
+    from repro.models import LLAMA2_7B
+
+    workload = synthesize_azure_trace(replica_models(LLAMA2_7B, 32),
+                                      AzureServerlessConfig(n_models=32))
+    report = Slinfer(paper_testbed()).run(workload)
+    print(report.summary_line())
+
+Sub-packages: ``sim`` (event kernel), ``models``, ``hardware``, ``perf``
+(calibrated latency substrate + §VI-B quantification), ``engine``
+(instances/requests/KV-cache), ``compute`` (headroom & shadow validation),
+``memory`` (watermark & hazard-aware orchestration), ``consolidation``,
+``core`` (the SLINFER controller), ``baselines``, ``workloads``,
+``metrics``, and ``experiments`` (one runner per paper table/figure).
+"""
+
+from repro.baselines import (
+    NeoSystem,
+    PdSllmSystem,
+    PdSlinfer,
+    make_sllm,
+    make_sllm_c,
+    make_sllm_cs,
+)
+from repro.core import BaseServingSystem, Slinfer, SlinferConfig, SystemConfig
+from repro.hardware import Cluster, paper_testbed
+from repro.metrics import RunReport
+from repro.slo import DEFAULT_SLO, SloPolicy, ttft_slo
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaseServingSystem",
+    "Cluster",
+    "DEFAULT_SLO",
+    "NeoSystem",
+    "PdSllmSystem",
+    "PdSlinfer",
+    "RunReport",
+    "Slinfer",
+    "SlinferConfig",
+    "SloPolicy",
+    "SystemConfig",
+    "make_sllm",
+    "make_sllm_c",
+    "make_sllm_cs",
+    "paper_testbed",
+    "ttft_slo",
+    "__version__",
+]

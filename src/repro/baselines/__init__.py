@@ -1,0 +1,23 @@
+"""Baseline serving systems (§IX-A).
+
+* ``sllm`` — ServerlessLLM: event-driven exclusive GPU allocation.
+* ``sllm+c`` — modified to also use CPU nodes (CPU-first).
+* ``sllm+c+s`` — additionally time-shares nodes by static halving (except
+  13B-sized models on CPUs, which keep a full node).
+* ``NEO+`` — CPU-assisted GPU decoding (§IX-I3, Fig. 29).
+* PD-disaggregated variants of sllm+c+s and SLINFER (Table III).
+"""
+
+from repro.baselines.neo import NeoSystem
+from repro.baselines.pd import PdSllmSystem, PdSlinfer
+from repro.baselines.sllm import SllmSystem, make_sllm, make_sllm_c, make_sllm_cs
+
+__all__ = [
+    "NeoSystem",
+    "PdSllmSystem",
+    "PdSlinfer",
+    "SllmSystem",
+    "make_sllm",
+    "make_sllm_c",
+    "make_sllm_cs",
+]

@@ -1,0 +1,108 @@
+"""Prefill–decode disaggregated variants (§IX-G, Table III).
+
+PD disaggregation launches *dedicated* prefill and decode instances per
+model.  A request is served by a prefill-role instance, its KV-cache is
+transferred over the 100 Gbps cross-node fabric, and decoding continues on
+a decode-role instance (which may itself need a cold start).  The paper
+finds this *hurts* in the serverless regime: prefill instances spend ~93 %
+of their lifetime cold-starting or idle, so both GPU usage and SLO rates
+degrade — which these variants reproduce for sllm+c+s and SLINFER.
+
+Implementation: the KV hand-off is modelled as a transfer delay plus a
+1-token "attach" iteration on the decode instance (negligible compute, it
+reuses the uniform prefill machinery; the request's output budget is
+adjusted so total generated tokens are unchanged).
+"""
+
+from __future__ import annotations
+
+from repro.core.slinfer import Slinfer
+from repro.baselines.sllm import SllmSystem
+from repro.engine.instance import Instance
+from repro.engine.request import Request, RequestState
+from repro.hardware.node import Node
+from repro.workloads.spec import Deployment
+
+KV_TRANSFER_BYTES_PER_S = 100e9 / 8.0  # 100 Gbps (§IX-G)
+
+PREFILL_ROLE = "prefill"
+DECODE_ROLE = "decode"
+
+
+class _PdMixin:
+    """Role tagging, phase routing, and KV transfer for PD systems."""
+
+    def _pd_init(self) -> None:
+        self._roles: dict[int, str] = {}
+        self._phases: dict[int, str] = {}
+        self._placing_role: str = PREFILL_ROLE
+
+    def _role_of(self, instance: Instance) -> str:
+        return self._roles.get(instance.inst_id, PREFILL_ROLE)
+
+    def _phase_of(self, request: Request) -> str:
+        return self._phases.get(request.req_id, PREFILL_ROLE)
+
+    # --- role assignment at creation ----------------------------------
+    def _make_instance(self, deployment: Deployment, node: Node, **kwargs) -> Instance:
+        instance = super()._make_instance(deployment, node, **kwargs)
+        self._roles[instance.inst_id] = self._placing_role
+        return instance
+
+    # --- role filtering during placement -------------------------------
+    def _allowed_instance(self, instance: Instance, request: Request) -> bool:
+        return self._role_of(instance) == self._phase_of(request)
+
+    def _try_place(self, request: Request) -> bool:
+        self._placing_role = self._phase_of(request)
+        try:
+            return super()._try_place(request)
+        finally:
+            self._placing_role = PREFILL_ROLE
+
+    # --- the KV hand-off ------------------------------------------------
+    def _admit_after_prefill(self, instance: Instance, request: Request) -> None:
+        if self._role_of(instance) != PREFILL_ROLE:
+            super()._admit_after_prefill(instance, request)
+            return
+        self._phases[request.req_id] = DECODE_ROLE
+        request.state = RequestState.MIGRATING
+        request.prefill_len = 1  # the "attach" iteration on the decode side
+        request.output_len += 1  # the attach token is not real output
+        transfer_bytes = request.context_len * instance.model.kv_bytes_per_token
+        delay = transfer_bytes / KV_TRANSFER_BYTES_PER_S
+        self.sim.schedule(delay, self._pd_deliver, request)
+
+    def _pd_deliver(self, request: Request) -> None:
+        if request.state is not RequestState.MIGRATING:
+            return  # dropped during the transfer
+        if not self._timed_place(request):
+            self._enqueue(request)
+
+    def _complete_request(self, instance: Instance, request: Request) -> None:
+        self._phases.pop(request.req_id, None)
+        super()._complete_request(instance, request)
+
+
+class PdSllmSystem(_PdMixin, SllmSystem):
+    """sllm+c+s with PD disaggregation (Table III upper half)."""
+
+    def __init__(self, cluster, **kwargs) -> None:
+        kwargs.setdefault("use_cpu", True)
+        kwargs.setdefault("static_share", True)
+        super().__init__(cluster, **kwargs)
+        self._pd_init()
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"{SllmSystem.name.fget(self)}+pd"
+
+
+class PdSlinfer(_PdMixin, Slinfer):
+    """SLINFER with PD disaggregation (Table III lower half)."""
+
+    def __init__(self, cluster, **kwargs) -> None:
+        super().__init__(cluster, **kwargs)
+        self._pd_init()
+
+    name = "slinfer+pd"

@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compare`` — run the four systems on one workload and print Fig. 22-style
+  metrics.
+* ``experiment`` — run a named paper experiment (``fig22``, ``ablation``,
+  ``table1``, ``table2``, ``watermark``, ``keepalive``, ``pd``, ``quant``).
+* ``calibration`` — print the calibrated latency laws against the paper's
+  published anchors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import make_sllm, make_sllm_c, make_sllm_cs
+from repro.core import Slinfer
+from repro.hardware import Cluster
+from repro.models import CATALOG, LLAMA2_7B, get_model
+from repro.workloads import AzureServerlessConfig, synthesize_azure_trace
+from repro.workloads.azure_serverless import replica_models
+
+_SYSTEMS = {
+    "sllm": make_sllm,
+    "sllm+c": make_sllm_c,
+    "sllm+c+s": make_sllm_cs,
+    "slinfer": Slinfer,
+}
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="llama-2-7b", choices=sorted(CATALOG))
+    parser.add_argument("--models", type=int, default=32, help="number of deployments")
+    parser.add_argument("--duration", type=float, default=600.0, help="trace seconds")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--cpus", type=int, default=4)
+    parser.add_argument("--gpus", type=int, default=4)
+
+
+def _build_workload(args: argparse.Namespace):
+    per_model = 73.0 * args.duration / 1800.0
+    config = AzureServerlessConfig(
+        n_models=args.models,
+        duration=args.duration,
+        requests_per_model=per_model,
+        seed=args.seed,
+    )
+    return synthesize_azure_trace(
+        replica_models(get_model(args.model), args.models), config
+    )
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload = _build_workload(args)
+    print(
+        f"workload: {workload.total_requests} requests / {args.models} models "
+        f"/ {args.duration:.0f}s on {args.cpus} CPU + {args.gpus} GPU nodes"
+    )
+    wanted = args.systems.split(",") if args.systems else list(_SYSTEMS)
+    for name in wanted:
+        factory = _SYSTEMS[name.strip()]
+        report = factory(Cluster.build(args.cpus, args.gpus)).run(workload)
+        print(report.summary_line())
+    return 0
+
+
+def cmd_calibration(_args: argparse.Namespace) -> int:
+    from repro.experiments import run_table1, run_table2
+
+    for row in run_table1():
+        print(f"{row.cpu}: TTFT(ms) {row.ttft_ms}  TPOT(ms) {row.tpot_ms}")
+    print()
+    for cell in run_table2():
+        if cell.fraction_label == "1":
+            print(f"{cell.scenario}: full-node concurrency limit {cell.per_instance_limit}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    import repro.experiments as ex
+
+    name = args.name
+    if name == "fig22":
+        for cell in ex.run_fig22(size=args.size):
+            print(cell.summary)
+    elif name == "ablation":
+        for label, report in ex.run_ablation().items():
+            print(f"{label:18s} {report.summary_line()}")
+    elif name == "table1":
+        return cmd_calibration(args)
+    elif name == "table2":
+        for cell in ex.run_table2():
+            print(cell)
+    elif name == "watermark":
+        for point in ex.run_watermark_sweep():
+            print(point)
+    elif name == "keepalive":
+        for point in ex.run_keepalive_sweep():
+            print(point)
+    elif name == "pd":
+        for row in ex.run_pd_table():
+            print(row.summary)
+    elif name == "quant":
+        for result in ex.run_quantization_comparison():
+            print(f"{result.quantization}: GPUs {result.gpus_used:.1f} SLO {result.slo_rate:.2f}")
+    else:
+        print(f"unknown experiment {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="compare the four systems")
+    _add_workload_args(compare)
+    compare.add_argument("--systems", default="", help="comma list (default: all)")
+    compare.set_defaults(func=cmd_compare)
+
+    experiment = sub.add_parser("experiment", help="run a named paper experiment")
+    experiment.add_argument(
+        "name",
+        choices=["fig22", "ablation", "table1", "table2", "watermark", "keepalive", "pd", "quant"],
+    )
+    experiment.add_argument("--size", default="7B", choices=["3B", "7B", "13B"])
+    experiment.set_defaults(func=cmd_experiment)
+
+    calibration = sub.add_parser("calibration", help="print calibration anchors")
+    calibration.set_defaults(func=cmd_calibration)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Headroom-driven compute subsystem (§VI).
+
+* :mod:`repro.compute.scheduler` — token-level work selection: at every
+  cycle the executor runs one iteration for the instance holding the most
+  urgent request (smallest Eq. 1 headroom), Fig. 14.
+* :mod:`repro.compute.shadow` — shadow validation (§VI-C): before a request
+  is added to an instance, the node's future iterations are virtually
+  simulated (with 10 % overestimation) to rule out the three violation
+  cases of Fig. 15.
+"""
+
+from repro.compute.scheduler import WorkItem, WorkKind, select_next_work
+from repro.compute.shadow import (
+    ShadowInstance,
+    ShadowRequest,
+    ShadowVerdict,
+    shadow_validate,
+)
+
+__all__ = [
+    "ShadowInstance",
+    "ShadowRequest",
+    "ShadowVerdict",
+    "WorkItem",
+    "WorkKind",
+    "select_next_work",
+    "shadow_validate",
+]

@@ -1,0 +1,67 @@
+"""Token-level work selection (§VI-A, Fig. 14).
+
+Each scheduling cycle picks one iteration to run on the executor: either a
+prefill for the head of some instance's pending queue, or a decode step for
+some instance's whole batch.  The chosen item is the one whose associated
+request has the smallest headroom (Eq. 1) — the most urgent next token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.engine.executor import Executor
+from repro.engine.instance import Instance
+from repro.engine.request import Request
+
+
+class WorkKind(Enum):
+    PREFILL = "prefill"
+    DECODE = "decode"
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One schedulable iteration."""
+
+    instance: Instance
+    kind: WorkKind
+    request: Optional[Request]  # the prefilled request; None for decode
+    urgency: float  # headroom of the most urgent involved request
+
+    @property
+    def is_prefill(self) -> bool:
+        return self.kind is WorkKind.PREFILL
+
+
+def instance_work_items(instance: Instance, now: float) -> list[WorkItem]:
+    """The (at most two) schedulable iterations of one instance."""
+    items: list[WorkItem] = []
+    head = instance.next_prefill()
+    if head is not None:
+        items.append(
+            WorkItem(
+                instance=instance,
+                kind=WorkKind.PREFILL,
+                request=head,
+                urgency=head.headroom(now),
+            )
+        )
+    if instance.batch:
+        urgency = min(request.headroom(now) for request in instance.batch)
+        items.append(
+            WorkItem(instance=instance, kind=WorkKind.DECODE, request=None, urgency=urgency)
+        )
+    return items
+
+
+def select_next_work(executor: Executor, now: float) -> Optional[WorkItem]:
+    """Pick the most urgent iteration across all runnable instances."""
+    best: Optional[WorkItem] = None
+    for instance in executor.runnable_instances():
+        for item in instance_work_items(instance, now):
+            if best is None or item.urgency < best.urgency:
+                best = item
+    return best

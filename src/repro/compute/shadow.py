@@ -1,0 +1,176 @@
+"""Shadow validation (§VI-C, Fig. 15).
+
+Before adding a request to a target instance, SLINFER virtually simulates
+the node's future compute procedure — the same min-headroom token-level
+policy the real executor uses, with every iteration overestimated by 10 % —
+and rejects the placement if any of the three cases occurs:
+
+1. the new request's prefill finishes too late (its own TTFT violated);
+2. an existing request is delayed past its headroom (TPOT violated);
+3. after admission, the aggregate time of one decode iteration across all
+   instances on the node exceeds the TPOT SLO (the node cannot sustain the
+   steady-state decode load).
+
+The virtual requests decode "forever" within the horizon (their true output
+lengths are unknown), which makes the check conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.perf.profiler import QuantifiedPerf
+
+DEFAULT_OVERESTIMATE = 1.10
+DEFAULT_MAX_ITERATIONS = 400
+# Decode rounds every instance must sustain after all prefills are absorbed.
+_SETTLE_ROUNDS = 2
+
+
+class ShadowVerdict(Enum):
+    PASS = "pass"
+    NEW_REQUEST_TTFT = "case1-new-request-ttft"
+    EXISTING_DELAYED = "case2-existing-delayed"
+    AGGREGATE_DECODE = "case3-aggregate-decode"
+
+
+@dataclass(slots=True)
+class ShadowRequest:
+    """Virtual request state inside the shadow simulation."""
+
+    deadline_base: float  # arrival + TTFT_SLO + grace
+    tpot_slo: float
+    tokens_out: int
+    context_len: int
+    prefill_len: int = 0  # >0 while awaiting (re-)prefill
+    is_new: bool = False
+    # Mid-stream requests being migrated (evictions, preempted requests,
+    # PD hand-offs) are placed best-effort: their own lateness does not
+    # veto a placement — only harm to other requests does.
+    soft: bool = False
+
+    def headroom(self, now: float) -> float:
+        return self.deadline_base + self.tpot_slo * self.tokens_out - now
+
+
+@dataclass(slots=True)
+class ShadowInstance:
+    """Virtual instance state: pending prefills plus the decode batch."""
+
+    perf: QuantifiedPerf
+    ready_at: float = 0.0  # cold-start completion for LOADING instances
+    prefill_queue: list[ShadowRequest] = field(default_factory=list)
+    batch: list[ShadowRequest] = field(default_factory=list)
+    settle_rounds: int = 0
+
+    def has_work(self) -> bool:
+        return bool(self.prefill_queue or self.batch)
+
+    def min_headroom(self, now: float) -> float:
+        requests = self.prefill_queue + self.batch
+        return min(r.headroom(now) for r in requests) if requests else float("inf")
+
+    def avg_context(self) -> float:
+        if not self.batch:
+            return 0.0
+        return sum(r.context_len for r in self.batch) / len(self.batch)
+
+    def decode_estimate(self, overestimate: float) -> float:
+        if not self.batch:
+            return 0.0
+        return self.perf.tpot_seconds(len(self.batch), self.avg_context()) * overestimate
+
+
+def _select(instances: list[ShadowInstance], now: float) -> tuple[ShadowInstance, bool] | None:
+    """Mirror of the real min-headroom work selection."""
+    best: tuple[float, ShadowInstance, bool] | None = None
+    for instance in instances:
+        if instance.ready_at > now or not instance.has_work():
+            continue
+        if instance.prefill_queue:
+            urgency = instance.prefill_queue[0].headroom(now)
+            if best is None or urgency < best[0]:
+                best = (urgency, instance, True)
+        if instance.batch:
+            urgency = min(r.headroom(now) for r in instance.batch)
+            if best is None or urgency < best[0]:
+                best = (urgency, instance, False)
+    if best is None:
+        return None
+    return best[1], best[2]
+
+
+def shadow_validate(
+    instances: list[ShadowInstance],
+    now: float,
+    busy_until: float = 0.0,
+    tpot_slo: float = 0.25,
+    overestimate: float = DEFAULT_OVERESTIMATE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> ShadowVerdict:
+    """Virtually execute the node's future and look for SLO violations.
+
+    ``instances`` must already include the hypothetical new request in its
+    candidate instance's prefill queue (flagged ``is_new``).
+    """
+    time = max(now, busy_until)
+    new_prefilled = False
+    has_new = any(r.is_new for inst in instances for r in inst.prefill_queue + inst.batch)
+
+    for _ in range(max_iterations):
+        # Case 3: once every prefill is absorbed, the steady-state decode
+        # round across all instances must fit within one TPOT budget.
+        if not any(inst.prefill_queue for inst in instances):
+            aggregate = sum(inst.decode_estimate(overestimate) for inst in instances)
+            if aggregate > tpot_slo:
+                return ShadowVerdict.AGGREGATE_DECODE
+            if all(inst.settle_rounds >= _SETTLE_ROUNDS or not inst.batch for inst in instances):
+                return ShadowVerdict.PASS
+
+        selection = _select(instances, time)
+        if selection is None:
+            # Idle until the next instance becomes ready, if any.
+            future = [i.ready_at for i in instances if i.ready_at > time and i.has_work()]
+            if not future:
+                return ShadowVerdict.PASS
+            time = min(future)
+            continue
+
+        instance, is_prefill = selection
+        if is_prefill:
+            request = instance.prefill_queue.pop(0)
+            duration = instance.perf.ttft_seconds(request.prefill_len) * overestimate
+            time += duration
+            if request.headroom(time) < 0 and not request.soft:
+                return (
+                    ShadowVerdict.NEW_REQUEST_TTFT
+                    if request.is_new
+                    else ShadowVerdict.EXISTING_DELAYED
+                )
+            request.tokens_out += 1
+            request.context_len += 1
+            request.prefill_len = 0
+            instance.batch.append(request)
+            instance.settle_rounds = 0
+            if request.is_new:
+                new_prefilled = True
+        else:
+            duration = instance.decode_estimate(overestimate)
+            time += duration
+            for request in instance.batch:
+                if request.headroom(time) < 0 and not request.soft:
+                    return ShadowVerdict.EXISTING_DELAYED
+                request.tokens_out += 1
+                request.context_len += 1
+            instance.settle_rounds += 1
+
+    # Horizon exhausted without a violation; if the new request never even
+    # got prefilled within the horizon something is deeply oversubscribed.
+    if has_new and not new_prefilled:
+        soft_new = all(
+            r.soft for inst in instances for r in inst.prefill_queue if r.is_new
+        )
+        if not soft_new:
+            return ShadowVerdict.NEW_REQUEST_TTFT
+    return ShadowVerdict.PASS

@@ -1,0 +1,20 @@
+"""Efficiency-oriented consolidation (§VIII).
+
+* :mod:`repro.consolidation.binpack` — reactive consolidation: order
+  dispatch candidates so new requests flow to the largest-batch replica
+  (fragments drain and get reclaimed, Fig. 20c) and order placement nodes
+  best-fit to minimize nodes used.
+* :mod:`repro.consolidation.preemption` — proactive consolidation: grow an
+  instance in place by preempting smaller-batch neighbours whose requests
+  can be validated onto other instances (Fig. 20b).
+"""
+
+from repro.consolidation.binpack import order_dispatch_candidates, order_nodes_best_fit
+from repro.consolidation.preemption import PreemptionPlan, plan_preemption
+
+__all__ = [
+    "PreemptionPlan",
+    "order_dispatch_candidates",
+    "order_nodes_best_fit",
+    "plan_preemption",
+]

@@ -1,0 +1,7 @@
+"""SLINFER core: the controller, configuration, and shared system base."""
+
+from repro.core.base import BaseServingSystem
+from repro.core.config import SlinferConfig, SystemConfig
+from repro.core.slinfer import Slinfer
+
+__all__ = ["BaseServingSystem", "Slinfer", "SlinferConfig", "SystemConfig"]

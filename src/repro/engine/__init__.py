@@ -1,0 +1,22 @@
+"""Iteration-level inference-engine model.
+
+Stands in for vLLM/OpenVINO: requests flow through a prefill iteration and
+then join a continuously-batched decode loop; KV-cache is paged and resized
+with the Fig. 17 cost model.  The scheduler-visible surface (iteration
+latencies, KV occupancy, scaling delays) matches what SLINFER's subsystems
+consume on real hardware.
+"""
+
+from repro.engine.executor import Executor
+from repro.engine.instance import Instance, InstanceState
+from repro.engine.kvcache import KVCache
+from repro.engine.request import Request, RequestState
+
+__all__ = [
+    "Executor",
+    "Instance",
+    "InstanceState",
+    "KVCache",
+    "Request",
+    "RequestState",
+]

@@ -1,0 +1,116 @@
+"""Model instances: one loaded copy of a model's weights serving a batch.
+
+Lifecycle: ``LOADING`` (cold start, weights streaming in) → ``ACTIVE``
+(serving) → idle (empty batch, awaiting keep-alive reclaim) → unloaded.
+A request dispatched to an instance first waits in ``prefill_pending``;
+its prefill iteration admits it to the continuously-batched decode loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.engine.kvcache import KVCache
+from repro.engine.request import Request
+from repro.hardware.node import Node
+from repro.models.catalog import ModelSpec
+
+
+class InstanceState(Enum):
+    LOADING = "loading"
+    ACTIVE = "active"
+    UNLOADED = "unloaded"
+
+
+@dataclass
+class Instance:
+    """One running copy of a deployed model on (a fraction of) a node."""
+
+    inst_id: int
+    deployment: str
+    model: ModelSpec
+    node: Node
+    fraction: float = 1.0
+    tp_degree: int = 1
+    created_at: float = 0.0
+
+    state: InstanceState = InstanceState.LOADING
+    load_ready_at: float = 0.0  # when the cold start will complete
+    exclusive: bool = False  # large-model fallback: owns its node(s) (§IX-E)
+    prefill_pending: deque[Request] = field(default_factory=deque, repr=False)
+    batch: list[Request] = field(default_factory=list, repr=False)
+    kv: KVCache = field(init=False, repr=False)
+    idle_since: Optional[float] = None
+    keepalive_handle: object = None  # EventHandle, owned by the system
+    iterations: int = 0
+    decode_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        self.kv = KVCache(model=self.model)
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    @property
+    def weight_bytes_per_node(self) -> int:
+        """Weight footprint on each participating node (TP splits weights)."""
+        return self.model.weight_bytes // self.tp_degree
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.batch)
+
+    @property
+    def request_count(self) -> int:
+        return len(self.batch) + len(self.prefill_pending)
+
+    @property
+    def requests(self) -> list[Request]:
+        return list(self.batch) + list(self.prefill_pending)
+
+    @property
+    def has_work(self) -> bool:
+        return self.state is InstanceState.ACTIVE and self.request_count > 0
+
+    @property
+    def idle(self) -> bool:
+        return self.state is InstanceState.ACTIVE and self.request_count == 0
+
+    def avg_context_len(self) -> float:
+        if not self.batch:
+            return 0.0
+        return sum(request.context_len for request in self.batch) / len(self.batch)
+
+    def live_kv_bytes(self) -> int:
+        """Bytes of KV-cache currently holding live context."""
+        return sum(self.kv.used_bytes(request.context_len) for request in self.requests)
+
+    def min_headroom(self, now: float) -> float:
+        """Urgency of this instance: smallest request headroom (Eq. 1)."""
+        requests = self.requests
+        if not requests:
+            return float("inf")
+        return min(request.headroom(now) for request in requests)
+
+    # ------------------------------------------------------------------
+    # Request flow
+    # ------------------------------------------------------------------
+    def enqueue(self, request: Request) -> None:
+        self.prefill_pending.append(request)
+
+    def admit_to_batch(self, request: Request) -> None:
+        self.batch.append(request)
+
+    def remove(self, request: Request) -> None:
+        if request in self.batch:
+            self.batch.remove(request)
+        elif request in self.prefill_pending:
+            self.prefill_pending.remove(request)
+        else:
+            raise ValueError(f"request {request.req_id} not on instance {self.inst_id}")
+
+    def next_prefill(self) -> Optional[Request]:
+        return self.prefill_pending[0] if self.prefill_pending else None

@@ -1,0 +1,79 @@
+"""Paged KV-cache with the Fig. 16/17 scaling-cost model.
+
+The cache is a set of fixed-size blocks (16 tokens each, as in
+paged-attention).  Resizing allocates new blocks and copies live pages —
+``repro.perf.laws.kv_scaling_seconds`` gives the duration.  Allocation
+targets are always rounded up to whole blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.models.catalog import ModelSpec
+from repro.perf.laws import kv_scaling_seconds
+
+BLOCK_TOKENS = 16
+
+
+@dataclass
+class KVCache:
+    """KV-cache state of one instance."""
+
+    model: ModelSpec
+    allocated_bytes: int = 0
+    # Target of an in-flight resize (None when stable).
+    scaling_target_bytes: int | None = field(default=None, repr=False)
+
+    @property
+    def block_bytes(self) -> int:
+        return BLOCK_TOKENS * self.model.kv_bytes_per_token
+
+    def round_to_blocks(self, size_bytes: float) -> int:
+        """Round a byte size up to whole cache blocks."""
+        if size_bytes <= 0:
+            return 0
+        blocks = -(-int(size_bytes) // self.block_bytes)  # ceil division
+        return blocks * self.block_bytes
+
+    def tokens_capacity(self) -> int:
+        return self.allocated_bytes // self.model.kv_bytes_per_token
+
+    def used_bytes(self, context_tokens: int) -> int:
+        """Bytes held by ``context_tokens`` tokens of live cache."""
+        if context_tokens < 0:
+            raise ValueError("context_tokens must be non-negative")
+        return self.round_to_blocks(context_tokens * self.model.kv_bytes_per_token)
+
+    @property
+    def scaling(self) -> bool:
+        return self.scaling_target_bytes is not None
+
+    @property
+    def committed_bytes(self) -> int:
+        """Pessimistic footprint: max of current and in-flight target."""
+        if self.scaling_target_bytes is None:
+            return self.allocated_bytes
+        return max(self.allocated_bytes, self.scaling_target_bytes)
+
+    # ------------------------------------------------------------------
+    # Resizing
+    # ------------------------------------------------------------------
+    def begin_scale(self, target_bytes: int, live_bytes: int) -> float:
+        """Start a resize; returns its duration in seconds (Fig. 17)."""
+        if self.scaling:
+            raise RuntimeError("a resize is already in flight")
+        target = self.round_to_blocks(target_bytes)
+        duration = kv_scaling_seconds(
+            old_bytes=self.allocated_bytes,
+            new_bytes=target,
+            used_bytes=min(live_bytes, self.allocated_bytes),
+        )
+        self.scaling_target_bytes = target
+        return duration
+
+    def finish_scale(self) -> None:
+        if not self.scaling:
+            raise RuntimeError("no resize in flight")
+        self.allocated_bytes = self.scaling_target_bytes
+        self.scaling_target_bytes = None

@@ -1,0 +1,133 @@
+"""Inference requests and their SLO accounting.
+
+``headroom`` implements Eq. 1 of the paper:
+
+    headroom = ST + TTFT_SLO + TPOT_SLO · O − CT
+
+i.e. the maximal delay for generating the *next* token within the SLO.  A
+cold-started request additionally receives a grace window equal to the
+cold-start duration (§IX-A).  The scheduler never sees ``output_len`` — it
+is the hidden ground truth that determines when generation stops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+_EPS = 1e-9
+
+
+class RequestState(Enum):
+    QUEUED = "queued"  # admitted to the system, not yet on an instance
+    PENDING_PREFILL = "pending_prefill"  # on an instance, awaiting prefill
+    DECODING = "decoding"  # in an instance's running batch
+    MIGRATING = "migrating"  # evicted/preempted, awaiting re-placement
+    COMPLETED = "completed"
+    DROPPED = "dropped"
+
+
+@dataclass
+class Request:
+    """One user request to a specific deployed model."""
+
+    req_id: int
+    deployment: str  # deployed model ("function") identifier
+    arrival: float
+    input_len: int
+    output_len: int  # ground truth, hidden from schedulers
+    ttft_slo: float
+    tpot_slo: float
+
+    state: RequestState = RequestState.QUEUED
+    grace: float = 0.0  # cold-start grace window (§IX-A)
+    tokens_out: int = 0
+    prefill_len: int = field(init=False)  # tokens to (re-)prefill next
+    first_token_at: float | None = None
+    finished_at: float | None = None
+    dropped_at: float | None = None
+    violation_at: float | None = None  # first time a token missed its deadline
+    cold_started: bool = False
+    migrations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.input_len <= 0:
+            raise ValueError(f"request {self.req_id}: input_len must be positive")
+        if self.output_len <= 0:
+            raise ValueError(f"request {self.req_id}: output_len must be positive")
+        self.prefill_len = self.input_len
+
+    # ------------------------------------------------------------------
+    # SLO accounting (Eq. 1)
+    # ------------------------------------------------------------------
+    @property
+    def next_token_deadline(self) -> float:
+        """Latest time the next token may appear without violating the SLO."""
+        return self.arrival + self.ttft_slo + self.grace + self.tpot_slo * self.tokens_out
+
+    def headroom(self, now: float) -> float:
+        """Eq. 1: maximal tolerable delay for the next token."""
+        return self.next_token_deadline - now
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+    @property
+    def context_len(self) -> int:
+        """Tokens currently in context (input + generated)."""
+        return self.input_len + self.tokens_out
+
+    @property
+    def remaining_tokens(self) -> int:
+        return self.output_len - self.tokens_out
+
+    @property
+    def done(self) -> bool:
+        return self.tokens_out >= self.output_len
+
+    def record_tokens(self, now: float, count: int = 1) -> None:
+        """Record ``count`` generated tokens finishing at ``now``.
+
+        The first token of the burst is checked against the Eq. 1 deadline;
+        for multi-token fast-forwarded bursts the caller guarantees the pace
+        was uniform, so checking the last token (which has the latest
+        deadline but also the latest emission) is done conservatively by
+        checking the *first* token against the *pre-burst* deadline.
+        """
+        if count <= 0:
+            raise ValueError("token count must be positive")
+        if now > self.next_token_deadline + _EPS and self.violation_at is None:
+            self.violation_at = now
+        if self.first_token_at is None:
+            self.first_token_at = now
+        self.tokens_out += count
+
+    def complete(self, now: float) -> None:
+        self.finished_at = now
+        self.state = RequestState.COMPLETED
+
+    def drop(self, now: float) -> None:
+        self.dropped_at = now
+        self.state = RequestState.DROPPED
+
+    def begin_migration(self) -> None:
+        """Evict/preempt: the KV context must be re-prefetched elsewhere."""
+        self.migrations += 1
+        self.prefill_len = self.context_len
+        self.state = RequestState.MIGRATING
+
+    # ------------------------------------------------------------------
+    # Outcome flags
+    # ------------------------------------------------------------------
+    @property
+    def ttft(self) -> float | None:
+        if self.first_token_at is None:
+            return None
+        return self.first_token_at - self.arrival
+
+    @property
+    def slo_met(self) -> bool:
+        return (
+            self.state is RequestState.COMPLETED
+            and self.violation_at is None
+        )

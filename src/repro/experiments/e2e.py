@@ -1,0 +1,129 @@
+"""End-to-end experiments: Fig. 22, the Fig. 23 ablation, and Table III."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import PdSllmSystem, PdSlinfer, make_sllm_cs
+from repro.core import Slinfer, SlinferConfig
+from repro.experiments.common import (
+    ExperimentScale,
+    current_scale,
+    make_azure_workload,
+    standard_systems,
+)
+from repro.hardware.cluster import paper_testbed
+from repro.metrics.report import RunReport
+from repro.models.catalog import LLAMA2_13B, LLAMA2_7B, LLAMA32_3B, ModelSpec
+
+SIZE_MODELS: dict[str, ModelSpec] = {
+    "3B": LLAMA32_3B,
+    "7B": LLAMA2_7B,
+    "13B": LLAMA2_13B,
+}
+
+
+@dataclass(frozen=True)
+class E2ECell:
+    system: str
+    size: str
+    n_models: int
+    report: RunReport
+
+    @property
+    def summary(self) -> str:
+        return f"[{self.size} x{self.n_models}] {self.report.summary_line()}"
+
+
+def run_fig22(
+    size: str = "7B",
+    counts: tuple[int, ...] = (32, 64, 128),
+    systems: dict | None = None,
+    scale: ExperimentScale | None = None,
+    seed: int = 1,
+) -> list[E2ECell]:
+    """One panel of Fig. 22 (a/b/c by model size)."""
+    model = SIZE_MODELS[size]
+    scale = scale or current_scale()
+    systems = systems or standard_systems()
+    cells = []
+    for n_models in counts:
+        workload = make_azure_workload(model, n_models, scale, seed=seed)
+        for name, factory in systems.items():
+            report = factory(paper_testbed()).run(workload)
+            cells.append(E2ECell(system=name, size=size, n_models=n_models, report=report))
+    return cells
+
+
+# ----------------------------------------------------------------------
+# Fig. 23 — ablation: disable each SLINFER component
+# ----------------------------------------------------------------------
+ABLATIONS: dict[str, dict] = {
+    "slinfer-full": {},
+    "w/o cpu": {"enable_cpu": False},
+    "w/o consolidation": {"enable_consolidation": False},
+    "w/o sharing": {"enable_sharing": False},
+}
+
+
+def run_ablation(
+    n_models: int = 64,
+    size: str = "7B",
+    scale: ExperimentScale | None = None,
+    seed: int = 1,
+) -> dict[str, RunReport]:
+    scale = scale or current_scale()
+    workload = make_azure_workload(SIZE_MODELS[size], n_models, scale, seed=seed)
+    results = {}
+    for label, overrides in ABLATIONS.items():
+        config = SlinferConfig(**overrides)
+        results[label] = Slinfer(paper_testbed(), config=config).run(workload)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Table III — prefill-decode disaggregation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PdRow:
+    system: str
+    n_models: int
+    aggregated: RunReport
+    disaggregated: RunReport
+
+    @property
+    def summary(self) -> str:
+        agg, dis = self.aggregated, self.disaggregated
+        return (
+            f"{self.system:>10s} x{self.n_models:<4d} "
+            f"GPU {agg.avg_nodes_used_gpu:.1f}/{dis.avg_nodes_used_gpu:.1f}  "
+            f"SLO {100 * agg.slo_rate:.0f}%/{100 * dis.slo_rate:.0f}%"
+        )
+
+
+def run_pd_table(
+    counts: tuple[int, ...] = (32, 64, 128),
+    scale: ExperimentScale | None = None,
+    seed: int = 1,
+) -> list[PdRow]:
+    scale = scale or current_scale()
+    rows = []
+    for n_models in counts:
+        workload = make_azure_workload(LLAMA2_7B, n_models, scale, seed=seed)
+        rows.append(
+            PdRow(
+                system="sllm+c+s",
+                n_models=n_models,
+                aggregated=make_sllm_cs(paper_testbed()).run(workload),
+                disaggregated=PdSllmSystem(paper_testbed()).run(workload),
+            )
+        )
+        rows.append(
+            PdRow(
+                system="slinfer",
+                n_models=n_models,
+                aggregated=Slinfer(paper_testbed()).run(workload),
+                disaggregated=PdSlinfer(paper_testbed()).run(workload),
+            )
+        )
+    return rows

@@ -1,0 +1,179 @@
+"""Heterogeneity experiments: Figs. 24, 26 and 29."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import NeoSystem, make_sllm_c, make_sllm_cs
+from repro.core import Slinfer
+from repro.experiments.common import (
+    ExperimentScale,
+    current_scale,
+    make_azure_workload,
+)
+from repro.hardware.cluster import Cluster
+from repro.hardware.specs import XEON_GEN4_32C, harvested_cpu
+from repro.metrics.report import RunReport
+from repro.models.catalog import (
+    CODELLAMA_34B,
+    LLAMA2_13B,
+    LLAMA2_7B,
+    LLAMA32_3B,
+)
+from repro.workloads.azure_serverless import (
+    AzureServerlessConfig,
+    mixed_models,
+    synthesize_azure_trace,
+)
+from repro.workloads.spec import Deployment, Workload
+
+
+# ----------------------------------------------------------------------
+# Fig. 24 — CPU scalability: adding CPU vs GPU nodes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    added_nodes: int
+    kind: str  # "cpu" | "gpu"
+    slo_met: int
+    total: int
+
+
+def run_cpu_scalability(
+    max_added: int = 8,
+    n_models: int = 64,
+    scale: ExperimentScale | None = None,
+    seed: int = 1,
+) -> list[ScalabilityPoint]:
+    """Start from 2 GPU + 0 CPU nodes and add CPU or GPU nodes."""
+    scale = scale or current_scale()
+    workload = make_azure_workload(LLAMA2_7B, n_models, scale, seed=seed)
+    points = []
+    for kind in ("cpu", "gpu"):
+        for added in range(0, max_added + 1, 2):
+            cpu = added if kind == "cpu" else 0
+            gpu = 2 + (added if kind == "gpu" else 0)
+            report = Slinfer(Cluster.build(cpu, gpu)).run(workload)
+            points.append(
+                ScalabilityPoint(
+                    added_nodes=added,
+                    kind=kind,
+                    slo_met=report.slo_met_count,
+                    total=report.total_requests,
+                )
+            )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Fig. 26 — mixed deployment with 34B (TP-2) models
+# ----------------------------------------------------------------------
+POPULARITY_RATIOS: tuple[tuple[int, int, int, int], ...] = (
+    (4, 1, 1, 1),
+    (3, 2, 1, 1),
+    (2, 2, 2, 1),
+    (1, 2, 3, 1),
+    (1, 1, 4, 1),
+    (0, 0, 0, 1),
+)
+
+
+@dataclass(frozen=True)
+class MixedResult:
+    ratio: str
+    system: str
+    report: RunReport
+
+
+def _mixed_workload(ratio: tuple[int, int, int, int], n_models: int, scale, seed) -> Workload:
+    specs = {
+        LLAMA32_3B: ratio[0],
+        LLAMA2_7B: ratio[1],
+        LLAMA2_13B: ratio[2],
+        CODELLAMA_34B: ratio[3],
+    }
+    specs = {spec: weight for spec, weight in specs.items() if weight > 0}
+    models = mixed_models(specs, total=n_models, seed=seed)
+    config = AzureServerlessConfig(
+        n_models=n_models,
+        duration=scale.duration,
+        requests_per_model=scale.requests_per_model,
+        seed=seed,
+    )
+    workload = synthesize_azure_trace(models, config)
+    # 34B deployments run tensor-parallel over 2 GPUs (§IX-E).
+    deployments = {
+        name: Deployment(
+            name=name,
+            model=dep.model,
+            tp_degree=2 if dep.model is CODELLAMA_34B else 1,
+        )
+        for name, dep in workload.deployments.items()
+    }
+    return Workload(
+        name=workload.name,
+        deployments=deployments,
+        requests=workload.requests,
+        duration=workload.duration,
+    )
+
+
+def run_mixed_deployment(
+    ratios: tuple = POPULARITY_RATIOS,
+    n_models: int = 36,
+    scale: ExperimentScale | None = None,
+    seed: int = 1,
+) -> list[MixedResult]:
+    """§IX-E setup: 4 CPU + 6 GPU nodes, varying model-size popularity."""
+    scale = scale or current_scale()
+    results = []
+    for ratio in ratios:
+        workload = _mixed_workload(ratio, n_models, scale, seed)
+        label = ":".join(str(x) for x in ratio)
+        for name, factory in (
+            ("sllm+c", make_sllm_c),
+            ("sllm+c+s", make_sllm_cs),
+            ("slinfer", Slinfer),
+        ):
+            report = factory(Cluster.build(4, 6)).run(workload)
+            results.append(MixedResult(ratio=label, system=name, report=report))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Fig. 29 — harvested CPU cores: NEO+ vs sllm+c+s vs SLINFER
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HarvestPoint:
+    cores_per_gpu: int
+    system: str
+    slo_miss_rate: float
+
+
+def run_harvested_cores(
+    core_counts: tuple[int, ...] = (0, 8, 16, 32),
+    n_models: int = 64,
+    scale: ExperimentScale | None = None,
+    seed: int = 1,
+) -> list[HarvestPoint]:
+    scale = scale or current_scale()
+    workload = make_azure_workload(LLAMA2_7B, n_models, scale, seed=seed)
+    points = []
+    for cores in core_counts:
+        if cores > 0:
+            cpu_spec = XEON_GEN4_32C if cores == 32 else harvested_cpu(cores)
+            cluster_cpus = 4
+        else:
+            cpu_spec = XEON_GEN4_32C
+            cluster_cpus = 0
+        for name, factory in (
+            ("neo+", lambda c: NeoSystem(c, harvested_cores_per_gpu=cores)),
+            ("sllm+c+s", make_sllm_cs),
+            ("slinfer", Slinfer),
+        ):
+            cluster = Cluster.build(cluster_cpus, 4, cpu_spec=cpu_spec)
+            report = factory(cluster).run(workload)
+            points.append(
+                HarvestPoint(cores_per_gpu=cores, system=name, slo_miss_rate=report.slo_miss_rate)
+            )
+    return points

@@ -1,0 +1,78 @@
+"""Figs. 32-33 — node-count scaling and scheduling overhead."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import make_sllm_cs
+from repro.core import Slinfer
+from repro.experiments.common import ExperimentScale, current_scale, make_azure_workload
+from repro.hardware.cluster import Cluster
+from repro.metrics.report import OverheadStat, RunReport
+from repro.models.catalog import LLAMA2_7B
+
+
+@dataclass(frozen=True)
+class NodeScalingPoint:
+    total_nodes: int  # CPU + GPU, split evenly
+    system: str
+    slo_met: int
+    total: int
+
+
+def run_node_scaling(
+    node_pairs: tuple[int, ...] = (1, 2, 3, 4),
+    n_models: int = 64,
+    scale: ExperimentScale | None = None,
+    seed: int = 1,
+) -> list[NodeScalingPoint]:
+    """Fig. 32: 1 CPU + 1 GPU up to 4 CPU + 4 GPU."""
+    scale = scale or current_scale()
+    workload = make_azure_workload(LLAMA2_7B, n_models, scale, seed=seed)
+    points = []
+    for pairs in node_pairs:
+        for name, factory in (("sllm+c+s", make_sllm_cs), ("slinfer", Slinfer)):
+            report = factory(Cluster.build(pairs, pairs)).run(workload)
+            points.append(
+                NodeScalingPoint(
+                    total_nodes=2 * pairs,
+                    system=name,
+                    slo_met=report.slo_met_count,
+                    total=report.total_requests,
+                )
+            )
+    return points
+
+
+@dataclass(frozen=True)
+class OverheadPoint:
+    total_nodes: int
+    shadow_validation: OverheadStat
+    token_schedule: OverheadStat
+
+
+def run_scheduling_overhead(
+    node_pairs: tuple[int, ...] = (1, 2, 3, 4),
+    n_models: int = 64,
+    scale: ExperimentScale | None = None,
+    seed: int = 1,
+) -> list[OverheadPoint]:
+    """Fig. 33: measured wall-clock cost of SLINFER's decisions.
+
+    Unlike the other figures this measures *our implementation's* real
+    overhead, mirroring how the paper measures its own scheduler.
+    """
+    scale = scale or current_scale()
+    workload = make_azure_workload(LLAMA2_7B, n_models, scale, seed=seed)
+    points = []
+    empty = OverheadStat(count=0, total_seconds=0.0, mean_seconds=0.0)
+    for pairs in node_pairs:
+        report = Slinfer(Cluster.build(pairs, pairs)).run(workload)
+        points.append(
+            OverheadPoint(
+                total_nodes=2 * pairs,
+                shadow_validation=report.overhead_stats.get("shadow_validation", empty),
+                token_schedule=report.overhead_stats.get("token_schedule", empty),
+            )
+        )
+    return points

@@ -1,0 +1,159 @@
+"""Sensitivity analyses (§IX-I): Figs. 27, 30, 31, 34-35."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import make_sllm_cs
+from repro.core import Slinfer, SlinferConfig, SystemConfig
+from repro.experiments.common import ExperimentScale, current_scale, make_azure_workload
+from repro.hardware.cluster import paper_testbed
+from repro.metrics.report import RunReport
+from repro.models.catalog import LLAMA31_8B, LLAMA2_7B
+from repro.workloads.burstgpt import BurstGPTConfig, synthesize_burstgpt_trace
+from repro.workloads.datasets import DATASETS
+from repro.workloads.azure_serverless import replica_models
+
+
+# ----------------------------------------------------------------------
+# Fig. 27 — BurstGPT load levels
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BurstGptPoint:
+    rps: float
+    system: str
+    report: RunReport
+
+
+def run_burstgpt_loads(
+    rps_levels: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+    n_models: int = 64,
+    scale: ExperimentScale | None = None,
+    seed: int = 1,
+) -> list[BurstGptPoint]:
+    scale = scale or current_scale()
+    points = []
+    for rps in rps_levels:
+        workload = synthesize_burstgpt_trace(
+            replica_models(LLAMA2_7B, n_models),
+            BurstGPTConfig(
+                aggregate_rps=rps, duration=scale.duration, n_models=n_models, seed=seed
+            ),
+        )
+        for name, factory in (("sllm+c+s", make_sllm_cs), ("slinfer", Slinfer)):
+            report = factory(paper_testbed()).run(workload)
+            points.append(BurstGptPoint(rps=rps, system=name, report=report))
+    return points
+
+
+# ----------------------------------------------------------------------
+# Fig. 30 — keep-alive threshold sensitivity
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KeepalivePoint:
+    threshold: float
+    system: str
+    gpus_used: float
+    p95_ttft: float
+
+
+def run_keepalive_sweep(
+    thresholds: tuple[float, ...] = (0.0, 1.0, 2.0, 4.0, 8.0),
+    n_models: int = 64,
+    scale: ExperimentScale | None = None,
+    seed: int = 1,
+) -> list[KeepalivePoint]:
+    scale = scale or current_scale()
+    workload = make_azure_workload(LLAMA2_7B, n_models, scale, seed=seed)
+    points = []
+    for threshold in thresholds:
+        for name, factory, config in (
+            ("sllm+c+s", make_sllm_cs, SystemConfig(keepalive=threshold)),
+            ("slinfer", Slinfer, SlinferConfig(keepalive=threshold)),
+        ):
+            report = factory(paper_testbed(), config=config).run(workload)
+            ttft_cdf = report.ttft_cdf()
+            p95 = ttft_cdf.percentile(95.0) if not ttft_cdf.empty else float("nan")
+            points.append(
+                KeepalivePoint(
+                    threshold=threshold,
+                    system=name,
+                    gpus_used=report.avg_nodes_used_gpu,
+                    p95_ttft=p95,
+                )
+            )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Fig. 31 — KV-cache watermark sensitivity
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WatermarkPoint:
+    watermark: float
+    kv_utilization: float
+    scaling_overhead: float  # share of node-busy time spent resizing
+    migration_rate: float
+
+
+def run_watermark_sweep(
+    watermarks: tuple[float, ...] = (0.0, 0.10, 0.25, 0.50, 1.00),
+    n_models: int = 64,
+    scale: ExperimentScale | None = None,
+    seed: int = 1,
+) -> list[WatermarkPoint]:
+    scale = scale or current_scale()
+    workload = make_azure_workload(LLAMA2_7B, n_models, scale, seed=seed)
+    points = []
+    for watermark in watermarks:
+        config = SlinferConfig(watermark=watermark)
+        report = Slinfer(paper_testbed(), config=config).run(workload)
+        kv_samples = report.kv_utilization_samples
+        kv_util = sum(kv_samples) / len(kv_samples) if kv_samples else 0.0
+        # §IX-I5 reports the *underestimation*-driven migration rate.
+        migration_rate = report.evictions / max(1, report.total_requests)
+        points.append(
+            WatermarkPoint(
+                watermark=watermark,
+                kv_utilization=kv_util,
+                scaling_overhead=report.scaling_time_fraction,
+                migration_rate=migration_rate,
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Fig. 35 — dataset sweep with 8B models
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DatasetResult:
+    dataset: str
+    system: str
+    report: RunReport
+
+
+def run_dataset_sweep(
+    dataset_names: tuple[str, ...] = (
+        "humaneval",
+        "azure-code",
+        "azure-conversation",
+        "longbench",
+        "sharegpt",
+    ),
+    n_models: int = 64,
+    scale: ExperimentScale | None = None,
+    seed: int = 1,
+) -> list[DatasetResult]:
+    """§IX-I1: Llama-3.1-8B across the five length distributions."""
+    scale = scale or current_scale()
+    results = []
+    for dataset_name in dataset_names:
+        workload = make_azure_workload(
+            LLAMA31_8B, n_models, scale, seed=seed,
+            length_distribution=DATASETS[dataset_name],
+        )
+        for name, factory in (("sllm+c+s", make_sllm_cs), ("slinfer", Slinfer)):
+            report = factory(paper_testbed()).run(workload)
+            results.append(DatasetResult(dataset=dataset_name, system=name, report=report))
+    return results

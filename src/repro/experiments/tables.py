@@ -1,0 +1,75 @@
+"""Tables I and II: hardware characterization numbers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.specs import A100_80GB, XEON_GEN3_32C, XEON_GEN4_32C, HardwareSpec
+from repro.models.catalog import LLAMA2_13B, LLAMA2_7B, ModelSpec
+from repro.perf.laws import LatencyLaw
+from repro.perf.limits import concurrency_limit
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    cpu: str
+    ttft_ms: dict[int, float]  # input length -> ms
+    tpot_ms: dict[tuple[int, int], float]  # (batch, length) -> ms
+
+
+def run_table1(model: ModelSpec = LLAMA2_7B) -> list[Table1Row]:
+    """Table I: Llama-2-7B on 3rd- vs 4th-gen Xeon."""
+    rows = []
+    for spec in (XEON_GEN3_32C, XEON_GEN4_32C):
+        law = LatencyLaw(spec, model)
+        rows.append(
+            Table1Row(
+                cpu=spec.name,
+                ttft_ms={
+                    length: law.prefill_seconds(length) * 1000
+                    for length in (256, 1024, 4096)
+                },
+                tpot_ms={
+                    (batch, length): law.decode_seconds(batch, length) * 1000
+                    for batch, length in ((1, 1024), (32, 1024), (1, 4096), (32, 4096))
+                },
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class Table2Cell:
+    scenario: str  # e.g. "C-7B-2K"
+    fraction_label: str  # "1", "1/2", "1/3", "1/4"
+    per_instance_limit: int
+    aggregate_limit: int
+
+
+_SCENARIOS: list[tuple[str, HardwareSpec, ModelSpec, int]] = [
+    ("C-7B-2K", XEON_GEN4_32C, LLAMA2_7B, 2048),
+    ("C-7B-4K", XEON_GEN4_32C, LLAMA2_7B, 4096),
+    ("G-7B-2K", A100_80GB, LLAMA2_7B, 2048),
+    ("G-7B-4K", A100_80GB, LLAMA2_7B, 4096),
+    ("G-13B-2K", A100_80GB, LLAMA2_13B, 2048),
+    ("G-13B-4K", A100_80GB, LLAMA2_13B, 4096),
+]
+
+_FRACTIONS = [(1.0, "1", 1), (0.5, "1/2", 2), (1 / 3, "1/3", 3), (0.25, "1/4", 4)]
+
+
+def run_table2() -> list[Table2Cell]:
+    """Table II: aggregate concurrency limits vs resource fractions."""
+    cells = []
+    for scenario, hardware, model, length in _SCENARIOS:
+        for fraction, label, count in _FRACTIONS:
+            per_instance = concurrency_limit(hardware, model, length, fraction=fraction)
+            cells.append(
+                Table2Cell(
+                    scenario=scenario,
+                    fraction_label=label,
+                    per_instance_limit=per_instance,
+                    aggregate_limit=per_instance * count,
+                )
+            )
+    return cells

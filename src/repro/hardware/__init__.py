@@ -1,0 +1,33 @@
+"""Hardware abstraction: CPU/GPU node specs, nodes, and cluster builders.
+
+SLINFER "abstracts heterogeneous hardware into CPU/GPU nodes" (§V); this
+package provides those nodes plus the host-CPU interference model behind
+Figs. 10, 11 and 28.
+"""
+
+from repro.hardware.cluster import Cluster, paper_testbed
+from repro.hardware.host_cpu import HostCpuModel
+from repro.hardware.node import Node
+from repro.hardware.specs import (
+    A100_80GB,
+    HardwareKind,
+    HardwareSpec,
+    XEON_GEN3_32C,
+    XEON_GEN4_32C,
+    XEON_GEN6_96C,
+    harvested_cpu,
+)
+
+__all__ = [
+    "A100_80GB",
+    "Cluster",
+    "HardwareKind",
+    "HardwareSpec",
+    "HostCpuModel",
+    "Node",
+    "XEON_GEN3_32C",
+    "XEON_GEN4_32C",
+    "XEON_GEN6_96C",
+    "harvested_cpu",
+    "paper_testbed",
+]

@@ -1,0 +1,53 @@
+"""Cluster construction helpers.
+
+The paper's main testbed is 4× 32-core Xeon 6462C CPU nodes plus
+4× A100-80GB GPU nodes (§IX-A); several experiments vary the counts
+(Figs. 24, 26, 32) or the CPU spec (Fig. 29, Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.node import Node
+from repro.hardware.specs import A100_80GB, HardwareSpec, XEON_GEN4_32C
+
+
+@dataclass
+class Cluster:
+    """A fixed set of CPU and GPU nodes."""
+
+    nodes: list[Node] = field(default_factory=list)
+
+    @property
+    def cpu_nodes(self) -> list[Node]:
+        return [node for node in self.nodes if node.is_cpu]
+
+    @property
+    def gpu_nodes(self) -> list[Node]:
+        return [node for node in self.nodes if node.is_gpu]
+
+    def node(self, node_id: str) -> Node:
+        for candidate in self.nodes:
+            if candidate.node_id == node_id:
+                return candidate
+        raise KeyError(f"no node {node_id!r} in cluster")
+
+    @classmethod
+    def build(
+        cls,
+        cpu_count: int,
+        gpu_count: int,
+        cpu_spec: HardwareSpec = XEON_GEN4_32C,
+        gpu_spec: HardwareSpec = A100_80GB,
+    ) -> "Cluster":
+        if cpu_count < 0 or gpu_count < 0:
+            raise ValueError("node counts must be non-negative")
+        nodes = [Node(f"cpu-{i}", cpu_spec) for i in range(cpu_count)]
+        nodes += [Node(f"gpu-{i}", gpu_spec) for i in range(gpu_count)]
+        return cls(nodes=nodes)
+
+
+def paper_testbed() -> Cluster:
+    """The §IX-A testbed: 4 CPU nodes + 4 GPU nodes."""
+    return Cluster.build(cpu_count=4, gpu_count=4)

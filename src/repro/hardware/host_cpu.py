@@ -1,0 +1,54 @@
+"""Host-CPU usage and interference model for GPU serving (Figs. 10, 11, 28).
+
+The paper measures that vLLM serving on a GPU never consumes more than one
+host core (busy-wait during GPU interaction) plus <0.1 core of preprocessing,
+that colocating eight instances on one GPU still only "slightly exceeds one
+core" (instances take turns using the GPU), and that 64 background stress
+processes on 32 cores slow TPOT by only ~4 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Calibration anchors from §IV-A1 and §IX-I3.
+_BUSY_WAIT_CORES = 0.92  # one (almost fully busy) polling core
+_PREPROCESS_CORES = 0.06  # "<0.1 core" of preprocessing per active instance
+_PER_EXTRA_INSTANCE_CORES = 0.04  # turn-taking bookkeeping per extra instance
+_MAX_STRESS_SLOWDOWN = 0.04  # 4 % at 64 stress procs on 32 cores
+
+
+@dataclass(frozen=True)
+class HostCpuModel:
+    """Host-core usage of GPU-resident inference engines."""
+
+    host_cores: int = 32
+
+    def core_usage(self, colocated_instances: int, busy_fraction: float = 1.0) -> float:
+        """Total host cores consumed by ``colocated_instances`` engines.
+
+        Instances serialize on the GPU, so only one busy-waits at a time;
+        the others contribute a small bookkeeping overhead (Fig. 28).
+        """
+        if colocated_instances < 0:
+            raise ValueError("instance count must be non-negative")
+        if colocated_instances == 0:
+            return 0.0
+        base = (_BUSY_WAIT_CORES + _PREPROCESS_CORES) * min(1.0, busy_fraction)
+        extra = _PER_EXTRA_INSTANCE_CORES * (colocated_instances - 1)
+        return base + extra
+
+    def stress_slowdown(self, stress_processes: int) -> float:
+        """Multiplicative TPOT slowdown under CPU stress (Fig. 11).
+
+        Saturates at ~4 % once stress oversubscribes the cores 2× — the
+        engine's single polling thread rarely loses its core.
+        """
+        if stress_processes < 0:
+            raise ValueError("stress process count must be non-negative")
+        saturation = 2.0 * self.host_cores
+        return 1.0 + _MAX_STRESS_SLOWDOWN * min(1.0, stress_processes / saturation)
+
+    def harvestable_cores(self, colocated_instances: int) -> float:
+        """Cores left for independent CPU serving while GPUs serve (§IX-I3)."""
+        return max(0.0, self.host_cores - self.core_usage(colocated_instances))

@@ -1,0 +1,45 @@
+"""Cluster nodes.
+
+A node owns a hardware spec and a serving-memory capacity.  Instance and
+memory bookkeeping live in the serving systems (:mod:`repro.systems`) and the
+memory subsystem (:mod:`repro.memory`); the node itself stays a simple,
+policy-free container so every system shares the same hardware model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.specs import HardwareKind, HardwareSpec
+
+
+@dataclass
+class Node:
+    """One CPU or GPU node."""
+
+    node_id: str
+    spec: HardwareSpec
+    # Mutable serving state, managed by the owning system:
+    instances: list = field(default_factory=list, repr=False)
+
+    @property
+    def kind(self) -> HardwareKind:
+        return self.spec.kind
+
+    @property
+    def is_cpu(self) -> bool:
+        return self.spec.is_cpu
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.spec.is_gpu
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.spec.memory_bytes
+
+    def __hash__(self) -> int:
+        return hash(self.node_id)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Node) and other.node_id == self.node_id

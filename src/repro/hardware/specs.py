@@ -1,0 +1,111 @@
+"""Hardware specifications for the node types the paper evaluates.
+
+``prefill_factor`` / ``decode_factor`` are latency multipliers relative to
+the calibration reference for that hardware kind:
+
+* CPU reference: 32-core 4th-gen Xeon 6462C with AMX (the paper's testbed).
+  The 3rd-gen Xeon 8369B lacks AMX and measures 6.7–7.3× slower prefill and
+  1.4–1.7× slower decode (Table I) — we use 6.9× / 1.5×.
+* GPU reference: NVIDIA A100-80GB.
+
+Fewer cores than the reference scale prefill linearly (compute-bound) and
+decode sub-linearly, matching the fractional-allocation calibration in
+:mod:`repro.perf.fractions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+GIB = 1024**3
+
+
+class HardwareKind(Enum):
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """Static description of one node's hardware."""
+
+    name: str
+    kind: HardwareKind
+    memory_bytes: int
+    cores: int = 0  # CPU cores (0 for GPU nodes' accelerator itself)
+    matrix_accelerated: bool = True  # AMX present (CPUs) — §V excludes non-AMX CPUs
+    prefill_factor: float = 1.0
+    decode_factor: float = 1.0
+    loader_bytes_per_s: float = 14 * GIB  # "1 second to load a 7B model" (§IX-A)
+    host_cores: int = 32  # host cores co-resident with a GPU (Figs. 10/28)
+
+    @property
+    def is_cpu(self) -> bool:
+        return self.kind is HardwareKind.CPU
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind is HardwareKind.GPU
+
+    def with_cores(self, cores: int) -> "HardwareSpec":
+        """A CPU spec re-scaled to a different core count (Fig. 29 harvesting).
+
+        Prefill is compute-bound so it scales with 1/cores; decode scales
+        sub-linearly with the same exponent as fractional allocation
+        (see ``repro.perf.fractions.CPU_DECODE_EXPONENT``).
+        """
+        if not self.is_cpu:
+            raise ValueError("with_cores applies to CPU specs only")
+        if cores <= 0:
+            raise ValueError(f"cores must be positive, got {cores}")
+        ratio = self.cores / cores
+        return replace(
+            self,
+            name=f"{self.name}-{cores}c",
+            cores=cores,
+            prefill_factor=self.prefill_factor * ratio,
+            decode_factor=self.decode_factor * ratio**0.955,
+        )
+
+
+XEON_GEN4_32C = HardwareSpec(
+    name="xeon-6462c-32c",
+    kind=HardwareKind.CPU,
+    memory_bytes=256 * GIB,
+    cores=32,
+    matrix_accelerated=True,
+)
+
+XEON_GEN3_32C = HardwareSpec(
+    name="xeon-8369b-32c",
+    kind=HardwareKind.CPU,
+    memory_bytes=256 * GIB,
+    cores=32,
+    matrix_accelerated=False,
+    prefill_factor=6.9,
+    decode_factor=1.5,
+)
+
+# 96-core 6th-gen Xeon (§X): 297 TFLOPS vs 105 TFLOPS on the 4th-gen part.
+XEON_GEN6_96C = HardwareSpec(
+    name="xeon-6966p-96c",
+    kind=HardwareKind.CPU,
+    memory_bytes=512 * GIB,
+    cores=96,
+    matrix_accelerated=True,
+    prefill_factor=105.0 / 297.0,
+    decode_factor=0.55,
+)
+
+A100_80GB = HardwareSpec(
+    name="a100-80gb",
+    kind=HardwareKind.GPU,
+    memory_bytes=80 * GIB,
+    cores=0,
+)
+
+
+def harvested_cpu(cores: int) -> HardwareSpec:
+    """A 4th-gen Xeon node restricted to ``cores`` harvested cores (Fig. 29)."""
+    return XEON_GEN4_32C.with_cores(cores)

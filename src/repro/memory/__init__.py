@@ -1,0 +1,25 @@
+"""Hazard-aware memory subsystem (§VII).
+
+* :mod:`repro.memory.estimator` — Eq. 2 KV demand estimation with the
+  historical average output length Ō and the ``L_min`` robustness floor.
+* :mod:`repro.memory.watermark` — early-scale-up / lazy-scale-down policy.
+* :mod:`repro.memory.orchestrator` — per-node coordination of asynchronous
+  memory operations: optimistic budgeting at issue, pessimistic tracking at
+  execution, and a reservation station for deferred scale-ups (Fig. 19).
+"""
+
+from repro.memory.estimator import OutputLengthEstimator, kv_required_bytes
+from repro.memory.operations import MemoryOp, OpKind, OpState
+from repro.memory.orchestrator import MemoryOrchestrator, OrchestratorListener
+from repro.memory.watermark import WatermarkPolicy
+
+__all__ = [
+    "MemoryOp",
+    "MemoryOrchestrator",
+    "OpKind",
+    "OpState",
+    "OrchestratorListener",
+    "OutputLengthEstimator",
+    "WatermarkPolicy",
+    "kv_required_bytes",
+]

@@ -1,0 +1,71 @@
+"""KV-cache demand estimation (Eq. 2).
+
+    M_require = C · max( Σ_r (I_r + max(O_r, Ō)),  L_min )
+
+where ``C`` is KV bytes per token, ``I_r``/``O_r`` the input length and
+tokens generated so far of running request ``r``, ``Ō`` the historical
+average output length of the deployment, and ``L_min`` a robustness floor
+set to the model's maximum context length (§VII-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.instance import Instance
+from repro.engine.request import Request
+
+DEFAULT_OUTPUT_PRIOR = 256.0
+
+
+@dataclass
+class OutputLengthEstimator:
+    """Tracks per-deployment average output length Ō from completed requests."""
+
+    prior: float = DEFAULT_OUTPUT_PRIOR
+    prior_weight: float = 4.0
+    _totals: dict[str, float] = field(default_factory=dict)
+    _counts: dict[str, int] = field(default_factory=dict)
+
+    def observe(self, deployment: str, output_len: int) -> None:
+        if output_len <= 0:
+            raise ValueError("output_len must be positive")
+        self._totals[deployment] = self._totals.get(deployment, 0.0) + output_len
+        self._counts[deployment] = self._counts.get(deployment, 0) + 1
+
+    def average(self, deployment: str) -> float:
+        """Ō with a Bayesian prior so cold deployments aren't estimated at 0."""
+        total = self._totals.get(deployment, 0.0)
+        count = self._counts.get(deployment, 0)
+        return (total + self.prior * self.prior_weight) / (count + self.prior_weight)
+
+
+def kv_required_bytes_for_tokens(model, tokens: float) -> int:
+    """Eq. 2's byte conversion for a raw token demand, block-rounded."""
+    from repro.engine.kvcache import BLOCK_TOKENS
+
+    block_bytes = BLOCK_TOKENS * model.kv_bytes_per_token
+    raw = max(tokens, float(model.max_context)) * model.kv_bytes_per_token
+    blocks = -(-int(raw) // block_bytes)
+    return blocks * block_bytes
+
+
+def initial_kv_required(model, request: Request, avg_output_len: float) -> int:
+    """Eq. 2 for a brand-new instance about to serve ``request``."""
+    tokens = request.prefill_len + max(request.tokens_out, avg_output_len)
+    return kv_required_bytes_for_tokens(model, tokens)
+
+
+def kv_required_bytes(
+    instance: Instance,
+    avg_output_len: float,
+    extra_requests: list[Request] | None = None,
+) -> int:
+    """Eq. 2 for an instance, optionally with hypothetical extra requests."""
+    requests = instance.requests + list(extra_requests or [])
+    token_demand = 0.0
+    for request in requests:
+        token_demand += request.input_len + max(request.tokens_out, avg_output_len)
+    l_min = float(instance.model.max_context)
+    tokens = max(token_demand, l_min)
+    return instance.kv.round_to_blocks(tokens * instance.model.kv_bytes_per_token)

@@ -1,0 +1,45 @@
+"""Memory operations: the asynchronous units the orchestrator coordinates."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.engine.instance import Instance
+
+_op_ids = itertools.count()
+
+
+class OpKind(Enum):
+    LOAD = "load"  # weights streaming in (cold start)
+    UNLOAD = "unload"  # weights eviction (keep-alive reclaim / preemption)
+    SCALE_UP = "scale_up"
+    SCALE_DOWN = "scale_down"
+
+
+class OpState(Enum):
+    ISSUED = "issued"  # budget accounted, not yet executing
+    RESERVED = "reserved"  # scale-up parked in the reservation station
+    EXECUTING = "executing"
+    DONE = "done"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class MemoryOp:
+    """One asynchronous memory adjustment on a node."""
+
+    kind: OpKind
+    instance: Instance
+    target_bytes: int  # KV target for scales; weight bytes for load/unload
+    state: OpState = OpState.ISSUED
+    issued_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    op_id: int = field(default_factory=lambda: next(_op_ids))
+
+    @property
+    def pending(self) -> bool:
+        return self.state in (OpState.ISSUED, OpState.RESERVED, OpState.EXECUTING)

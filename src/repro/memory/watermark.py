@@ -1,0 +1,42 @@
+"""Watermark-based KV-cache scaling policy (§VII-B).
+
+With watermark ``w``:
+
+* recommended size ``M_recommend = M_require · (1 + w)``;
+* **early scale-up**: when a new request makes ``M_cur < M_require``, scale
+  directly to ``M_recommend`` (reserving room for upcoming requests and
+  bursty long outputs);
+* **lazy scale-down**: after completions, only shrink when
+  ``M_recommend · (1 + w) < M_cur`` — hysteresis against ping-ponging.
+
+The paper recommends ``w = 25 %`` (§IX-I5): scaling overhead is already
+minimal (1.4 % of lifetime vs 11.3 % at w=0) while KV utilization stays high.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WatermarkPolicy:
+    """Scale-up/scale-down decisions around Eq. 2's M_require."""
+
+    watermark: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.watermark < 0:
+            raise ValueError("watermark must be non-negative")
+
+    def recommended_bytes(self, required_bytes: int) -> int:
+        return int(required_bytes * (1.0 + self.watermark))
+
+    def needs_scale_up(self, current_bytes: int, required_bytes: int) -> bool:
+        return current_bytes < required_bytes
+
+    def should_scale_down(self, current_bytes: int, required_bytes: int) -> bool:
+        recommend = self.recommended_bytes(required_bytes)
+        return recommend * (1.0 + self.watermark) < current_bytes
+
+    def scale_down_target(self, required_bytes: int) -> int:
+        return self.recommended_bytes(required_bytes)

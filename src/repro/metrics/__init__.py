@@ -1,0 +1,12 @@
+"""Metrics collection and reporting for serving experiments.
+
+Captures exactly the quantities the paper's evaluation plots: SLO-met
+request counts, TTFT CDFs, per-node decode speed, average nodes used,
+GPU memory-utilization CDFs, batch-size distributions, and scheduling
+overheads (Figs. 22, 25, 33)."""
+
+from repro.metrics.cdf import Cdf
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import RunReport
+
+__all__ = ["Cdf", "MetricsCollector", "RunReport"]

@@ -1,0 +1,54 @@
+"""Empirical CDF helper used for TTFT / memory-utilization / batch figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical cumulative distribution over observed samples."""
+
+    samples: np.ndarray
+
+    @classmethod
+    def from_values(cls, values) -> "Cdf":
+        return cls(samples=np.sort(np.asarray(list(values), dtype=float)))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def empty(self) -> bool:
+        return len(self.samples) == 0
+
+    def fraction_below(self, threshold: float) -> float:
+        """P(X ≤ threshold)."""
+        if self.empty:
+            return 0.0
+        return float(np.searchsorted(self.samples, threshold, side="right") / len(self.samples))
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0-100)."""
+        if self.empty:
+            raise ValueError("percentile of an empty CDF")
+        return float(np.percentile(self.samples, q))
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def mean(self) -> float:
+        if self.empty:
+            raise ValueError("mean of an empty CDF")
+        return float(self.samples.mean())
+
+    def curve(self, points: int = 100) -> list[tuple[float, float]]:
+        """(value, cumulative fraction) pairs for plotting/printing."""
+        if self.empty:
+            return []
+        qs = np.linspace(0.0, 100.0, points)
+        return [(float(np.percentile(self.samples, q)), q / 100.0) for q in qs]

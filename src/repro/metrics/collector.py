@@ -1,0 +1,155 @@
+"""Run-time metrics collection.
+
+The collector is driven by the serving systems: they report request
+outcomes, instance load/unload transitions (for the nodes-used integral),
+decode tokens (for per-node decode speed), periodic memory-utilization
+samples, batch sizes at each decode iteration, and wall-clock scheduling
+overheads (Fig. 33 measures the real cost of our scheduler code).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.engine.request import Request
+from repro.hardware.specs import HardwareKind
+from repro.metrics.report import OverheadStat, RunReport
+
+
+@dataclass
+class _NodeActivity:
+    """Tracks the time-intervals during which a node has ≥1 loaded instance."""
+
+    kind: HardwareKind
+    loaded_instances: int = 0
+    busy_since: float | None = None
+    intervals: list[tuple[float, float]] = field(default_factory=list)
+
+    def on_load(self, now: float) -> None:
+        if self.loaded_instances == 0:
+            self.busy_since = now
+        self.loaded_instances += 1
+
+    def on_unload(self, now: float) -> None:
+        if self.loaded_instances <= 0:
+            raise RuntimeError("unload without a matching load")
+        self.loaded_instances -= 1
+        if self.loaded_instances == 0:
+            self.intervals.append((self.busy_since, now))
+            self.busy_since = None
+
+    def close(self, now: float) -> None:
+        if self.busy_since is not None:
+            self.intervals.append((self.busy_since, now))
+            self.busy_since = None
+            self.loaded_instances = 0
+
+    def busy_seconds(self, horizon: float) -> float:
+        """Busy time clipped to the trace window [0, horizon] so the
+        nodes-used average is comparable across systems (drain-period work
+        caused by late arrivals is not double-counted)."""
+        return sum(max(0.0, min(end, horizon) - min(start, horizon)) for start, end in self.intervals)
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates everything a RunReport needs."""
+
+    requests: list[Request] = field(default_factory=list)
+    _nodes: dict[str, _NodeActivity] = field(default_factory=dict)
+    decode_tokens: dict[HardwareKind, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    batch_histogram: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    gpu_batch_histogram: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    memory_samples: dict[HardwareKind, list[float]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+    kv_utilization_samples: list[float] = field(default_factory=list)
+    overheads: dict[str, list[float]] = field(default_factory=lambda: defaultdict(list))
+    scaling_busy_seconds: float = 0.0
+    scaling_ops: int = 0
+    migrations: int = 0
+    evictions: int = 0  # §VII-D underestimation evictions only
+    preemptions: int = 0
+    cold_starts: int = 0
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def register_request(self, request: Request) -> None:
+        self.requests.append(request)
+
+    # ------------------------------------------------------------------
+    # Node activity
+    # ------------------------------------------------------------------
+    def node_loaded(self, node_id: str, kind: HardwareKind, now: float) -> None:
+        if node_id not in self._nodes:
+            self._nodes[node_id] = _NodeActivity(kind=kind)
+        self._nodes[node_id].on_load(now)
+
+    def node_unloaded(self, node_id: str, now: float) -> None:
+        self._nodes[node_id].on_unload(now)
+
+    # ------------------------------------------------------------------
+    # Throughput / memory / overheads
+    # ------------------------------------------------------------------
+    def add_decode_tokens(self, kind: HardwareKind, tokens: int) -> None:
+        self.decode_tokens[kind] += tokens
+
+    def sample_batch_size(self, batch_size: int, kind: HardwareKind | None = None) -> None:
+        self.batch_histogram[batch_size] += 1
+        if kind is HardwareKind.GPU:
+            self.gpu_batch_histogram[batch_size] += 1
+
+    def sample_memory_utilization(self, kind: HardwareKind, utilization: float) -> None:
+        self.memory_samples[kind].append(utilization)
+
+    def sample_kv_utilization(self, utilization: float) -> None:
+        self.kv_utilization_samples.append(utilization)
+
+    def add_overhead(self, name: str, seconds: float) -> None:
+        self.overheads[name].append(seconds)
+
+    def add_scaling_op(self, duration: float) -> None:
+        self.scaling_ops += 1
+        self.scaling_busy_seconds += duration
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def finalize(self, now: float, duration: float, system: str) -> RunReport:
+        for activity in self._nodes.values():
+            activity.close(now)
+        node_seconds = {HardwareKind.CPU: 0.0, HardwareKind.GPU: 0.0}
+        for activity in self._nodes.values():
+            node_seconds[activity.kind] += activity.busy_seconds(duration)
+        overhead_stats = {
+            name: OverheadStat(
+                count=len(samples),
+                total_seconds=sum(samples),
+                mean_seconds=sum(samples) / len(samples) if samples else 0.0,
+            )
+            for name, samples in self.overheads.items()
+        }
+        return RunReport(
+            system=system,
+            duration=duration,
+            requests=list(self.requests),
+            node_seconds_cpu=node_seconds[HardwareKind.CPU],
+            node_seconds_gpu=node_seconds[HardwareKind.GPU],
+            decode_tokens_cpu=self.decode_tokens[HardwareKind.CPU],
+            decode_tokens_gpu=self.decode_tokens[HardwareKind.GPU],
+            batch_histogram=dict(self.batch_histogram),
+            gpu_batch_histogram=dict(self.gpu_batch_histogram),
+            memory_samples={k: list(v) for k, v in self.memory_samples.items()},
+            kv_utilization_samples=list(self.kv_utilization_samples),
+            overhead_stats=overhead_stats,
+            scaling_ops=self.scaling_ops,
+            scaling_busy_seconds=self.scaling_busy_seconds,
+            migrations=self.migrations,
+            evictions=self.evictions,
+            preemptions=self.preemptions,
+            cold_starts=self.cold_starts,
+        )

@@ -1,0 +1,151 @@
+"""Run reports: the figures' raw material.
+
+A ``RunReport`` holds the finalized requests plus aggregate counters and
+derives every metric the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.request import Request, RequestState
+from repro.hardware.specs import HardwareKind
+from repro.metrics.cdf import Cdf
+
+
+@dataclass(frozen=True)
+class OverheadStat:
+    count: int
+    total_seconds: float
+    mean_seconds: float
+
+
+@dataclass
+class RunReport:
+    """All measured outcomes of one serving run."""
+
+    system: str
+    duration: float
+    requests: list[Request]
+    node_seconds_cpu: float = 0.0
+    node_seconds_gpu: float = 0.0
+    decode_tokens_cpu: int = 0
+    decode_tokens_gpu: int = 0
+    batch_histogram: dict[int, int] = field(default_factory=dict)
+    gpu_batch_histogram: dict[int, int] = field(default_factory=dict)
+    memory_samples: dict[HardwareKind, list[float]] = field(default_factory=dict)
+    kv_utilization_samples: list[float] = field(default_factory=list)
+    overhead_stats: dict[str, OverheadStat] = field(default_factory=dict)
+    scaling_ops: int = 0
+    scaling_busy_seconds: float = 0.0
+    migrations: int = 0
+    evictions: int = 0
+    preemptions: int = 0
+    cold_starts: int = 0
+
+    # ------------------------------------------------------------------
+    # Request outcomes
+    # ------------------------------------------------------------------
+    @property
+    def total_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def completed(self) -> list[Request]:
+        return [r for r in self.requests if r.state is RequestState.COMPLETED]
+
+    @property
+    def dropped_count(self) -> int:
+        return sum(1 for r in self.requests if r.state is RequestState.DROPPED)
+
+    @property
+    def slo_met_count(self) -> int:
+        return sum(1 for r in self.requests if r.slo_met)
+
+    @property
+    def slo_rate(self) -> float:
+        if not self.requests:
+            return 0.0
+        return self.slo_met_count / len(self.requests)
+
+    @property
+    def slo_miss_rate(self) -> float:
+        return 1.0 - self.slo_rate
+
+    def ttft_cdf(self) -> Cdf:
+        """TTFT of requests that produced a first token (Fig. 22 left)."""
+        values = [r.ttft for r in self.requests if r.ttft is not None]
+        return Cdf.from_values(values)
+
+    # ------------------------------------------------------------------
+    # Resource usage
+    # ------------------------------------------------------------------
+    @property
+    def avg_nodes_used_cpu(self) -> float:
+        return self.node_seconds_cpu / self.duration if self.duration else 0.0
+
+    @property
+    def avg_nodes_used_gpu(self) -> float:
+        return self.node_seconds_gpu / self.duration if self.duration else 0.0
+
+    @property
+    def decode_speed_cpu(self) -> float:
+        """Decode tokens per CPU-node-second (Fig. 22 'Decode Speed')."""
+        if self.node_seconds_cpu <= 0:
+            return 0.0
+        return self.decode_tokens_cpu / self.node_seconds_cpu
+
+    @property
+    def decode_speed_gpu(self) -> float:
+        if self.node_seconds_gpu <= 0:
+            return 0.0
+        return self.decode_tokens_gpu / self.node_seconds_gpu
+
+    # ------------------------------------------------------------------
+    # Efficiency (Fig. 25)
+    # ------------------------------------------------------------------
+    def memory_utilization_cdf(self, kind: HardwareKind = HardwareKind.GPU) -> Cdf:
+        return Cdf.from_values(self.memory_samples.get(kind, []))
+
+    def batch_size_cdf(self) -> Cdf:
+        values: list[float] = []
+        for batch, count in self.batch_histogram.items():
+            values.extend([float(batch)] * count)
+        return Cdf.from_values(values)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self._mean_of(self.batch_histogram)
+
+    @property
+    def mean_gpu_batch_size(self) -> float:
+        """Average decode batch on GPU nodes only (Fig. 25's comparison)."""
+        return self._mean_of(self.gpu_batch_histogram)
+
+    @staticmethod
+    def _mean_of(histogram: dict[int, int]) -> float:
+        total = sum(histogram.values())
+        if total == 0:
+            return 0.0
+        weighted = sum(batch * count for batch, count in histogram.items())
+        return weighted / total
+
+    @property
+    def scaling_time_fraction(self) -> float:
+        """Share of instance lifetime spent resizing KV (Fig. 31 overhead)."""
+        busy = self.node_seconds_cpu + self.node_seconds_gpu
+        if busy <= 0:
+            return 0.0
+        return self.scaling_busy_seconds / busy
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def summary_line(self) -> str:
+        return (
+            f"{self.system:>12s}: req={self.total_requests:5d} "
+            f"slo_met={self.slo_met_count:5d} ({100 * self.slo_rate:5.1f}%) "
+            f"dropped={self.dropped_count:4d} "
+            f"nodes(cpu/gpu)={self.avg_nodes_used_cpu:.1f}/{self.avg_nodes_used_gpu:.1f} "
+            f"decode(tok/node·s cpu/gpu)={self.decode_speed_cpu:.0f}/{self.decode_speed_gpu:.0f}"
+        )

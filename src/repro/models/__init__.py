@@ -1,0 +1,30 @@
+"""LLM catalog: the models the paper serves, with architecture-derived
+memory/compute characteristics (GQA-aware KV sizes, fp16/int4 weights)."""
+
+from repro.models.catalog import (
+    CATALOG,
+    CODELLAMA_34B,
+    CODESTRAL_22B,
+    DEEPSEEK_QWEN_7B,
+    LLAMA2_13B,
+    LLAMA2_7B,
+    LLAMA31_8B,
+    LLAMA32_3B,
+    ModelSpec,
+    Quantization,
+    get_model,
+)
+
+__all__ = [
+    "CATALOG",
+    "CODELLAMA_34B",
+    "CODESTRAL_22B",
+    "DEEPSEEK_QWEN_7B",
+    "LLAMA2_13B",
+    "LLAMA2_7B",
+    "LLAMA31_8B",
+    "LLAMA32_3B",
+    "ModelSpec",
+    "Quantization",
+    "get_model",
+]

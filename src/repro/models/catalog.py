@@ -1,0 +1,139 @@
+"""Model specifications.
+
+Weights and KV-cache sizes are derived from published architecture geometry:
+
+* weights ≈ parameter count × bytes/param (2 for fp16, §III uses 16-bit)
+* KV bytes/token = 2 (K and V) × layers × kv_heads × head_dim × 2 bytes
+
+The derived numbers reproduce the paper's statements exactly: Llama-2-7B
+weights ≈ 14 GB and Llama-2-13B ≈ 26 GB (§IV-B), Codestral-22B weights
+≈ 44 GB (§X), and — combined with the A100's 80 GB — Table II's GPU
+concurrency limits (see ``repro.perf.limits``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+GIB = 1024**3
+
+# Reference model for compute scaling: Llama-2-7B (6.74 B parameters).
+_REFERENCE_PARAMS = 6.74e9
+
+
+class Quantization(Enum):
+    """Weight quantization formats (§X 'Serving Quantized Models')."""
+
+    FP16 = "fp16"
+    INT8 = "int8"
+    INT4 = "int4"
+
+    @property
+    def bytes_per_param(self) -> float:
+        return {"fp16": 2.0, "int8": 1.0, "int4": 0.5}[self.value]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Static description of an LLM.
+
+    ``compute_scale`` (cost relative to Llama-2-7B) drives the latency laws
+    in :mod:`repro.perf`; memory properties drive KV/weight accounting.
+    """
+
+    name: str
+    params: float  # absolute parameter count
+    n_layers: int
+    hidden_size: int
+    n_heads: int
+    n_kv_heads: int
+    head_dim: int = 128
+    max_context: int = 4096
+    quantization: Quantization = Quantization.FP16
+    kv_dtype_bytes: int = 2  # KV-cache stays fp16 even for quantized weights
+
+    def __post_init__(self) -> None:
+        if self.params <= 0:
+            raise ValueError(f"{self.name}: params must be positive")
+        if self.n_kv_heads > self.n_heads:
+            raise ValueError(f"{self.name}: more KV heads than attention heads")
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    @property
+    def weight_bytes(self) -> int:
+        return int(self.params * self.quantization.bytes_per_param)
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        return 2 * self.n_layers * self.n_kv_heads * self.head_dim * self.kv_dtype_bytes
+
+    # ------------------------------------------------------------------
+    # Compute
+    # ------------------------------------------------------------------
+    @property
+    def compute_scale(self) -> float:
+        """Per-token compute cost relative to Llama-2-7B."""
+        return self.params / _REFERENCE_PARAMS
+
+    @property
+    def kv_scale(self) -> float:
+        """Attention memory-traffic cost relative to Llama-2-7B."""
+        return self.kv_bytes_per_token / 524288  # Llama-2-7B: 512 KiB/token
+
+    @property
+    def size_label(self) -> str:
+        return f"{self.params / 1e9:.1f}B"
+
+    def quantized(self, quantization: Quantization) -> "ModelSpec":
+        """A copy of this spec with different weight quantization."""
+        return replace(self, name=f"{self.name}-{quantization.value}", quantization=quantization)
+
+
+LLAMA32_3B = ModelSpec(
+    name="llama-3.2-3b", params=3.21e9, n_layers=28, hidden_size=3072,
+    n_heads=24, n_kv_heads=8,
+)
+LLAMA2_7B = ModelSpec(
+    name="llama-2-7b", params=6.74e9, n_layers=32, hidden_size=4096,
+    n_heads=32, n_kv_heads=32,
+)
+DEEPSEEK_QWEN_7B = ModelSpec(
+    name="deepseek-r1-distill-qwen-7b", params=7.62e9, n_layers=28,
+    hidden_size=3584, n_heads=28, n_kv_heads=4, max_context=32768,
+)
+LLAMA31_8B = ModelSpec(
+    name="llama-3.1-8b", params=8.03e9, n_layers=32, hidden_size=4096,
+    n_heads=32, n_kv_heads=8, max_context=32768,
+)
+LLAMA2_13B = ModelSpec(
+    name="llama-2-13b", params=13.02e9, n_layers=40, hidden_size=5120,
+    n_heads=40, n_kv_heads=40,
+)
+CODESTRAL_22B = ModelSpec(
+    name="codestral-22b", params=22.25e9, n_layers=56, hidden_size=6144,
+    n_heads=48, n_kv_heads=8, max_context=32768,
+)
+CODELLAMA_34B = ModelSpec(
+    name="codellama-34b", params=33.74e9, n_layers=48, hidden_size=8192,
+    n_heads=64, n_kv_heads=8, max_context=16384,
+)
+
+CATALOG: dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (
+        LLAMA32_3B, LLAMA2_7B, DEEPSEEK_QWEN_7B, LLAMA31_8B,
+        LLAMA2_13B, CODESTRAL_22B, CODELLAMA_34B,
+    )
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model by catalog name."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(CATALOG))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None

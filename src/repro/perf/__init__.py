@@ -1,0 +1,48 @@
+"""Performance quantification (§VI-B) and the calibrated latency substrate.
+
+Two layers:
+
+* :mod:`repro.perf.laws` — the "ground truth" analytic latency laws standing
+  in for real hardware, calibrated to every measured number in the paper
+  (Table I, Figs. 6-8, Fig. 10, Fig. 17, Table II).
+* :mod:`repro.perf.profiler` — SLINFER's own quantification: it samples the
+  ground truth on power-of-two grids and interpolates (1-D for TTFT, 2-D for
+  TPOT), exactly as §VI-B describes.  Schedulers only ever see the
+  interpolated estimates, mirroring the paper's 5.9 % / 3.9 % estimation
+  deviations.
+"""
+
+from repro.perf.database import PerfDatabase
+from repro.perf.fractions import (
+    cpu_decode_slowdown,
+    cpu_prefill_slowdown,
+    gpu_decode_slowdown,
+    gpu_prefill_slowdown,
+)
+from repro.perf.interpolation import Interp1D, Interp2D
+from repro.perf.laws import LatencyLaw, kv_scaling_seconds
+from repro.perf.limits import (
+    baseline_concurrency_limit,
+    compute_concurrency_limit,
+    concurrency_limit,
+    memory_concurrency_limit,
+)
+from repro.perf.profiler import QuantifiedPerf, quantify
+
+__all__ = [
+    "Interp1D",
+    "Interp2D",
+    "LatencyLaw",
+    "PerfDatabase",
+    "QuantifiedPerf",
+    "baseline_concurrency_limit",
+    "compute_concurrency_limit",
+    "concurrency_limit",
+    "cpu_decode_slowdown",
+    "cpu_prefill_slowdown",
+    "gpu_decode_slowdown",
+    "gpu_prefill_slowdown",
+    "kv_scaling_seconds",
+    "memory_concurrency_limit",
+    "quantify",
+]

@@ -1,0 +1,154 @@
+"""Cached access to latency laws and quantified estimates.
+
+One ``PerfDatabase`` is shared by a serving system.  It provides:
+
+* *estimates* — interpolated §VI-B quantification used by scheduling
+  decisions (headroom, shadow validation, feasibility checks);
+* *executions* — ground-truth iteration durations (law × small seeded
+  jitter) used by the simulator when an iteration actually runs.
+
+Keeping the two separate reproduces the paper's setting where the scheduler
+works from profiled estimates with bounded error, which is exactly what the
+10 % shadow-validation overestimate (§VI-C) exists to absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.specs import HardwareSpec
+from repro.models.catalog import ModelSpec
+from repro.perf.laws import LatencyLaw
+from repro.perf.profiler import QuantifiedPerf, quantify
+from repro.sim.rng import make_rng
+from repro.slo import SloPolicy
+
+_Key = tuple[str, str, float, int]
+
+
+@dataclass
+class PerfDatabase:
+    """Latency estimates and executions for every (hardware, model) pair."""
+
+    jitter_sigma: float = 0.02
+    seed: int = 0
+    _laws: dict[_Key, LatencyLaw] = field(default_factory=dict, repr=False)
+    _quantified: dict[_Key, QuantifiedPerf] = field(default_factory=dict, repr=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = make_rng(self.seed, "perf-jitter")
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def law(
+        self,
+        hardware: HardwareSpec,
+        model: ModelSpec,
+        fraction: float = 1.0,
+        tp_degree: int = 1,
+    ) -> LatencyLaw:
+        key = (hardware.name, model.name, round(fraction, 6), tp_degree)
+        if key not in self._laws:
+            self._laws[key] = LatencyLaw(
+                hardware=hardware, model=model, fraction=fraction, tp_degree=tp_degree
+            )
+        return self._laws[key]
+
+    def quantified(
+        self,
+        hardware: HardwareSpec,
+        model: ModelSpec,
+        fraction: float = 1.0,
+        tp_degree: int = 1,
+    ) -> QuantifiedPerf:
+        key = (hardware.name, model.name, round(fraction, 6), tp_degree)
+        if key not in self._quantified:
+            self._quantified[key] = quantify(self.law(hardware, model, fraction, tp_degree))
+        return self._quantified[key]
+
+    # ------------------------------------------------------------------
+    # Scheduler-facing estimates (§VI-B interpolation)
+    # ------------------------------------------------------------------
+    def estimate_ttft(
+        self,
+        hardware: HardwareSpec,
+        model: ModelSpec,
+        input_len: int,
+        fraction: float = 1.0,
+        tp_degree: int = 1,
+    ) -> float:
+        return self.quantified(hardware, model, fraction, tp_degree).ttft_seconds(input_len)
+
+    def estimate_tpot(
+        self,
+        hardware: HardwareSpec,
+        model: ModelSpec,
+        batch_size: int,
+        avg_context_len: float,
+        fraction: float = 1.0,
+        tp_degree: int = 1,
+    ) -> float:
+        return self.quantified(hardware, model, fraction, tp_degree).tpot_seconds(
+            batch_size, avg_context_len
+        )
+
+    # ------------------------------------------------------------------
+    # Ground-truth executions (law × jitter)
+    # ------------------------------------------------------------------
+    def _jitter(self) -> float:
+        if self.jitter_sigma <= 0:
+            return 1.0
+        return float(np.exp(self._rng.normal(0.0, self.jitter_sigma)))
+
+    def execute_prefill(
+        self,
+        hardware: HardwareSpec,
+        model: ModelSpec,
+        input_len: int,
+        fraction: float = 1.0,
+        tp_degree: int = 1,
+    ) -> float:
+        law = self.law(hardware, model, fraction, tp_degree)
+        return law.prefill_seconds(input_len) * self._jitter()
+
+    def execute_decode(
+        self,
+        hardware: HardwareSpec,
+        model: ModelSpec,
+        batch_size: int,
+        avg_context_len: float,
+        fraction: float = 1.0,
+        tp_degree: int = 1,
+    ) -> float:
+        law = self.law(hardware, model, fraction, tp_degree)
+        return law.decode_seconds(batch_size, avg_context_len) * self._jitter()
+
+    # ------------------------------------------------------------------
+    # CPU feasibility (§V: fall back to GPU when a CPU cannot meet the SLO)
+    # ------------------------------------------------------------------
+    def cpu_can_serve(
+        self,
+        hardware: HardwareSpec,
+        model: ModelSpec,
+        input_len: int,
+        slo: SloPolicy,
+        margin: float = 1.1,
+        fraction: float = 1.0,
+    ) -> bool:
+        """Whether a CPU node could serve this request within its SLOs.
+
+        Non-AMX CPUs are excluded outright (§V).  Otherwise the profiled
+        prefill must fit the TTFT SLO and single-request decode must fit the
+        TPOT SLO, both with the scheduler's safety ``margin``.
+        """
+        if not hardware.is_cpu or not hardware.matrix_accelerated:
+            return False
+        perf = self.quantified(hardware, model, fraction)
+        if perf.ttft_seconds(input_len) * margin > slo.ttft(input_len):
+            return False
+        context = min(input_len + 256, model.max_context)
+        return perf.tpot_seconds(1, context) * margin <= slo.tpot

@@ -1,0 +1,46 @@
+"""Latency slowdowns for fractional node allocations (sllm+c+s, Table II).
+
+Calibration (all against Table II cells, Llama-2-7B):
+
+* CPU decode at half a node must cap the 2 K-token batch at 9 (vs 27 full)
+  and at a third of a node at 2, which pins the exponent to ~0.955:
+  ``2^0.955 ≈ 1.94`` and ``3^0.955 ≈ 2.86`` are the only values consistent
+  with both cells given the decode law.  A quarter node then yields
+  ``TPOT(B=1, 2K) ≈ 278 ms > 250 ms`` — infeasible, reproducing the "-"
+  cells in Table II.
+* CPU prefill is compute-bound on the matrix units, so it scales as 1/f.
+* GPU slowdowns matter less (Table II's GPU cells are memory-bound); we use
+  mild MPS-style penalties.
+"""
+
+from __future__ import annotations
+
+CPU_DECODE_EXPONENT = 0.955
+CPU_PREFILL_EXPONENT = 1.0
+GPU_DECODE_EXPONENT = 0.6
+GPU_PREFILL_EXPONENT = 0.93
+
+
+def _check_fraction(fraction: float) -> None:
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+
+
+def cpu_prefill_slowdown(fraction: float) -> float:
+    _check_fraction(fraction)
+    return (1.0 / fraction) ** CPU_PREFILL_EXPONENT
+
+
+def cpu_decode_slowdown(fraction: float) -> float:
+    _check_fraction(fraction)
+    return (1.0 / fraction) ** CPU_DECODE_EXPONENT
+
+
+def gpu_prefill_slowdown(fraction: float) -> float:
+    _check_fraction(fraction)
+    return (1.0 / fraction) ** GPU_PREFILL_EXPONENT
+
+
+def gpu_decode_slowdown(fraction: float) -> float:
+    _check_fraction(fraction)
+    return (1.0 / fraction) ** GPU_DECODE_EXPONENT

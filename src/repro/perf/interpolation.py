@@ -1,0 +1,70 @@
+"""Linear interpolation helpers used by the §VI-B quantification.
+
+The paper finds the two (1-D) or four (2-D) closest sample points and
+linearly interpolates; queries outside the sampled range extrapolate from
+the nearest segment (the profiler samples up to the model's maximum context
+and batch size, so extrapolation is rare and mild).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Interp1D:
+    """Piecewise-linear interpolation on sorted sample points."""
+
+    xs: list[float]
+    ys: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError("xs and ys must have equal length")
+        if len(self.xs) < 2:
+            raise ValueError("need at least two sample points")
+        if any(b <= a for a, b in zip(self.xs, self.xs[1:])):
+            raise ValueError("xs must be strictly increasing")
+
+    def __call__(self, x: float) -> float:
+        xs, ys = self.xs, self.ys
+        # Clamp the segment index so out-of-range queries extrapolate.
+        idx = bisect.bisect_right(xs, x) - 1
+        idx = max(0, min(idx, len(xs) - 2))
+        x0, x1 = xs[idx], xs[idx + 1]
+        y0, y1 = ys[idx], ys[idx + 1]
+        t = (x - x0) / (x1 - x0)
+        return y0 + t * (y1 - y0)
+
+
+@dataclass
+class Interp2D:
+    """Bilinear interpolation on a rectangular (xs × ys) grid.
+
+    ``values[i][j]`` corresponds to ``(xs[i], ys[j])``.
+    """
+
+    xs: list[float]
+    ys: list[float]
+    values: list[list[float]]
+    _row_interps: list[Interp1D] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.xs):
+            raise ValueError("values must have one row per x sample")
+        if any(len(row) != len(self.ys) for row in self.values):
+            raise ValueError("every row must have one entry per y sample")
+        self._row_interps = [Interp1D(self.ys, row) for row in self.values]
+        # Validate x monotonicity via a throwaway interpolator.
+        Interp1D(self.xs, [0.0] * len(self.xs))
+
+    def __call__(self, x: float, y: float) -> float:
+        xs = self.xs
+        idx = bisect.bisect_right(xs, x) - 1
+        idx = max(0, min(idx, len(xs) - 2))
+        x0, x1 = xs[idx], xs[idx + 1]
+        v0 = self._row_interps[idx](y)
+        v1 = self._row_interps[idx + 1](y)
+        t = (x - x0) / (x1 - x0)
+        return v0 + t * (v1 - v0)

@@ -1,0 +1,69 @@
+"""SLINFER's offline performance quantification (§VI-B).
+
+For each (hardware, model, fraction) the profiler samples the ground-truth
+law on power-of-two grids — ``S_L`` for token length and ``S_B`` for batch
+size, ``O(log L_max · log B_max)`` samples in total — then answers TTFT
+queries with 1-D and TPOT queries with 2-D linear interpolation.  Schedulers
+use only these estimates, never the exact law, mirroring the paper's
+measured 5.9 % / 3.9 % estimation deviations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perf.interpolation import Interp1D, Interp2D
+from repro.perf.laws import LatencyLaw
+
+DEFAULT_MAX_BATCH = 256
+_MIN_LENGTH_SAMPLE = 16
+
+
+def _pow2_grid(start: int, stop: int) -> list[float]:
+    """Powers of two from ``start`` to at least ``stop`` (inclusive)."""
+    grid: list[float] = []
+    value = start
+    while value < stop:
+        grid.append(float(value))
+        value *= 2
+    grid.append(float(max(stop, start * 2)))
+    return grid
+
+
+@dataclass
+class QuantifiedPerf:
+    """Interpolated TTFT/TPOT estimates for one (hardware, model, fraction)."""
+
+    law: LatencyLaw
+    max_batch: int = DEFAULT_MAX_BATCH
+    sample_count: int = field(init=False, default=0)
+    _ttft: Interp1D = field(init=False, repr=False)
+    _tpot: Interp2D = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        max_len = self.law.model.max_context
+        length_grid = _pow2_grid(_MIN_LENGTH_SAMPLE, max_len)
+        batch_grid = _pow2_grid(1, self.max_batch)
+        ttft_samples = [self.law.prefill_seconds(int(length)) for length in length_grid]
+        tpot_samples = [
+            [self.law.decode_seconds(int(batch), length) for length in length_grid]
+            for batch in batch_grid
+        ]
+        self._ttft = Interp1D(length_grid, ttft_samples)
+        self._tpot = Interp2D(batch_grid, length_grid, tpot_samples)
+        self.sample_count = len(length_grid) * (1 + len(batch_grid))
+
+    def ttft_seconds(self, input_len: int) -> float:
+        """Estimated prefill time for one request."""
+        return max(0.0, self._ttft(float(input_len)))
+
+    def tpot_seconds(self, batch_size: int, avg_context_len: float) -> float:
+        """Estimated decode-iteration time for a batch."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        return max(0.0, self._tpot(float(batch_size), float(avg_context_len)))
+
+
+def quantify(law: LatencyLaw, max_batch: int = DEFAULT_MAX_BATCH) -> QuantifiedPerf:
+    """Profile ``law`` on power-of-two grids (§VI-B)."""
+    return QuantifiedPerf(law=law, max_batch=max_batch)

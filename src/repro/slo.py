@@ -1,0 +1,47 @@
+"""Service-level objectives used throughout the paper.
+
+The paper (§IX-A, following Sarathi-Serve [16] and DistServe [75]) sets:
+
+* ``TTFT_SLO = min(max(0.5, L / 512), 8)`` seconds for an input of ``L`` tokens
+* ``TPOT_SLO = 0.25`` seconds (≈ human reading speed of 250 tokens/min)
+
+Requests that suffer a cold start receive a grace window equal to the
+cold-start duration (§IX-A "Systems Behavior and Fairness").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DEFAULT_TPOT_SLO = 0.25
+TTFT_FLOOR = 0.5
+TTFT_CEILING = 8.0
+TTFT_TOKENS_PER_SECOND = 512.0
+
+
+def ttft_slo(input_len: int) -> float:
+    """TTFT SLO in seconds for a request with ``input_len`` input tokens."""
+    if input_len < 0:
+        raise ValueError(f"input_len must be non-negative, got {input_len}")
+    return min(max(TTFT_FLOOR, input_len / TTFT_TOKENS_PER_SECOND), TTFT_CEILING)
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """A (TTFT, TPOT) objective pair.
+
+    ``tpot`` is a constant; ``ttft`` follows the length-dependent law above
+    unless ``ttft_override`` pins it (used by the §IV-A "tight SLO" analysis
+    with 100 ms / 50 ms TPOT targets).
+    """
+
+    tpot: float = DEFAULT_TPOT_SLO
+    ttft_override: float | None = None
+
+    def ttft(self, input_len: int) -> float:
+        if self.ttft_override is not None:
+            return self.ttft_override
+        return ttft_slo(input_len)
+
+
+DEFAULT_SLO = SloPolicy()

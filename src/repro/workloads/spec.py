@@ -1,0 +1,115 @@
+"""Workload containers: deployments, request specs, and traces."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.models.catalog import ModelSpec
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One trace entry: a request to a deployment at an absolute time."""
+
+    deployment: str
+    arrival: float
+    input_len: int
+    output_len: int
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ValueError("arrival must be non-negative")
+        if self.input_len <= 0 or self.output_len <= 0:
+            raise ValueError("token lengths must be positive")
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A deployed model ("function" in serverless terms)."""
+
+    name: str
+    model: ModelSpec
+    tp_degree: int = 1
+
+
+@dataclass
+class Workload:
+    """A full experiment input: deployments plus a time-sorted trace."""
+
+    name: str
+    deployments: dict[str, Deployment]
+    requests: list[RequestSpec]
+    duration: float
+
+    def __post_init__(self) -> None:
+        self.requests = sorted(self.requests, key=lambda r: r.arrival)
+        unknown = {r.deployment for r in self.requests} - set(self.deployments)
+        if unknown:
+            raise ValueError(f"requests reference unknown deployments: {sorted(unknown)}")
+
+    # ------------------------------------------------------------------
+    # Characterization (Fig. 21-style statistics)
+    # ------------------------------------------------------------------
+    @property
+    def total_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def aggregated_rpm(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.total_requests / (self.duration / 60.0)
+
+    def requests_per_model(self) -> dict[str, int]:
+        counts = Counter(request.deployment for request in self.requests)
+        return {name: counts.get(name, 0) for name in self.deployments}
+
+    def per_model_rpm(self) -> dict[str, float]:
+        minutes = self.duration / 60.0
+        return {
+            name: count / minutes if minutes > 0 else 0.0
+            for name, count in self.requests_per_model().items()
+        }
+
+    def per_minute_counts(self) -> list[int]:
+        """Requests per wall-clock minute (the Fig. 21 timeline)."""
+        minutes = int(self.duration // 60) + (1 if self.duration % 60 else 0)
+        counts = [0] * max(1, minutes)
+        for request in self.requests:
+            counts[min(int(request.arrival // 60), len(counts) - 1)] += 1
+        return counts
+
+    def top_share(self, top_fraction: float = 0.01) -> float:
+        """Share of requests from the hottest ``top_fraction`` of models."""
+        counts = sorted(self.requests_per_model().values(), reverse=True)
+        top_n = max(1, round(len(counts) * top_fraction))
+        total = sum(counts)
+        if total == 0:
+            return 0.0
+        return sum(counts[:top_n]) / total
+
+    def scaled(self, time_factor: float) -> "Workload":
+        """A time-compressed/stretched copy (for fast benchmark variants)."""
+        if time_factor <= 0:
+            raise ValueError("time_factor must be positive")
+        requests = [
+            RequestSpec(r.deployment, r.arrival * time_factor, r.input_len, r.output_len)
+            for r in self.requests
+        ]
+        return Workload(
+            name=f"{self.name}-x{time_factor:g}",
+            deployments=dict(self.deployments),
+            requests=requests,
+            duration=self.duration * time_factor,
+        )
+
+    def truncated(self, duration: float) -> "Workload":
+        """A copy containing only the first ``duration`` seconds."""
+        requests = [r for r in self.requests if r.arrival < duration]
+        return Workload(
+            name=f"{self.name}-{duration:g}s",
+            deployments=dict(self.deployments),
+            requests=requests,
+            duration=duration,
+        )

@@ -1,0 +1,98 @@
+"""Tests for token-level min-headroom work selection (§VI-A, Fig. 14)."""
+
+from repro.compute import WorkKind, select_next_work
+from repro.compute.scheduler import instance_work_items
+from repro.engine.executor import Executor
+from repro.engine.instance import Instance, InstanceState
+from repro.engine.request import Request
+from repro.hardware import A100_80GB
+from repro.hardware.node import Node
+from repro.models import LLAMA2_7B
+
+
+def make_env():
+    node = Node("gpu-0", A100_80GB)
+    executor = Executor(exec_id="x", node=node)
+    return node, executor
+
+
+def make_instance(node, inst_id):
+    instance = Instance(inst_id=inst_id, deployment=f"d{inst_id}", model=LLAMA2_7B, node=node)
+    instance.state = InstanceState.ACTIVE
+    return instance
+
+
+def make_request(req_id, arrival, tokens_out=0):
+    request = Request(
+        req_id=req_id,
+        deployment="d",
+        arrival=arrival,
+        input_len=100,
+        output_len=50,
+        ttft_slo=1.0,
+        tpot_slo=0.25,
+    )
+    request.tokens_out = tokens_out
+    return request
+
+
+def test_selects_most_urgent_across_instances():
+    node, executor = make_env()
+    relaxed = make_instance(node, 0)
+    relaxed.admit_to_batch(make_request(0, arrival=10.0, tokens_out=20))
+    urgent = make_instance(node, 1)
+    urgent.admit_to_batch(make_request(1, arrival=0.0, tokens_out=0))
+    executor.add_instance(relaxed)
+    executor.add_instance(urgent)
+    item = select_next_work(executor, now=10.0)
+    assert item.instance is urgent
+    assert item.kind is WorkKind.DECODE
+
+
+def test_prefill_chosen_when_most_urgent():
+    node, executor = make_env()
+    instance = make_instance(node, 0)
+    decode_req = make_request(0, arrival=0.0, tokens_out=40)  # lots of banked headroom
+    prefill_req = make_request(1, arrival=9.8)  # fresh, deadline soon
+    instance.admit_to_batch(decode_req)
+    instance.enqueue(prefill_req)
+    executor.add_instance(instance)
+    item = select_next_work(executor, now=10.0)
+    assert item.kind is WorkKind.PREFILL
+    assert item.request is prefill_req
+
+
+def test_no_work_returns_none():
+    node, executor = make_env()
+    executor.add_instance(make_instance(node, 0))
+    assert select_next_work(executor, now=0.0) is None
+
+
+def test_loading_instance_not_runnable():
+    node, executor = make_env()
+    instance = make_instance(node, 0)
+    instance.state = InstanceState.LOADING
+    instance.enqueue(make_request(0, arrival=0.0))
+    executor.add_instance(instance)
+    assert select_next_work(executor, now=0.0) is None
+
+
+def test_work_items_expose_both_kinds():
+    node, _ = make_env()
+    instance = make_instance(node, 0)
+    instance.admit_to_batch(make_request(0, arrival=0.0))
+    instance.enqueue(make_request(1, arrival=0.0))
+    items = instance_work_items(instance, now=0.5)
+    kinds = {item.kind for item in items}
+    assert kinds == {WorkKind.PREFILL, WorkKind.DECODE}
+
+
+def test_decode_urgency_is_min_over_batch():
+    node, _ = make_env()
+    instance = make_instance(node, 0)
+    a = make_request(0, arrival=0.0, tokens_out=2)
+    b = make_request(1, arrival=0.0, tokens_out=8)
+    instance.admit_to_batch(a)
+    instance.admit_to_batch(b)
+    (item,) = instance_work_items(instance, now=1.0)
+    assert item.urgency == min(a.headroom(1.0), b.headroom(1.0))

@@ -1,0 +1,164 @@
+"""Tests for shadow validation (§VI-C): the three Fig. 15 cases."""
+
+import pytest
+
+from repro.compute import ShadowInstance, ShadowRequest, ShadowVerdict, shadow_validate
+from repro.hardware import A100_80GB, XEON_GEN4_32C
+from repro.models import LLAMA2_7B
+from repro.perf import quantify
+from repro.perf.laws import LatencyLaw
+
+
+@pytest.fixture
+def cpu_perf():
+    return quantify(LatencyLaw(XEON_GEN4_32C, LLAMA2_7B))
+
+
+@pytest.fixture
+def gpu_perf():
+    return quantify(LatencyLaw(A100_80GB, LLAMA2_7B))
+
+
+def new_request(now, input_len=1024, ttft=2.0, grace=0.0, tpot=0.25):
+    return ShadowRequest(
+        deadline_base=now + ttft + grace,
+        tpot_slo=tpot,
+        tokens_out=0,
+        context_len=input_len,
+        prefill_len=input_len,
+        is_new=True,
+    )
+
+
+def running_request(now, headroom, tokens_out=10, context_len=1024, tpot=0.25):
+    # deadline_base + tpot*tokens_out - now = headroom
+    return ShadowRequest(
+        deadline_base=now + headroom - tpot * tokens_out,
+        tpot_slo=tpot,
+        tokens_out=tokens_out,
+        context_len=context_len,
+    )
+
+
+def test_empty_executor_accepts_new_request(gpu_perf):
+    instance = ShadowInstance(perf=gpu_perf)
+    instance.prefill_queue.append(new_request(now=0.0))
+    assert shadow_validate([instance], now=0.0) is ShadowVerdict.PASS
+
+
+def test_case1_new_request_ttft_violation(cpu_perf):
+    # An 8K prefill on a CPU takes ~6.8 s; with a 1 s TTFT budget it fails.
+    instance = ShadowInstance(perf=cpu_perf)
+    instance.prefill_queue.append(new_request(now=0.0, input_len=8192, ttft=1.0))
+    assert shadow_validate([instance], now=0.0) is ShadowVerdict.NEW_REQUEST_TTFT
+
+
+def test_case2_existing_request_delayed_by_prefill(cpu_perf):
+    # A heavily batched instance barely keeps pace (decode round ≈ 0.23 s
+    # vs 0.25 s TPOT), so the 3 s prefill of the newcomer inevitably
+    # starves the existing requests: case 2.
+    instance = ShadowInstance(perf=cpu_perf)
+    for _ in range(20):
+        instance.batch.append(running_request(now=0.0, headroom=0.3, context_len=2048))
+    instance.prefill_queue.append(new_request(now=0.0, input_len=4096, ttft=8.0))
+    verdict = shadow_validate([instance], now=0.0)
+    # Depending on which side of the contention breaks first this is
+    # classified as case 1 or case 2 — either way the placement is refused.
+    assert verdict in (ShadowVerdict.EXISTING_DELAYED, ShadowVerdict.NEW_REQUEST_TTFT)
+
+
+def test_case2_tight_batch_cannot_absorb_quick_prefill(cpu_perf):
+    # A short prefill fits its own TTFT easily but delays a batch that has
+    # no slack at all: the existing requests violate first (case 2).
+    instance = ShadowInstance(perf=cpu_perf)
+    for _ in range(22):
+        instance.batch.append(running_request(now=0.0, headroom=0.05, context_len=2048))
+    instance.prefill_queue.append(new_request(now=0.0, input_len=512, ttft=8.0))
+    assert shadow_validate([instance], now=0.0) is ShadowVerdict.EXISTING_DELAYED
+
+
+def test_banked_headroom_absorbs_a_prefill(cpu_perf):
+    # With a single fast-decoding request, the min-headroom scheduler banks
+    # headroom before running the long prefill — the placement is valid.
+    instance = ShadowInstance(perf=cpu_perf)
+    instance.batch.append(running_request(now=0.0, headroom=0.3))
+    instance.prefill_queue.append(new_request(now=0.0, input_len=4096, ttft=8.0))
+    assert shadow_validate([instance], now=0.0) is ShadowVerdict.PASS
+
+
+def test_case3_aggregate_decode_over_budget(cpu_perf):
+    # Three CPU instances each with a hefty batch: one decode round across
+    # the node exceeds the 250 ms TPOT budget even though each instance
+    # alone would be fine.
+    instances = []
+    for _ in range(3):
+        instance = ShadowInstance(perf=cpu_perf)
+        for idx in range(8):
+            instance.batch.append(
+                running_request(now=0.0, headroom=5.0, context_len=2048)
+            )
+        instances.append(instance)
+    verdict = shadow_validate(instances, now=0.0)
+    assert verdict is ShadowVerdict.AGGREGATE_DECODE
+
+
+def test_gpu_absorbs_what_cpu_cannot(gpu_perf, cpu_perf):
+    def build(perf):
+        instances = []
+        for _ in range(3):
+            instance = ShadowInstance(perf=perf)
+            for _ in range(4):
+                instance.batch.append(
+                    running_request(now=0.0, headroom=5.0, context_len=2048)
+                )
+            instances.append(instance)
+        instances[0].prefill_queue.append(new_request(now=0.0, input_len=512, ttft=1.0))
+        return instances
+
+    assert shadow_validate(build(gpu_perf), now=0.0) is ShadowVerdict.PASS
+    assert shadow_validate(build(cpu_perf), now=0.0) is not ShadowVerdict.PASS
+
+
+def test_busy_until_delays_the_virtual_start(cpu_perf):
+    # The same placement passes when the executor is free but fails when
+    # the current iteration holds the executor long enough.
+    def build():
+        instance = ShadowInstance(perf=cpu_perf)
+        instance.prefill_queue.append(new_request(now=0.0, input_len=1024, ttft=2.0))
+        return [instance]
+
+    assert shadow_validate(build(), now=0.0, busy_until=0.0) is ShadowVerdict.PASS
+    assert (
+        shadow_validate(build(), now=0.0, busy_until=1.6)
+        is ShadowVerdict.NEW_REQUEST_TTFT
+    )
+
+
+def test_overestimate_rejects_borderline(cpu_perf):
+    # ~1.9 s estimated prefill with a 2.0 s budget: passes at 1.0×, fails
+    # at the paper's 1.10× safety factor.
+    instance = ShadowInstance(perf=cpu_perf)
+    instance.prefill_queue.append(new_request(now=0.0, input_len=2900, ttft=2.0))
+    assert shadow_validate([instance], now=0.0, overestimate=1.0) is ShadowVerdict.PASS
+    instance2 = ShadowInstance(perf=cpu_perf)
+    instance2.prefill_queue.append(new_request(now=0.0, input_len=2900, ttft=2.0))
+    assert (
+        shadow_validate([instance2], now=0.0, overestimate=1.10)
+        is not ShadowVerdict.PASS
+    )
+
+
+def test_loading_instance_waits_for_ready(cpu_perf):
+    # A cold-starting instance only begins work at ready_at; with grace
+    # covering the cold start the request still passes.
+    instance = ShadowInstance(perf=cpu_perf, ready_at=1.0)
+    instance.prefill_queue.append(new_request(now=0.0, input_len=512, ttft=1.0, grace=1.0))
+    assert shadow_validate([instance], now=0.0) is ShadowVerdict.PASS
+
+
+def test_mixed_prefill_and_decode_interleaving(gpu_perf):
+    instance = ShadowInstance(perf=gpu_perf)
+    for _ in range(8):
+        instance.batch.append(running_request(now=0.0, headroom=1.0))
+    instance.prefill_queue.append(new_request(now=0.0, input_len=2048, ttft=4.0))
+    assert shadow_validate([instance], now=0.0) is ShadowVerdict.PASS

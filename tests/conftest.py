@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import A100_80GB, Cluster, XEON_GEN4_32C
+from repro.models import LLAMA2_7B, LLAMA2_13B, LLAMA32_3B
+from repro.perf import PerfDatabase
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def perf_db() -> PerfDatabase:
+    # Deterministic estimates in unit tests: no execution jitter.
+    return PerfDatabase(jitter_sigma=0.0, seed=0)
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    return Cluster.build(cpu_count=2, gpu_count=2)
+
+
+@pytest.fixture
+def testbed() -> Cluster:
+    return Cluster.build(cpu_count=4, gpu_count=4)

@@ -1,0 +1,64 @@
+"""Tests for the executor container."""
+
+from repro.engine.executor import Executor
+from repro.engine.instance import Instance, InstanceState
+from repro.hardware import A100_80GB, XEON_GEN4_32C
+from repro.hardware.node import Node
+from repro.models import LLAMA2_7B
+
+
+def make_executor(kind="gpu"):
+    spec = A100_80GB if kind == "gpu" else XEON_GEN4_32C
+    return Executor(exec_id=f"x-{kind}-0", node=Node(f"{kind}-0", spec))
+
+
+def make_instance(inst_id=0, state=InstanceState.ACTIVE):
+    node = Node("gpu-0", A100_80GB)
+    instance = Instance(inst_id=inst_id, deployment="d", model=LLAMA2_7B, node=node)
+    instance.state = state
+    return instance
+
+
+def test_add_remove_instances():
+    executor = make_executor()
+    instance = make_instance()
+    executor.add_instance(instance)
+    assert instance in executor.instances
+    executor.remove_instance(instance)
+    assert instance not in executor.instances
+
+
+def test_active_excludes_unloaded():
+    executor = make_executor()
+    live = make_instance(0, InstanceState.ACTIVE)
+    loading = make_instance(1, InstanceState.LOADING)
+    dead = make_instance(2, InstanceState.UNLOADED)
+    for instance in (live, loading, dead):
+        executor.add_instance(instance)
+    active = executor.active_instances()
+    assert live in active and loading in active and dead not in active
+
+
+def test_runnable_requires_active_with_work():
+    from repro.engine.request import Request
+
+    executor = make_executor()
+    instance = make_instance()
+    executor.add_instance(instance)
+    assert executor.runnable_instances() == []
+    instance.enqueue(
+        Request(
+            req_id=0, deployment="d", arrival=0.0, input_len=8, output_len=2,
+            ttft_slo=1.0, tpot_slo=0.25,
+        )
+    )
+    assert executor.runnable_instances() == [instance]
+
+
+def test_kind_flags_and_identity():
+    gpu = make_executor("gpu")
+    cpu = make_executor("cpu")
+    assert gpu.is_gpu and not gpu.is_cpu
+    assert cpu.is_cpu and not cpu.is_gpu
+    assert gpu != cpu  # identity is the executor id
+    assert gpu == Executor(exec_id="x-gpu-0", node=gpu.node)

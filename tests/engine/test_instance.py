@@ -1,0 +1,111 @@
+"""Tests for the model-instance lifecycle container."""
+
+import pytest
+
+from repro.engine.instance import Instance, InstanceState
+from repro.engine.request import Request
+from repro.hardware import A100_80GB
+from repro.hardware.node import Node
+from repro.models import LLAMA2_7B
+
+
+def make_instance(**overrides):
+    defaults = dict(
+        inst_id=0,
+        deployment="llama#000",
+        model=LLAMA2_7B,
+        node=Node("gpu-0", A100_80GB),
+    )
+    defaults.update(overrides)
+    return Instance(**defaults)
+
+
+def make_request(req_id=0, input_len=128, output_len=8, arrival=0.0):
+    return Request(
+        req_id=req_id,
+        deployment="llama#000",
+        arrival=arrival,
+        input_len=input_len,
+        output_len=output_len,
+        ttft_slo=1.0,
+        tpot_slo=0.25,
+    )
+
+
+def test_new_instance_is_loading_with_empty_batch():
+    instance = make_instance()
+    assert instance.state is InstanceState.LOADING
+    assert instance.batch_size == 0
+    assert not instance.has_work
+
+
+def test_enqueue_then_admit_flow():
+    instance = make_instance()
+    instance.state = InstanceState.ACTIVE
+    request = make_request()
+    instance.enqueue(request)
+    assert instance.next_prefill() is request
+    assert instance.request_count == 1
+    instance.prefill_pending.remove(request)
+    instance.admit_to_batch(request)
+    assert instance.batch_size == 1
+    assert instance.next_prefill() is None
+
+
+def test_has_work_requires_active_state():
+    instance = make_instance()
+    instance.enqueue(make_request())
+    assert not instance.has_work  # still LOADING
+    instance.state = InstanceState.ACTIVE
+    assert instance.has_work
+
+
+def test_min_headroom_over_all_requests():
+    instance = make_instance()
+    instance.state = InstanceState.ACTIVE
+    early = make_request(req_id=1, arrival=0.0)
+    late = make_request(req_id=2, arrival=5.0)
+    instance.admit_to_batch(early)
+    instance.enqueue(late)
+    assert instance.min_headroom(6.0) == early.headroom(6.0)
+    assert instance.min_headroom(6.0) < late.headroom(6.0)
+
+
+def test_min_headroom_empty_is_infinite():
+    instance = make_instance()
+    assert instance.min_headroom(0.0) == float("inf")
+
+
+def test_avg_context_len_counts_decode_batch_only():
+    instance = make_instance()
+    a = make_request(req_id=1, input_len=100)
+    b = make_request(req_id=2, input_len=300)
+    instance.admit_to_batch(a)
+    instance.admit_to_batch(b)
+    assert instance.avg_context_len() == pytest.approx(200.0)
+
+
+def test_live_kv_bytes_rounds_per_request():
+    instance = make_instance()
+    request = make_request(input_len=1)  # 1 token → 1 block
+    instance.admit_to_batch(request)
+    assert instance.live_kv_bytes() == instance.kv.block_bytes
+
+
+def test_remove_unknown_request_raises():
+    instance = make_instance()
+    with pytest.raises(ValueError):
+        instance.remove(make_request())
+
+
+def test_weights_split_across_tp_nodes():
+    instance = make_instance(tp_degree=2)
+    assert instance.weight_bytes_per_node == LLAMA2_7B.weight_bytes // 2
+
+
+def test_idle_definition():
+    instance = make_instance()
+    instance.state = InstanceState.ACTIVE
+    assert instance.idle
+    instance.enqueue(make_request())
+    assert not instance.idle

@@ -1,0 +1,85 @@
+"""Tests for the paged KV-cache and the Fig. 17 scaling-cost model."""
+
+import pytest
+
+from repro.engine.kvcache import BLOCK_TOKENS, KVCache
+from repro.models import LLAMA2_7B
+from repro.perf import kv_scaling_seconds
+
+GIB = 1024**3
+
+
+@pytest.fixture
+def cache():
+    return KVCache(model=LLAMA2_7B)
+
+
+def test_block_bytes(cache):
+    assert cache.block_bytes == BLOCK_TOKENS * LLAMA2_7B.kv_bytes_per_token
+
+
+def test_round_to_blocks(cache):
+    assert cache.round_to_blocks(0) == 0
+    assert cache.round_to_blocks(1) == cache.block_bytes
+    assert cache.round_to_blocks(cache.block_bytes) == cache.block_bytes
+    assert cache.round_to_blocks(cache.block_bytes + 1) == 2 * cache.block_bytes
+
+
+def test_used_bytes_rounds_per_request(cache):
+    one_token = cache.used_bytes(1)
+    assert one_token == cache.block_bytes
+    assert cache.used_bytes(BLOCK_TOKENS * 3) == 3 * cache.block_bytes
+
+
+def test_scaling_lifecycle(cache):
+    cache.allocated_bytes = 2 * GIB
+    duration = cache.begin_scale(4 * GIB, live_bytes=1 * GIB)
+    assert duration > 0
+    assert cache.scaling
+    assert cache.committed_bytes == pytest.approx(4 * GIB, rel=0.01)
+    cache.finish_scale()
+    assert not cache.scaling
+    assert cache.allocated_bytes == cache.round_to_blocks(4 * GIB)
+
+
+def test_concurrent_scaling_rejected(cache):
+    cache.begin_scale(1 * GIB, 0)
+    with pytest.raises(RuntimeError):
+        cache.begin_scale(2 * GIB, 0)
+
+
+def test_finish_without_begin_rejected(cache):
+    with pytest.raises(RuntimeError):
+        cache.finish_scale()
+
+
+# ----------------------------------------------------------------------
+# Fig. 17 calibration: half-full 32 GB cache → 16 GB ≈ 0.3 s, → 64 GB ≈ 1.9 s
+# ----------------------------------------------------------------------
+def test_scale_down_cost_matches_fig17():
+    assert kv_scaling_seconds(32 * GIB, 16 * GIB, 16 * GIB) == pytest.approx(0.3, abs=0.05)
+
+
+def test_scale_up_cost_matches_fig17():
+    assert kv_scaling_seconds(32 * GIB, 64 * GIB, 16 * GIB) == pytest.approx(1.9, abs=0.15)
+
+
+def test_scale_up_costs_more_than_scale_down():
+    # Fig. 17: doubling is much more expensive than halving at every size.
+    for size_gib in (2, 4, 8, 16, 32):
+        size = size_gib * GIB
+        up = kv_scaling_seconds(size, 2 * size, size // 2)
+        down = kv_scaling_seconds(size, size // 2, size // 2)
+        assert up > down
+
+
+def test_scaling_cost_grows_with_size():
+    costs = [
+        kv_scaling_seconds(s * GIB, 2 * s * GIB, s * GIB // 2) for s in (2, 4, 8, 16, 32)
+    ]
+    assert costs == sorted(costs)
+
+
+def test_negative_sizes_rejected():
+    with pytest.raises(ValueError):
+        kv_scaling_seconds(-1, 0, 0)

@@ -1,0 +1,101 @@
+"""Tests for request lifecycle and Eq. 1 headroom accounting."""
+
+import pytest
+
+from repro.engine.request import Request, RequestState
+
+
+def make_request(**overrides):
+    defaults = dict(
+        req_id=1,
+        deployment="m",
+        arrival=10.0,
+        input_len=512,
+        output_len=4,
+        ttft_slo=1.0,
+        tpot_slo=0.25,
+    )
+    defaults.update(overrides)
+    return Request(**defaults)
+
+
+def test_headroom_formula_matches_eq1():
+    request = make_request()
+    # headroom = ST + TTFT_SLO + TPOT_SLO · O − CT
+    assert request.headroom(10.5) == pytest.approx(10.0 + 1.0 + 0.0 - 10.5)
+    request.record_tokens(10.8)
+    assert request.tokens_out == 1
+    assert request.headroom(11.0) == pytest.approx(10.0 + 1.0 + 0.25 - 11.0)
+
+
+def test_grace_extends_deadline():
+    request = make_request(output_len=2)
+    request.grace = 0.9
+    request.record_tokens(11.8)  # 10 + 1.0 + 0.9 = 11.9 deadline → fine
+    assert request.violation_at is None
+
+
+def test_first_token_past_deadline_is_violation():
+    request = make_request()
+    request.record_tokens(11.5)  # deadline was 11.0
+    assert request.violation_at == pytest.approx(11.5)
+
+
+def test_decode_pace_violation_detected():
+    request = make_request(output_len=3)
+    request.record_tokens(10.9)  # ok (TTFT)
+    request.record_tokens(11.1)  # deadline 11.25 → ok
+    request.record_tokens(11.6)  # deadline 11.5 → violation
+    assert request.violation_at == pytest.approx(11.6)
+
+
+def test_slo_met_requires_completion_and_no_violation():
+    request = make_request(output_len=2)
+    request.record_tokens(10.7)
+    assert not request.slo_met  # not completed yet
+    request.record_tokens(10.9)
+    request.complete(10.9)
+    assert request.slo_met
+
+
+def test_dropped_request_not_slo_met():
+    request = make_request()
+    request.drop(11.0)
+    assert request.state is RequestState.DROPPED
+    assert not request.slo_met
+
+
+def test_ttft_property():
+    request = make_request()
+    assert request.ttft is None
+    request.record_tokens(10.6)
+    assert request.ttft == pytest.approx(0.6)
+
+
+def test_context_and_remaining_track_progress():
+    request = make_request(input_len=100, output_len=5)
+    assert request.context_len == 100
+    assert request.remaining_tokens == 5
+    request.record_tokens(10.5, count=3)
+    assert request.context_len == 103
+    assert request.remaining_tokens == 2
+    assert not request.done
+
+
+def test_migration_resets_prefill_to_full_context():
+    request = make_request(input_len=100, output_len=10)
+    request.record_tokens(10.5, count=4)
+    request.begin_migration()
+    assert request.state is RequestState.MIGRATING
+    assert request.prefill_len == 104
+    assert request.migrations == 1
+
+
+def test_invalid_lengths_rejected():
+    with pytest.raises(ValueError):
+        make_request(input_len=0)
+    with pytest.raises(ValueError):
+        make_request(output_len=0)
+    request = make_request()
+    with pytest.raises(ValueError):
+        request.record_tokens(11.0, count=0)

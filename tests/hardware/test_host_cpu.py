@@ -1,0 +1,59 @@
+"""Tests for the host-CPU model behind Figs. 10, 11 and 28."""
+
+import pytest
+
+from repro.hardware import HostCpuModel
+
+
+@pytest.fixture
+def host():
+    return HostCpuModel(host_cores=32)
+
+
+def test_single_engine_uses_about_one_core(host):
+    # Fig. 10: vLLM "never consumes more than one CPU core".
+    usage = host.core_usage(1)
+    assert 0.8 <= usage <= 1.1
+
+
+def test_eight_colocated_instances_slightly_exceed_one_core(host):
+    # Fig. 28: eight instances → "slightly exceeds one core".
+    usage = host.core_usage(8)
+    assert 1.0 < usage < 1.6
+
+
+def test_usage_grows_slowly_with_colocation(host):
+    deltas = [host.core_usage(n + 1) - host.core_usage(n) for n in range(1, 8)]
+    assert all(d < 0.1 for d in deltas)
+
+
+def test_zero_instances_zero_usage(host):
+    assert host.core_usage(0) == 0.0
+
+
+def test_stress_slowdown_is_about_4_percent_at_64_procs(host):
+    # Fig. 11: 64 stress processes on 32 cores → ~4 % TPOT loss.
+    assert host.stress_slowdown(64) == pytest.approx(1.04, abs=0.005)
+
+
+def test_stress_slowdown_saturates(host):
+    assert host.stress_slowdown(640) == host.stress_slowdown(64)
+
+
+def test_stress_slowdown_monotone(host):
+    values = [host.stress_slowdown(n) for n in (0, 4, 8, 16, 32, 64)]
+    assert values == sorted(values)
+    assert values[0] == 1.0
+
+
+def test_harvestable_cores(host):
+    # §IX-I3: ~31 of 32 cores are harvestable while a GPU engine serves.
+    assert host.harvestable_cores(1) > 30.0
+    assert host.harvestable_cores(8) > 29.0
+
+
+def test_invalid_inputs_rejected(host):
+    with pytest.raises(ValueError):
+        host.core_usage(-1)
+    with pytest.raises(ValueError):
+        host.stress_slowdown(-1)

@@ -1,0 +1,85 @@
+"""Tests for hardware specs, nodes, and cluster builders."""
+
+import pytest
+
+from repro.hardware import (
+    A100_80GB,
+    Cluster,
+    HardwareKind,
+    XEON_GEN3_32C,
+    XEON_GEN4_32C,
+    XEON_GEN6_96C,
+    harvested_cpu,
+    paper_testbed,
+)
+
+GIB = 1024**3
+
+
+def test_a100_has_80gb():
+    assert A100_80GB.memory_bytes == 80 * GIB
+    assert A100_80GB.is_gpu
+
+
+def test_gen3_xeon_lacks_amx():
+    assert not XEON_GEN3_32C.matrix_accelerated
+    assert XEON_GEN3_32C.prefill_factor > 6
+
+
+def test_gen6_xeon_is_faster():
+    # §X: 297 vs 105 TFLOPS → prefill factor ≈ 0.35.
+    assert XEON_GEN6_96C.prefill_factor == pytest.approx(105 / 297)
+
+
+def test_loader_bandwidth_loads_7b_in_about_a_second():
+    # §IX-A: "1 second to load a 7B model".
+    from repro.models import LLAMA2_7B
+
+    seconds = LLAMA2_7B.weight_bytes / A100_80GB.loader_bytes_per_s
+    assert 0.7 < seconds < 1.2
+
+
+def test_harvested_cpu_scales_prefill_linearly():
+    half = harvested_cpu(16)
+    assert half.cores == 16
+    assert half.prefill_factor == pytest.approx(2.0)
+    assert 1.5 < half.decode_factor < 2.0  # sub-linear decode scaling
+
+
+def test_harvested_cpu_rejects_bad_cores():
+    with pytest.raises(ValueError):
+        harvested_cpu(0)
+
+
+def test_with_cores_rejected_on_gpu():
+    with pytest.raises(ValueError):
+        A100_80GB.with_cores(8)
+
+
+def test_paper_testbed_is_4_plus_4():
+    cluster = paper_testbed()
+    assert len(cluster.cpu_nodes) == 4
+    assert len(cluster.gpu_nodes) == 4
+    assert all(n.spec is XEON_GEN4_32C for n in cluster.cpu_nodes)
+
+
+def test_cluster_build_and_lookup():
+    cluster = Cluster.build(1, 2)
+    assert cluster.node("gpu-1").is_gpu
+    with pytest.raises(KeyError):
+        cluster.node("gpu-9")
+    with pytest.raises(ValueError):
+        Cluster.build(-1, 0)
+
+
+def test_node_identity_semantics():
+    cluster = Cluster.build(2, 0)
+    assert cluster.node("cpu-0") == cluster.node("cpu-0")
+    assert cluster.node("cpu-0") != cluster.node("cpu-1")
+    assert len({cluster.node("cpu-0"), cluster.node("cpu-0")}) == 1
+
+
+def test_kind_flags():
+    cluster = Cluster.build(1, 1)
+    assert cluster.cpu_nodes[0].kind is HardwareKind.CPU
+    assert cluster.gpu_nodes[0].kind is HardwareKind.GPU

@@ -1,0 +1,109 @@
+"""Tests for Eq. 2 KV demand estimation and the Ō tracker."""
+
+import pytest
+
+from repro.engine.instance import Instance
+from repro.engine.request import Request
+from repro.hardware import A100_80GB
+from repro.hardware.node import Node
+from repro.memory import OutputLengthEstimator, kv_required_bytes
+from repro.memory.estimator import initial_kv_required, kv_required_bytes_for_tokens
+from repro.models import LLAMA2_7B
+
+
+def make_instance():
+    return Instance(
+        inst_id=0, deployment="d", model=LLAMA2_7B, node=Node("gpu-0", A100_80GB)
+    )
+
+
+def make_request(req_id=0, input_len=1000, output_len=100, tokens_out=0):
+    request = Request(
+        req_id=req_id,
+        deployment="d",
+        arrival=0.0,
+        input_len=input_len,
+        output_len=output_len,
+        ttft_slo=1.0,
+        tpot_slo=0.25,
+    )
+    request.tokens_out = tokens_out
+    return request
+
+
+def test_estimator_returns_prior_when_no_history():
+    estimator = OutputLengthEstimator(prior=256.0)
+    assert estimator.average("unknown") == 256.0
+
+
+def test_estimator_converges_to_observed_mean():
+    estimator = OutputLengthEstimator(prior=256.0, prior_weight=4.0)
+    for _ in range(400):
+        estimator.observe("d", 100)
+    assert estimator.average("d") == pytest.approx(100, rel=0.05)
+
+
+def test_estimator_is_per_deployment():
+    estimator = OutputLengthEstimator()
+    estimator.observe("a", 500)
+    assert estimator.average("b") == estimator.prior
+
+
+def test_estimator_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        OutputLengthEstimator().observe("d", 0)
+
+
+# ----------------------------------------------------------------------
+# Eq. 2
+# ----------------------------------------------------------------------
+def test_lmin_floor_is_max_context():
+    # §VII-A: L_min = the model's maximum context length.
+    instance = make_instance()
+    empty = kv_required_bytes(instance, avg_output_len=256.0)
+    floor = kv_required_bytes_for_tokens(LLAMA2_7B, 0)
+    assert empty == floor
+    assert empty >= LLAMA2_7B.max_context * LLAMA2_7B.kv_bytes_per_token
+
+
+def test_demand_uses_avg_output_for_running_requests():
+    instance = make_instance()
+    request = make_request(input_len=3000, tokens_out=10)
+    instance.admit_to_batch(request)
+    require = kv_required_bytes(instance, avg_output_len=500.0)
+    expected_tokens = 3000 + 500  # max(O_r=10, Ō=500)
+    assert require >= expected_tokens * LLAMA2_7B.kv_bytes_per_token
+
+
+def test_generated_tokens_beyond_avg_counted():
+    instance = make_instance()
+    request = make_request(input_len=3000, tokens_out=900)
+    instance.admit_to_batch(request)
+    require = kv_required_bytes(instance, avg_output_len=500.0)
+    assert require >= (3000 + 900) * LLAMA2_7B.kv_bytes_per_token
+
+
+def test_demand_sums_over_requests():
+    instance = make_instance()
+    for idx in range(4):
+        instance.admit_to_batch(make_request(req_id=idx, input_len=2000))
+    require = kv_required_bytes(instance, avg_output_len=256.0)
+    assert require >= 4 * (2000 + 256) * LLAMA2_7B.kv_bytes_per_token
+
+
+def test_extra_requests_included():
+    instance = make_instance()
+    base = kv_required_bytes(instance, 256.0)
+    extra = make_request(input_len=3000)
+    with_extra = kv_required_bytes(instance, 256.0, extra_requests=[extra])
+    assert with_extra >= base  # both hit the L_min floor here
+    for idx in range(3):
+        instance.admit_to_batch(make_request(req_id=idx, input_len=2000))
+    grown = kv_required_bytes(instance, 256.0, extra_requests=[extra])
+    assert grown > kv_required_bytes(instance, 256.0)
+
+
+def test_initial_kv_required_for_new_instance():
+    request = make_request(input_len=2000, output_len=50)
+    require = initial_kv_required(LLAMA2_7B, request, avg_output_len=300.0)
+    assert require >= LLAMA2_7B.max_context * LLAMA2_7B.kv_bytes_per_token

@@ -1,0 +1,62 @@
+"""Tests for the watermark scaling policy (§VII-B)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory import WatermarkPolicy
+
+GIB = 1024**3
+
+
+def test_recommended_adds_watermark():
+    policy = WatermarkPolicy(watermark=0.25)
+    assert policy.recommended_bytes(4 * GIB) == 5 * GIB
+
+
+def test_scale_up_when_below_require():
+    policy = WatermarkPolicy(watermark=0.25)
+    assert policy.needs_scale_up(current_bytes=3 * GIB, required_bytes=4 * GIB)
+    assert not policy.needs_scale_up(current_bytes=4 * GIB, required_bytes=4 * GIB)
+
+
+def test_lazy_scale_down_hysteresis():
+    # Scale down only when recommend·(1+w) < current (§VII-B).
+    policy = WatermarkPolicy(watermark=0.25)
+    require = 4 * GIB
+    # recommend = 5 GiB; threshold = 6.25 GiB
+    assert not policy.should_scale_down(current_bytes=6 * GIB, required_bytes=require)
+    assert policy.should_scale_down(current_bytes=7 * GIB, required_bytes=require)
+
+
+def test_scale_down_target_is_recommend():
+    policy = WatermarkPolicy(watermark=0.25)
+    assert policy.scale_down_target(4 * GIB) == 5 * GIB
+
+
+def test_zero_watermark_disables_hysteresis():
+    policy = WatermarkPolicy(watermark=0.0)
+    assert policy.recommended_bytes(4 * GIB) == 4 * GIB
+    assert policy.should_scale_down(current_bytes=4 * GIB + 1, required_bytes=4 * GIB)
+
+
+def test_negative_watermark_rejected():
+    with pytest.raises(ValueError):
+        WatermarkPolicy(watermark=-0.1)
+
+
+@given(
+    require=st.integers(min_value=1, max_value=10**12),
+    current=st.integers(min_value=0, max_value=10**12),
+    watermark=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_no_pingpong_property(require, current, watermark):
+    """A size the policy just scaled to never immediately triggers the
+    opposite operation — the hysteresis that kills the ping-pong effect."""
+    policy = WatermarkPolicy(watermark=watermark)
+    if policy.needs_scale_up(current, require):
+        after = policy.recommended_bytes(require)
+        assert not policy.should_scale_down(after, require)
+    if policy.should_scale_down(current, require):
+        after = policy.scale_down_target(require)
+        assert not policy.needs_scale_up(after, require)

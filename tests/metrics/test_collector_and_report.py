@@ -1,0 +1,157 @@
+"""Tests for metrics collection and report derivation."""
+
+import pytest
+
+from repro.engine.request import Request
+from repro.hardware.specs import HardwareKind
+from repro.metrics import Cdf, MetricsCollector
+
+
+def make_request(req_id=0, arrival=0.0, input_len=100, output_len=5):
+    return Request(
+        req_id=req_id,
+        deployment="d",
+        arrival=arrival,
+        input_len=input_len,
+        output_len=output_len,
+        ttft_slo=1.0,
+        tpot_slo=0.25,
+    )
+
+
+# ----------------------------------------------------------------------
+# Cdf
+# ----------------------------------------------------------------------
+def test_cdf_fraction_below():
+    cdf = Cdf.from_values([1.0, 2.0, 3.0, 4.0])
+    assert cdf.fraction_below(2.5) == 0.5
+    assert cdf.fraction_below(0.5) == 0.0
+    assert cdf.fraction_below(10.0) == 1.0
+
+
+def test_cdf_percentiles_and_stats():
+    cdf = Cdf.from_values(range(101))
+    assert cdf.median == 50.0
+    assert cdf.percentile(90) == pytest.approx(90.0)
+    assert cdf.mean == pytest.approx(50.0)
+
+
+def test_cdf_empty_behaviour():
+    cdf = Cdf.from_values([])
+    assert cdf.empty
+    assert cdf.fraction_below(1.0) == 0.0
+    with pytest.raises(ValueError):
+        cdf.percentile(50)
+    assert cdf.curve() == []
+
+
+def test_cdf_curve_monotone():
+    cdf = Cdf.from_values([5.0, 1.0, 3.0])
+    curve = cdf.curve(points=10)
+    values = [v for v, _ in curve]
+    assert values == sorted(values)
+
+
+# ----------------------------------------------------------------------
+# Node activity accounting
+# ----------------------------------------------------------------------
+def test_node_seconds_integrates_load_intervals():
+    collector = MetricsCollector()
+    collector.node_loaded("gpu-0", HardwareKind.GPU, 10.0)
+    collector.node_unloaded("gpu-0", 25.0)
+    collector.node_loaded("gpu-0", HardwareKind.GPU, 50.0)
+    report = collector.finalize(now=60.0, duration=100.0, system="t")
+    assert report.node_seconds_gpu == pytest.approx(15.0 + 10.0)
+
+
+def test_overlapping_instances_count_once():
+    collector = MetricsCollector()
+    collector.node_loaded("gpu-0", HardwareKind.GPU, 0.0)
+    collector.node_loaded("gpu-0", HardwareKind.GPU, 5.0)
+    collector.node_unloaded("gpu-0", 10.0)
+    collector.node_unloaded("gpu-0", 20.0)
+    report = collector.finalize(now=30.0, duration=30.0, system="t")
+    assert report.node_seconds_gpu == pytest.approx(20.0)
+
+
+def test_node_seconds_clipped_to_trace_window():
+    collector = MetricsCollector()
+    collector.node_loaded("cpu-0", HardwareKind.CPU, 90.0)
+    collector.node_unloaded("cpu-0", 150.0)
+    report = collector.finalize(now=150.0, duration=100.0, system="t")
+    assert report.node_seconds_cpu == pytest.approx(10.0)
+    assert report.avg_nodes_used_cpu == pytest.approx(0.1)
+
+
+def test_unload_without_load_raises():
+    collector = MetricsCollector()
+    collector.node_loaded("n", HardwareKind.CPU, 0.0)
+    collector.node_unloaded("n", 1.0)
+    with pytest.raises(RuntimeError):
+        collector.node_unloaded("n", 2.0)
+
+
+# ----------------------------------------------------------------------
+# Report derivation
+# ----------------------------------------------------------------------
+def _report_with_requests():
+    collector = MetricsCollector()
+    met = make_request(0)
+    met.record_tokens(0.5)
+    for t in (0.7, 0.9, 1.1, 1.3):
+        met.record_tokens(t)
+    met.complete(1.3)
+    dropped = make_request(1, arrival=0.0)
+    dropped.drop(1.0)
+    violated = make_request(2, arrival=0.0)
+    violated.record_tokens(2.0)  # past TTFT deadline
+    for t in (2.2, 2.4, 2.6, 2.8):
+        violated.record_tokens(t)
+    violated.complete(2.8)
+    for request in (met, dropped, violated):
+        collector.register_request(request)
+    return collector.finalize(now=10.0, duration=10.0, system="t")
+
+
+def test_slo_accounting():
+    report = _report_with_requests()
+    assert report.total_requests == 3
+    assert report.slo_met_count == 1
+    assert report.dropped_count == 1
+    assert report.slo_rate == pytest.approx(1 / 3)
+    assert report.slo_miss_rate == pytest.approx(2 / 3)
+
+
+def test_ttft_cdf_includes_all_first_tokens():
+    report = _report_with_requests()
+    cdf = report.ttft_cdf()
+    assert len(cdf) == 2  # the dropped request never produced a token
+
+
+def test_decode_speed_per_kind():
+    collector = MetricsCollector()
+    collector.node_loaded("cpu-0", HardwareKind.CPU, 0.0)
+    collector.node_unloaded("cpu-0", 10.0)
+    collector.add_decode_tokens(HardwareKind.CPU, 500)
+    report = collector.finalize(now=10.0, duration=10.0, system="t")
+    assert report.decode_speed_cpu == pytest.approx(50.0)
+    assert report.decode_speed_gpu == 0.0
+
+
+def test_batch_statistics():
+    collector = MetricsCollector()
+    for batch in (1, 1, 4, 4, 4, 10):
+        collector.sample_batch_size(batch)
+    report = collector.finalize(now=1.0, duration=1.0, system="t")
+    assert report.mean_batch_size == pytest.approx(24 / 6)
+    assert report.batch_size_cdf().percentile(100) == 10
+
+
+def test_overhead_stats():
+    collector = MetricsCollector()
+    collector.add_overhead("shadow_validation", 0.001)
+    collector.add_overhead("shadow_validation", 0.003)
+    report = collector.finalize(now=1.0, duration=1.0, system="t")
+    stat = report.overhead_stats["shadow_validation"]
+    assert stat.count == 2
+    assert stat.mean_seconds == pytest.approx(0.002)

@@ -1,0 +1,90 @@
+"""Tests for the model catalog: the paper's published memory footprints."""
+
+import pytest
+
+from repro.models import (
+    CATALOG,
+    CODELLAMA_34B,
+    CODESTRAL_22B,
+    LLAMA2_13B,
+    LLAMA2_7B,
+    LLAMA32_3B,
+    ModelSpec,
+    Quantization,
+    get_model,
+)
+
+GIB = 1024**3
+
+
+def test_llama2_7b_weights_match_paper():
+    # §IV-B: "7B and 13B LLMs need at least 14GB and 26GB of memory"
+    assert LLAMA2_7B.weight_bytes == pytest.approx(14e9, rel=0.05)
+
+
+def test_llama2_13b_weights_match_paper():
+    assert LLAMA2_13B.weight_bytes == pytest.approx(26e9, rel=0.05)
+
+
+def test_codestral_22b_weights_match_paper():
+    # §X: "the model weights alone consume 44GB"
+    assert CODESTRAL_22B.weight_bytes == pytest.approx(44e9, rel=0.05)
+
+
+def test_llama2_7b_kv_bytes_per_token():
+    # 2 (K,V) × 32 layers × 32 heads × 128 dim × 2 bytes = 512 KiB/token
+    assert LLAMA2_7B.kv_bytes_per_token == 512 * 1024
+
+
+def test_llama2_13b_kv_bytes_per_token():
+    assert LLAMA2_13B.kv_bytes_per_token == 800 * 1024
+
+
+def test_gqa_reduces_kv_footprint():
+    # Llama-3.2-3B uses 8 KV heads (GQA): much smaller per-token cache.
+    assert LLAMA32_3B.kv_bytes_per_token < LLAMA2_7B.kv_bytes_per_token / 3
+
+
+def test_compute_scale_is_relative_to_7b():
+    assert LLAMA2_7B.compute_scale == pytest.approx(1.0)
+    assert LLAMA2_13B.compute_scale == pytest.approx(1.93, rel=0.02)
+    assert CODELLAMA_34B.compute_scale == pytest.approx(5.0, rel=0.02)
+
+
+def test_int4_quantization_quarters_weights():
+    quantized = CODESTRAL_22B.quantized(Quantization.INT4)
+    assert quantized.weight_bytes == pytest.approx(CODESTRAL_22B.weight_bytes / 4, rel=0.01)
+    # §X: 22B INT4 weights (~11 GB) become shareable on an 80 GB GPU.
+    assert quantized.weight_bytes < 12e9
+
+
+def test_quantization_preserves_kv_cache_size():
+    quantized = LLAMA2_7B.quantized(Quantization.INT4)
+    assert quantized.kv_bytes_per_token == LLAMA2_7B.kv_bytes_per_token
+
+
+def test_quantized_name_is_distinct():
+    assert LLAMA2_7B.quantized(Quantization.INT8).name == "llama-2-7b-int8"
+
+
+def test_catalog_lookup():
+    assert get_model("llama-2-7b") is LLAMA2_7B
+
+
+def test_catalog_lookup_unknown_raises_with_hint():
+    with pytest.raises(KeyError, match="llama-2-7b"):
+        get_model("no-such-model")
+
+
+def test_all_catalog_models_have_positive_footprints():
+    for spec in CATALOG.values():
+        assert spec.weight_bytes > 0
+        assert spec.kv_bytes_per_token > 0
+        assert spec.max_context >= 4096
+
+
+def test_invalid_specs_rejected():
+    with pytest.raises(ValueError):
+        ModelSpec(name="bad", params=-1, n_layers=1, hidden_size=1, n_heads=1, n_kv_heads=1)
+    with pytest.raises(ValueError):
+        ModelSpec(name="bad", params=1e9, n_layers=1, hidden_size=1, n_heads=2, n_kv_heads=4)

@@ -1,0 +1,101 @@
+"""Table II reproduction: aggregated concurrency limits.
+
+The limits must emerge from the latency/memory models (within ±1-2 of the
+published cells — the paper's own numbers are profiled, ours derived).
+"""
+
+import pytest
+
+from repro.hardware import A100_80GB, XEON_GEN4_32C
+from repro.models import LLAMA2_13B, LLAMA2_7B, LLAMA32_3B
+from repro.perf import (
+    baseline_concurrency_limit,
+    concurrency_limit,
+    memory_concurrency_limit,
+)
+
+
+@pytest.mark.parametrize(
+    "model,length,expected",
+    [
+        (LLAMA2_7B, 2048, 66),
+        (LLAMA2_7B, 4096, 32),
+        (LLAMA2_13B, 2048, 33),
+        (LLAMA2_13B, 4096, 16),
+    ],
+)
+def test_gpu_full_node_limits_match_table2(model, length, expected):
+    assert concurrency_limit(A100_80GB, model, length) == pytest.approx(expected, abs=2)
+
+
+@pytest.mark.parametrize(
+    "model,length,expected",
+    [(LLAMA2_7B, 2048, 27), (LLAMA2_7B, 4096, 15)],
+)
+def test_cpu_full_node_limits_match_table2(model, length, expected):
+    assert concurrency_limit(XEON_GEN4_32C, model, length) == pytest.approx(expected, abs=1)
+
+
+def test_cpu_13b_limit_matches_section9():
+    assert concurrency_limit(XEON_GEN4_32C, LLAMA2_13B, 4096) == pytest.approx(6, abs=1)
+
+
+def test_cpu_half_node_limit_matches_table2():
+    # Table II: C-7B-2K at ½ node → 9 per instance.
+    assert concurrency_limit(XEON_GEN4_32C, LLAMA2_7B, 2048, fraction=0.5) == pytest.approx(9, abs=1)
+
+
+def test_cpu_third_node_limit_matches_table2():
+    # Table II: C-7B-2K at ⅓ node → 2 per instance.
+    assert concurrency_limit(XEON_GEN4_32C, LLAMA2_7B, 2048, fraction=1 / 3) == pytest.approx(2, abs=1)
+
+
+def test_cpu_quarter_node_infeasible():
+    # Table II's "-" cells: a quarter CPU misses TPOT even at batch 1.
+    assert concurrency_limit(XEON_GEN4_32C, LLAMA2_7B, 2048, fraction=0.25) == 0
+
+
+def test_partitioning_loses_aggregate_concurrency():
+    # §IV-C: three ⅓-GPU instances reach about half the aggregate limit.
+    full = concurrency_limit(A100_80GB, LLAMA2_7B, 2048)
+    thirds = 3 * concurrency_limit(A100_80GB, LLAMA2_7B, 2048, fraction=1 / 3)
+    assert thirds < 0.7 * full
+
+
+def test_gpu_limits_are_memory_bound():
+    # On GPUs the KV-capacity bound is the binding constraint (§IV-B).
+    mem = memory_concurrency_limit(A100_80GB, LLAMA2_7B, 2048)
+    assert concurrency_limit(A100_80GB, LLAMA2_7B, 2048) == mem
+
+
+def test_memory_limit_zero_when_weights_dont_fit():
+    assert memory_concurrency_limit(A100_80GB, LLAMA2_13B, 2048, fraction=0.25) == 0
+
+
+@pytest.mark.parametrize(
+    "hardware,model,shared,expected",
+    [
+        (XEON_GEN4_32C, LLAMA32_3B, False, 59),
+        (XEON_GEN4_32C, LLAMA2_7B, False, 15),
+        (XEON_GEN4_32C, LLAMA2_13B, False, 6),
+        (A100_80GB, LLAMA32_3B, False, 160),
+        (A100_80GB, LLAMA2_7B, False, 32),
+        (A100_80GB, LLAMA2_13B, False, 16),
+        (XEON_GEN4_32C, LLAMA32_3B, True, 23),
+        (XEON_GEN4_32C, LLAMA2_7B, True, 4),
+        (XEON_GEN4_32C, LLAMA2_13B, True, 6),
+        (A100_80GB, LLAMA32_3B, True, 71),
+        (A100_80GB, LLAMA2_7B, True, 12),
+        (A100_80GB, LLAMA2_13B, True, 4),
+    ],
+)
+def test_baseline_tailored_limits_are_papers(hardware, model, shared, expected):
+    assert baseline_concurrency_limit(hardware, model, shared) == expected
+
+
+def test_baseline_limit_for_unlisted_model_is_conservative():
+    from repro.models import LLAMA31_8B
+
+    derived = baseline_concurrency_limit(A100_80GB, LLAMA31_8B, shared=False)
+    raw = concurrency_limit(A100_80GB, LLAMA31_8B, 4096)
+    assert 0 < derived <= raw

@@ -1,0 +1,84 @@
+"""Tests for the PerfDatabase: caching, jitter, CPU feasibility."""
+
+import pytest
+
+from repro.hardware import A100_80GB, XEON_GEN3_32C, XEON_GEN4_32C
+from repro.models import CODELLAMA_34B, LLAMA2_7B, LLAMA2_13B, LLAMA31_8B
+from repro.perf import PerfDatabase
+from repro.slo import DEFAULT_SLO
+
+
+def test_quantified_objects_are_cached(perf_db):
+    a = perf_db.quantified(XEON_GEN4_32C, LLAMA2_7B)
+    b = perf_db.quantified(XEON_GEN4_32C, LLAMA2_7B)
+    assert a is b
+    c = perf_db.quantified(XEON_GEN4_32C, LLAMA2_7B, fraction=0.5)
+    assert c is not a
+
+
+def test_zero_jitter_executions_match_law(perf_db):
+    law = perf_db.law(A100_80GB, LLAMA2_7B)
+    assert perf_db.execute_prefill(A100_80GB, LLAMA2_7B, 1024) == law.prefill_seconds(1024)
+    assert perf_db.execute_decode(A100_80GB, LLAMA2_7B, 4, 512) == law.decode_seconds(4, 512)
+
+
+def test_jitter_perturbs_executions_mildly():
+    db = PerfDatabase(jitter_sigma=0.02, seed=1)
+    law = db.law(A100_80GB, LLAMA2_7B)
+    truth = law.prefill_seconds(1024)
+    samples = [db.execute_prefill(A100_80GB, LLAMA2_7B, 1024) for _ in range(200)]
+    assert any(s != truth for s in samples)
+    assert all(abs(s / truth - 1.0) < 0.12 for s in samples)
+    mean = sum(samples) / len(samples)
+    assert mean == pytest.approx(truth, rel=0.01)
+
+
+def test_estimates_are_deterministic_despite_jitter():
+    db = PerfDatabase(jitter_sigma=0.05, seed=2)
+    first = db.estimate_tpot(A100_80GB, LLAMA2_7B, 8, 1024)
+    again = db.estimate_tpot(A100_80GB, LLAMA2_7B, 8, 1024)
+    assert first == again
+
+
+# ----------------------------------------------------------------------
+# CPU feasibility (§V fallback)
+# ----------------------------------------------------------------------
+def test_cpu_serves_short_7b(perf_db):
+    assert perf_db.cpu_can_serve(XEON_GEN4_32C, LLAMA2_7B, 1024, DEFAULT_SLO)
+
+
+def test_non_amx_cpu_excluded(perf_db):
+    # §V: SLINFER excludes CPUs lacking matrix acceleration.
+    assert not perf_db.cpu_can_serve(XEON_GEN3_32C, LLAMA2_7B, 256, DEFAULT_SLO)
+
+
+def test_gpu_spec_never_cpu_feasible(perf_db):
+    assert not perf_db.cpu_can_serve(A100_80GB, LLAMA2_7B, 256, DEFAULT_SLO)
+
+
+def test_34b_not_cpu_feasible(perf_db):
+    assert not perf_db.cpu_can_serve(XEON_GEN4_32C, CODELLAMA_34B, 512, DEFAULT_SLO)
+
+
+def test_13b_feasible_short_not_long(perf_db):
+    # §IV-A2: the 13B CPU feasibility edge sits around 5.6K input tokens.
+    assert perf_db.cpu_can_serve(XEON_GEN4_32C, LLAMA2_13B, 1024, DEFAULT_SLO)
+    assert not perf_db.cpu_can_serve(XEON_GEN4_32C, LLAMA2_13B, 6400, DEFAULT_SLO)
+
+
+def test_8b_long_inputs_infeasible(perf_db):
+    # §IX-I1: CPUs handle inputs up to ~8.4K under the 8 s cap.
+    assert perf_db.cpu_can_serve(XEON_GEN4_32C, LLAMA31_8B, 4096, DEFAULT_SLO)
+    assert not perf_db.cpu_can_serve(XEON_GEN4_32C, LLAMA31_8B, 12000, DEFAULT_SLO)
+
+
+def test_tight_slo_shrinks_cpu_envelope(perf_db):
+    # §IV-A2: under a 100 ms TPOT SLO only ≤7B models qualify, and at 50 ms
+    # even 7B becomes infeasible.
+    from repro.slo import SloPolicy
+
+    slo_100 = SloPolicy(tpot=0.10)
+    slo_50 = SloPolicy(tpot=0.05)
+    assert perf_db.cpu_can_serve(XEON_GEN4_32C, LLAMA2_7B, 512, slo_100)
+    assert not perf_db.cpu_can_serve(XEON_GEN4_32C, LLAMA2_13B, 512, slo_100)
+    assert not perf_db.cpu_can_serve(XEON_GEN4_32C, LLAMA2_7B, 512, slo_50)

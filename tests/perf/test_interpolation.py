@@ -1,0 +1,95 @@
+"""Tests for the §VI-B interpolation and profiler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import A100_80GB, XEON_GEN4_32C
+from repro.models import LLAMA2_7B
+from repro.perf import Interp1D, Interp2D, quantify
+from repro.perf.laws import LatencyLaw
+
+
+def test_interp1d_exact_at_sample_points():
+    interp = Interp1D([1.0, 2.0, 4.0], [10.0, 20.0, 40.0])
+    assert interp(2.0) == 20.0
+
+
+def test_interp1d_linear_between_points():
+    interp = Interp1D([0.0, 10.0], [0.0, 100.0])
+    assert interp(2.5) == pytest.approx(25.0)
+
+
+def test_interp1d_extrapolates_from_edge_segment():
+    interp = Interp1D([0.0, 1.0, 2.0], [0.0, 1.0, 4.0])
+    assert interp(3.0) == pytest.approx(7.0)  # slope of last segment = 3
+    assert interp(-1.0) == pytest.approx(-1.0)  # slope of first segment = 1
+
+
+def test_interp1d_validates_inputs():
+    with pytest.raises(ValueError):
+        Interp1D([1.0], [2.0])
+    with pytest.raises(ValueError):
+        Interp1D([1.0, 1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        Interp1D([1.0, 2.0], [1.0])
+
+
+def test_interp2d_bilinear():
+    interp = Interp2D([0.0, 1.0], [0.0, 1.0], [[0.0, 1.0], [1.0, 2.0]])
+    assert interp(0.5, 0.5) == pytest.approx(1.0)
+    assert interp(0.0, 1.0) == pytest.approx(1.0)
+    assert interp(1.0, 1.0) == pytest.approx(2.0)
+
+
+def test_interp2d_validates_shape():
+    with pytest.raises(ValueError):
+        Interp2D([0.0, 1.0], [0.0, 1.0], [[0.0, 1.0]])
+
+
+# ----------------------------------------------------------------------
+# Profiler: the quantified estimates must track the ground truth within a
+# few percent — the paper reports 5.9 % (TTFT) and 3.9 % (TPOT) deviations.
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(length=st.integers(min_value=16, max_value=4096))
+def test_quantified_ttft_within_paper_error(length):
+    law = LatencyLaw(XEON_GEN4_32C, LLAMA2_7B)
+    perf = quantify(law)
+    truth = law.prefill_seconds(length)
+    assert perf.ttft_seconds(length) == pytest.approx(truth, rel=0.06)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    batch=st.integers(min_value=1, max_value=128),
+    length=st.integers(min_value=16, max_value=4096),
+)
+def test_quantified_tpot_within_paper_error(batch, length):
+    law = LatencyLaw(A100_80GB, LLAMA2_7B)
+    perf = quantify(law)
+    truth = law.decode_seconds(batch, length)
+    assert perf.tpot_seconds(batch, length) == pytest.approx(truth, rel=0.05)
+
+
+def test_quantified_overestimates_convex_prefill():
+    # Linear interpolation of a convex function never underestimates
+    # between sample points — a safety property the scheduler relies on.
+    law = LatencyLaw(XEON_GEN4_32C, LLAMA2_7B)
+    perf = quantify(law)
+    # (Holds within the sampled range; beyond max_context extrapolation
+    # can undershoot, but the profiler samples up to max_context.)
+    for length in (300, 700, 1500, 3000, 4000):
+        assert perf.ttft_seconds(length) >= law.prefill_seconds(length) * 0.999
+
+
+def test_sample_count_is_logarithmic():
+    # §VI-B: O(log L_max · log B_max) — "a few hundred samples".
+    perf = quantify(LatencyLaw(XEON_GEN4_32C, LLAMA2_7B))
+    assert perf.sample_count < 500
+
+
+def test_tpot_rejects_nonpositive_batch():
+    perf = quantify(LatencyLaw(XEON_GEN4_32C, LLAMA2_7B))
+    with pytest.raises(ValueError):
+        perf.tpot_seconds(0, 100)

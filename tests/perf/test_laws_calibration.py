@@ -1,0 +1,158 @@
+"""Calibration tests: the latency laws must reproduce the paper's numbers.
+
+Table I anchors are checked within 5 %; derived statements (8 B decode
+latency, 13 B CPU feasibility crossover, Fig. 6 shapes) within stated
+tolerances.
+"""
+
+import pytest
+
+from repro.hardware import A100_80GB, XEON_GEN3_32C, XEON_GEN4_32C
+from repro.models import (
+    CODELLAMA_34B,
+    DEEPSEEK_QWEN_7B,
+    LLAMA2_13B,
+    LLAMA2_7B,
+    LLAMA31_8B,
+)
+from repro.perf.laws import LatencyLaw
+from repro.slo import ttft_slo
+
+
+@pytest.fixture
+def cpu7b():
+    return LatencyLaw(XEON_GEN4_32C, LLAMA2_7B)
+
+
+# ----------------------------------------------------------------------
+# Table I — 4th-gen Xeon
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "length,expected_ms",
+    [(256, 149), (1024, 567), (4096, 2748)],
+)
+def test_cpu_prefill_matches_table1(cpu7b, length, expected_ms):
+    assert cpu7b.prefill_seconds(length) * 1000 == pytest.approx(expected_ms, rel=0.05)
+
+
+@pytest.mark.parametrize(
+    "batch,length,expected_ms",
+    [(1, 1024, 71), (32, 1024, 196), (1, 4096, 80), (32, 4096, 459)],
+)
+def test_cpu_decode_matches_table1(cpu7b, batch, length, expected_ms):
+    assert cpu7b.decode_seconds(batch, length) * 1000 == pytest.approx(expected_ms, rel=0.05)
+
+
+# ----------------------------------------------------------------------
+# Table I — 3rd-gen Xeon (no AMX): 6.7-7.3× prefill, 1.4-1.7× decode
+# ----------------------------------------------------------------------
+def test_gen3_prefill_slowdown_in_measured_band(cpu7b):
+    gen3 = LatencyLaw(XEON_GEN3_32C, LLAMA2_7B)
+    for length in (256, 1024, 4096):
+        ratio = gen3.prefill_seconds(length) / cpu7b.prefill_seconds(length)
+        assert 6.7 <= ratio <= 7.3
+
+
+def test_gen3_1k_ttft_violates_slo():
+    # §IV-A2: gen3 at 1K inputs → 4.1 s TTFT, "far exceeding the SLOs" (2 s).
+    gen3 = LatencyLaw(XEON_GEN3_32C, LLAMA2_7B)
+    assert gen3.prefill_seconds(1024) == pytest.approx(4.1, rel=0.1)
+    assert gen3.prefill_seconds(1024) > ttft_slo(1024)
+
+
+def test_gen3_decode_slowdown_in_measured_band(cpu7b):
+    gen3 = LatencyLaw(XEON_GEN3_32C, LLAMA2_7B)
+    for batch, length in ((1, 1024), (32, 1024), (1, 4096), (32, 4096)):
+        ratio = gen3.decode_seconds(batch, length) / cpu7b.decode_seconds(batch, length)
+        assert 1.3 <= ratio <= 1.8
+
+
+# ----------------------------------------------------------------------
+# Derived statements from the text
+# ----------------------------------------------------------------------
+def test_8b_decode_at_least_74ms():
+    # §X: "decoding of Llama-3.1-8B takes at least 74 ms" on the CPU.
+    law = LatencyLaw(XEON_GEN4_32C, LLAMA31_8B)
+    assert law.decode_seconds(1, 1024) * 1000 == pytest.approx(74, rel=0.1)
+
+
+def test_deepseek_7b_close_to_llama_7b():
+    # §IX-A: same-scale models perform similarly (650 ms vs 567 ms TTFT,
+    # 74 ms vs 71 ms TPOT at 1-batch 1K).
+    deepseek = LatencyLaw(XEON_GEN4_32C, DEEPSEEK_QWEN_7B)
+    llama = LatencyLaw(XEON_GEN4_32C, LLAMA2_7B)
+    assert 1.0 < deepseek.prefill_seconds(1024) / llama.prefill_seconds(1024) < 1.3
+    assert 1.0 <= deepseek.decode_seconds(1, 1024) / llama.decode_seconds(1, 1024) < 1.15
+
+
+def test_cpu_13b_feasible_up_to_5_6k_inputs():
+    # §IV-A2: CPUs handle "short inputs (≤5.6K for a 13B model)".
+    law = LatencyLaw(XEON_GEN4_32C, LLAMA2_13B)
+    assert law.prefill_seconds(5600) <= ttft_slo(5600)
+    assert law.prefill_seconds(6400) > ttft_slo(6400)
+
+
+def test_cpu_34b_misses_slo_even_short():
+    # Fig. 6: C-34B sits above the SLO already at short lengths.
+    law = LatencyLaw(XEON_GEN4_32C, CODELLAMA_34B)
+    assert law.prefill_seconds(512) > ttft_slo(512)
+
+
+def test_cpu_7b_8k_within_slo():
+    # Fig. 6 / §IX-I1: ~8.4K is the CPU feasibility edge at the 8 s cap.
+    law = LatencyLaw(XEON_GEN4_32C, LLAMA2_7B)
+    assert law.prefill_seconds(8192) <= 8.0
+    law8b = LatencyLaw(XEON_GEN4_32C, LLAMA31_8B)
+    assert law8b.prefill_seconds(10000) > 8.0
+
+
+# ----------------------------------------------------------------------
+# GPU laws (Figs. 6-8 shape)
+# ----------------------------------------------------------------------
+def test_gpu_far_faster_than_cpu():
+    cpu = LatencyLaw(XEON_GEN4_32C, LLAMA2_7B)
+    gpu = LatencyLaw(A100_80GB, LLAMA2_7B)
+    assert gpu.prefill_seconds(1024) < cpu.prefill_seconds(1024) / 5
+    assert gpu.decode_seconds(1, 1024) < cpu.decode_seconds(1, 1024) / 3
+
+
+def test_gpu_34b_prefill_within_slo_at_8k():
+    # Fig. 6: G-34B stays under the SLO across all tested lengths.
+    law = LatencyLaw(A100_80GB, CODELLAMA_34B)
+    for length in (128, 512, 2048, 8192):
+        assert law.prefill_seconds(length) <= ttft_slo(length)
+
+
+def test_decode_time_grows_sublinearly_with_batch():
+    # Fig. 7: "serving 7B on CPU at 1K, a 4-batch TPOT is only ~14% above 1-batch".
+    law = LatencyLaw(XEON_GEN4_32C, LLAMA2_7B)
+    ratio = law.decode_seconds(4, 1024) / law.decode_seconds(1, 1024)
+    assert 1.05 < ratio < 1.25
+
+
+def test_decode_time_doubles_with_length_at_32batch_13b():
+    # Fig. 8: 13B 32-batch TPOT roughly doubles from 512 to 2K tokens.
+    law = LatencyLaw(XEON_GEN4_32C, LLAMA2_13B)
+    ratio = law.decode_seconds(32, 2048) / law.decode_seconds(32, 512)
+    assert 1.6 < ratio < 2.4
+    assert law.decode_seconds(32, 2048) > 0.25  # the 2K point violates SLO
+
+
+def test_tensor_parallel_speeds_up_and_validates_degree():
+    single = LatencyLaw(A100_80GB, CODELLAMA_34B, tp_degree=1)
+    tp2 = LatencyLaw(A100_80GB, CODELLAMA_34B, tp_degree=2)
+    assert tp2.prefill_seconds(1024) == pytest.approx(single.prefill_seconds(1024) / 1.7)
+    with pytest.raises(ValueError):
+        LatencyLaw(A100_80GB, CODELLAMA_34B, tp_degree=3)
+    with pytest.raises(ValueError):
+        LatencyLaw(XEON_GEN4_32C, LLAMA2_7B, tp_degree=2)
+
+
+def test_invalid_inputs_rejected():
+    law = LatencyLaw(XEON_GEN4_32C, LLAMA2_7B)
+    with pytest.raises(ValueError):
+        law.prefill_seconds(0)
+    with pytest.raises(ValueError):
+        law.decode_seconds(0, 100)
+    with pytest.raises(ValueError):
+        LatencyLaw(XEON_GEN4_32C, LLAMA2_7B, fraction=0.0)

@@ -1,0 +1,119 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order(sim):
+    order = []
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time(sim):
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+    assert sim.now == 1.5
+
+
+def test_same_time_events_fire_in_scheduling_order(sim):
+    order = []
+    for tag in range(5):
+        sim.schedule(1.0, order.append, tag)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_schedule_at_absolute_time(sim):
+    sim.schedule_at(5.0, lambda: None)
+    sim.run()
+    assert sim.now == 5.0
+
+
+def test_scheduling_in_the_past_raises(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire(sim):
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(True))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert not handle.pending
+
+
+def test_cancel_is_lazy_and_cheap(sim):
+    handles = [sim.schedule(1.0, lambda: None) for _ in range(100)]
+    for handle in handles:
+        handle.cancel()
+    assert sim.peek_time() is None
+
+
+def test_run_until_stops_before_future_events(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(10.0, lambda: fired.append(10))
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [1, 10]
+
+
+def test_run_until_advances_clock_when_queue_drains(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_events_scheduled_during_run_are_processed(sim):
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(1.0, lambda: order.append("nested"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert order == ["first", "nested"]
+
+
+def test_max_events_bound(sim):
+    for _ in range(10):
+        sim.schedule(1.0, lambda: None)
+    fired = sim.run(max_events=3)
+    assert fired == 3
+    assert sim.pending_events == 7
+
+
+def test_step_returns_false_when_drained(sim):
+    assert sim.step() is False
+
+
+def test_events_processed_counter(sim):
+    for i in range(4):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_callback_args_passed(sim):
+    seen = []
+    sim.schedule(1.0, lambda a, b: seen.append((a, b)), 1, "x")
+    sim.run()
+    assert seen == [(1, "x")]

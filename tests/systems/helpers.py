@@ -1,0 +1,43 @@
+"""Hand-built deterministic workloads for system-behaviour tests."""
+
+from __future__ import annotations
+
+from repro.models import LLAMA2_7B
+from repro.models.catalog import ModelSpec
+from repro.workloads.spec import Deployment, RequestSpec, Workload
+
+
+def tiny_workload(
+    arrivals: list[tuple[str, float, int, int]],
+    models: dict[str, ModelSpec] | None = None,
+    duration: float = 120.0,
+    tp_degrees: dict[str, int] | None = None,
+) -> Workload:
+    """A workload from explicit (deployment, time, input, output) tuples."""
+    names = {name for name, *_ in arrivals}
+    models = models or {name: LLAMA2_7B for name in names}
+    tp_degrees = tp_degrees or {}
+    deployments = {
+        name: Deployment(name=name, model=spec, tp_degree=tp_degrees.get(name, 1))
+        for name, spec in models.items()
+    }
+    requests = [
+        RequestSpec(deployment=name, arrival=time, input_len=inp, output_len=out)
+        for name, time, inp, out in arrivals
+    ]
+    return Workload(
+        name="tiny", deployments=deployments, requests=requests, duration=duration
+    )
+
+
+def steady_stream(
+    deployment: str = "m0",
+    count: int = 10,
+    gap: float = 5.0,
+    input_len: int = 512,
+    output_len: int = 20,
+    start: float = 0.0,
+) -> list[tuple[str, float, int, int]]:
+    return [
+        (deployment, start + i * gap, input_len, output_len) for i in range(count)
+    ]

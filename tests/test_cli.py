@@ -1,0 +1,39 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_calibration_command(capsys):
+    assert main(["calibration"]) == 0
+    out = capsys.readouterr().out
+    assert "xeon-6462c-32c" in out
+    assert "G-7B-2K" in out
+
+
+def test_compare_command_small(capsys):
+    code = main(
+        [
+            "compare",
+            "--models", "4",
+            "--duration", "90",
+            "--cpus", "1",
+            "--gpus", "1",
+            "--systems", "sllm,slinfer",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sllm" in out and "slinfer" in out
+
+
+def test_parser_rejects_unknown_experiment():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["experiment", "nope"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

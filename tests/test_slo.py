@@ -1,0 +1,35 @@
+"""Tests for the SLO policy (§IX-A)."""
+
+import pytest
+
+from repro.slo import DEFAULT_SLO, SloPolicy, ttft_slo
+
+
+def test_ttft_floor_for_short_inputs():
+    assert ttft_slo(1) == 0.5
+    assert ttft_slo(256) == 0.5  # 256/512 = 0.5
+
+
+def test_ttft_scales_linearly_with_length():
+    assert ttft_slo(1024) == pytest.approx(2.0)
+    assert ttft_slo(2048) == pytest.approx(4.0)
+
+
+def test_ttft_ceiling_at_8_seconds():
+    assert ttft_slo(4096) == 8.0
+    assert ttft_slo(32768) == 8.0
+
+
+def test_negative_length_rejected():
+    with pytest.raises(ValueError):
+        ttft_slo(-1)
+
+
+def test_default_tpot_is_250ms():
+    assert DEFAULT_SLO.tpot == 0.25
+
+
+def test_ttft_override_for_tight_slo_studies():
+    tight = SloPolicy(tpot=0.1, ttft_override=1.0)
+    assert tight.ttft(8192) == 1.0
+    assert tight.tpot == 0.1

@@ -1,0 +1,105 @@
+"""Tests for the synthetic Azure serverless trace (Fig. 21 / §III-C)."""
+
+import pytest
+
+from repro.models import LLAMA2_7B, LLAMA32_3B
+from repro.workloads import AzureServerlessConfig, synthesize_azure_trace
+from repro.workloads.azure_serverless import mixed_models, replica_models
+from repro.workloads.spec import RequestSpec, Workload
+
+
+def _trace(n_models=64, seed=0, **kwargs):
+    models = replica_models(LLAMA2_7B, n_models)
+    config = AzureServerlessConfig(n_models=n_models, seed=seed, **kwargs)
+    return synthesize_azure_trace(models, config)
+
+
+@pytest.mark.parametrize("n_models,expected", [(32, 2366), (64, 4684), (128, 9266)])
+def test_totals_match_paper_within_10pct(n_models, expected):
+    workload = _trace(n_models=n_models, seed=1)
+    assert workload.total_requests == pytest.approx(expected, rel=0.10)
+
+
+def test_top_models_dominate():
+    # §III-C: the top 1 % of functions contributes ~26 % of requests.
+    workload = _trace(n_models=128, seed=2)
+    assert 0.15 <= workload.top_share(0.01) <= 0.45
+
+
+def test_most_models_receive_few_requests():
+    # Fig. 21 inset: "Most models have few requests, top models have many."
+    workload = _trace(n_models=64, seed=3)
+    rpms = sorted(workload.per_model_rpm().values())
+    median_rpm = rpms[len(rpms) // 2]
+    assert median_rpm < 2.0
+    assert max(rpms) > 10 * max(median_rpm, 0.1)
+
+
+def test_burstiness_creates_minute_peaks():
+    workload = _trace(n_models=32, seed=1)
+    per_minute = workload.per_minute_counts()
+    mean = sum(per_minute) / len(per_minute)
+    assert max(per_minute) > 1.5 * mean
+
+
+def test_arrivals_sorted_and_within_duration():
+    workload = _trace(n_models=32, seed=4)
+    arrivals = [r.arrival for r in workload.requests]
+    assert arrivals == sorted(arrivals)
+    assert 0 <= arrivals[0] and arrivals[-1] < workload.duration
+
+
+def test_input_lengths_respect_model_context():
+    workload = _trace(n_models=32, seed=5)
+    max_context = LLAMA2_7B.max_context
+    for request in workload.requests:
+        assert request.input_len + request.output_len <= max_context
+
+
+def test_deterministic_given_seed():
+    a = _trace(n_models=32, seed=7)
+    b = _trace(n_models=32, seed=7)
+    assert [(r.deployment, r.arrival) for r in a.requests] == [
+        (r.deployment, r.arrival) for r in b.requests
+    ]
+
+
+def test_different_seeds_differ():
+    a = _trace(n_models=32, seed=1)
+    b = _trace(n_models=32, seed=2)
+    assert a.total_requests != b.total_requests or a.requests != b.requests
+
+
+def test_replica_models_names_unique():
+    models = replica_models(LLAMA32_3B, 16)
+    assert len(models) == 16
+    assert all(spec is LLAMA32_3B for spec in models.values())
+
+
+def test_mixed_models_respects_ratio():
+    models = mixed_models({LLAMA32_3B: 2, LLAMA2_7B: 1}, total=30)
+    counts = {}
+    for spec in models.values():
+        counts[spec.name] = counts.get(spec.name, 0) + 1
+    assert counts["llama-3.2-3b"] == 20
+    assert counts["llama-2-7b"] == 10
+
+
+def test_workload_rejects_unknown_deployment():
+    with pytest.raises(ValueError):
+        Workload(
+            name="bad",
+            deployments={},
+            requests=[RequestSpec("ghost", 1.0, 10, 10)],
+            duration=10.0,
+        )
+
+
+def test_truncated_and_scaled_views():
+    workload = _trace(n_models=32, seed=1)
+    short = workload.truncated(60.0)
+    assert short.duration == 60.0
+    assert all(r.arrival < 60.0 for r in short.requests)
+    stretched = workload.scaled(2.0)
+    assert stretched.duration == workload.duration * 2
+    assert stretched.total_requests == workload.total_requests

@@ -1,0 +1,80 @@
+"""Tests for BurstGPT traces and the popularity models (Figs. 2, 3, 27)."""
+
+import numpy as np
+import pytest
+
+from repro.models import LLAMA2_7B
+from repro.workloads import (
+    BurstGPTConfig,
+    huggingface_size_popularity,
+    lmsys_request_rates,
+    synthesize_burstgpt_trace,
+)
+from repro.workloads.azure_serverless import replica_models
+
+
+def _burst(rps=1.0, seed=0):
+    models = replica_models(LLAMA2_7B, 64)
+    return synthesize_burstgpt_trace(models, BurstGPTConfig(aggregate_rps=rps, seed=seed))
+
+
+def test_aggregate_rate_matches_target():
+    workload = _burst(rps=2.0, seed=1)
+    rate = workload.total_requests / workload.duration
+    assert rate == pytest.approx(2.0, rel=0.15)
+
+
+def test_arrivals_burstier_than_poisson():
+    workload = _burst(rps=1.0, seed=2)
+    arrivals = np.array([r.arrival for r in workload.requests])
+    gaps = np.diff(arrivals)
+    cv = gaps.std() / gaps.mean()
+    assert cv > 1.2  # Poisson would be ~1.0
+
+
+def test_pareto_spread_across_models():
+    # §IX-I2: invocations distributed over 64 models via Pareto.
+    workload = _burst(rps=4.0, seed=3)
+    counts = sorted(workload.requests_per_model().values(), reverse=True)
+    top_share = sum(counts[:6]) / sum(counts)
+    assert top_share > 0.3  # top ~10% of models carry a large share
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BurstGPTConfig(aggregate_rps=0)
+    models = replica_models(LLAMA2_7B, 8)
+    with pytest.raises(ValueError):
+        synthesize_burstgpt_trace(models, BurstGPTConfig(n_models=64))
+
+
+# ----------------------------------------------------------------------
+# Popularity (Figs. 2-3)
+# ----------------------------------------------------------------------
+def test_hf_downloads_under_8b_matches_paper():
+    # §III-B: models ≤8 B params take 87 % of downloads.
+    stats = huggingface_size_popularity(seed=0)
+    assert stats.downloads_under_8b == pytest.approx(0.87, abs=0.05)
+
+
+def test_hf_likes_under_8b_matches_paper():
+    # §III-B: ...and 60 % of user preferences (likes).
+    stats = huggingface_size_popularity(seed=0)
+    assert stats.likes_under_8b == pytest.approx(0.60, abs=0.05)
+
+
+def test_hf_downloads_skew_smaller_than_likes():
+    stats = huggingface_size_popularity(seed=1)
+    assert stats.downloads_under_8b > stats.likes_under_8b
+
+
+def test_lmsys_most_models_below_5_req_per_hour():
+    # §I / Fig. 3: 56 % of LMSYS models receive <5 requests/hour.
+    rates = lmsys_request_rates(n_models=25, seed=0)
+    assert 0.4 <= (rates < 5.0).mean() <= 0.72
+
+
+def test_lmsys_head_is_hot():
+    rates = lmsys_request_rates(n_models=25, seed=0)
+    assert rates[0] > 20.0  # the hottest model sees tens of req/hour
+    assert list(rates) == sorted(rates, reverse=True)

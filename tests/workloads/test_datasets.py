@@ -1,0 +1,87 @@
+"""Tests for dataset length distributions (Fig. 34 statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import make_rng
+from repro.workloads import (
+    AZURE_CODE,
+    AZURE_CONV,
+    DATASETS,
+    HUMANEVAL,
+    LONGBENCH,
+    SHAREGPT,
+)
+
+
+def test_conversation_inputs_mostly_under_4k():
+    # §IV-A2: 97.9 % of conversation inputs are under 4 K tokens.
+    assert AZURE_CONV.input_fraction_below(4096) == pytest.approx(0.979, abs=0.01)
+
+
+def test_code_inputs_mostly_under_4k():
+    # §IV-A2: 85.9 % of coding inputs are under 4 K tokens.
+    assert AZURE_CODE.input_fraction_below(4096) == pytest.approx(0.859, abs=0.02)
+
+
+def test_empirical_samples_match_analytic_cdf():
+    rng = make_rng(0, "test")
+    samples = AZURE_CONV.sample_input_lens(rng, 20000)
+    assert (samples < 4096).mean() == pytest.approx(0.979, abs=0.01)
+
+
+def test_sharegpt_outputs_longer_than_azure_code():
+    # §IX-I1: ShareGPT's longer outputs create more batching opportunity.
+    rng = make_rng(0, "test")
+    sharegpt_out = SHAREGPT.sample_output_lens(rng, 5000).mean()
+    code_out = AZURE_CODE.sample_output_lens(rng, 5000).mean()
+    assert sharegpt_out > 4 * code_out
+
+
+def test_longbench_inputs_reach_32k():
+    rng = make_rng(1, "test")
+    samples = LONGBENCH.sample_input_lens(rng, 5000)
+    assert samples.max() > 16000
+    assert samples.min() >= 1024
+
+
+def test_longbench_mostly_beyond_cpu_range():
+    # §IX-I1: CPUs handle ≤8.4K-token inputs; most of LongBench is longer.
+    rng = make_rng(1, "test")
+    samples = LONGBENCH.sample_input_lens(rng, 5000)
+    assert (samples > 8400).mean() > 0.35
+
+
+def test_humaneval_prompts_are_short():
+    rng = make_rng(2, "test")
+    assert HUMANEVAL.sample_input_lens(rng, 5000).mean() < 400
+
+
+def test_samples_are_clipped_and_integral():
+    rng = make_rng(3, "test")
+    for dist in DATASETS.values():
+        inputs = dist.sample_input_lens(rng, 1000)
+        outputs = dist.sample_output_lens(rng, 1000)
+        assert inputs.dtype.kind == "i" and outputs.dtype.kind == "i"
+        assert inputs.min() >= dist.input_clip[0]
+        assert inputs.max() <= dist.input_clip[1]
+        assert outputs.min() >= dist.output_clip[0]
+        assert outputs.max() <= dist.output_clip[1]
+
+
+def test_sample_pairs_zip_inputs_and_outputs():
+    rng = make_rng(4, "test")
+    pairs = AZURE_CONV.sample_pairs(rng, 10)
+    assert len(pairs) == 10
+    assert all(isinstance(i, int) and isinstance(o, int) for i, o in pairs)
+
+
+def test_mean_output_len_is_lognormal_mean():
+    expected = AZURE_CONV.output_median * np.exp(AZURE_CONV.output_sigma**2 / 2)
+    assert AZURE_CONV.mean_output_len == pytest.approx(expected)
+
+
+def test_determinism_per_seed():
+    a = AZURE_CONV.sample_pairs(make_rng(9, "x"), 50)
+    b = AZURE_CONV.sample_pairs(make_rng(9, "x"), 50)
+    assert a == b
