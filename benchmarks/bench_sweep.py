@@ -1,0 +1,32 @@
+"""Sweep-executor regression: parallel grids replay identically.
+
+Not a paper figure — this guards the orchestration layer every other
+benchmark rides on: a (system × seed) grid run across worker processes
+must produce byte-identical per-spec reports to a sequential run, and a
+second pass must come entirely from the result cache.
+"""
+
+from conftest import grid
+
+from repro.runner import SweepExecutor, expand_grid
+
+
+def _grid():
+    duration = grid(600.0, 90.0)
+    return expand_grid(["sllm", "slinfer"], seeds=[1, 2], n_models=[4], duration=duration)
+
+
+def test_parallel_sweep_matches_sequential(run_once, sweep):
+    specs = _grid()
+    parallel = run_once(sweep.run, specs)
+    assert all(not r.from_cache for r in parallel)
+    sequential = SweepExecutor(workers=1).run(specs)
+    assert [r.canonical_json() for r in parallel] == [
+        r.canonical_json() for r in sequential
+    ]
+
+    replayed = sweep.run(specs)
+    assert all(r.from_cache for r in replayed)
+    assert [r.canonical_json() for r in replayed] == [
+        r.canonical_json() for r in parallel
+    ]

@@ -5,19 +5,21 @@ the corresponding rows/series (absolute numbers come from the calibrated
 simulator; the assertions check the paper's *shape*: who wins, by roughly
 what factor, where crossovers fall).
 
-Scale control: ``REPRO_SCALE=full`` replays the paper's 30-minute traces;
-the default ``quick`` replays rate-preserving 10-minute slices.
+Scale control rides the run-orchestration layer (``repro.runner``):
+``REPRO_SCALE=full`` replays the paper's 30-minute traces; the default
+``quick`` replays rate-preserving 10-minute slices.  ``REPRO_WORKERS``
+sets the worker-pool size for the ``sweep`` fixture.
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
+
+from repro.runner import ResultCache, SweepExecutor, current_scale
 
 
 def at_full_scale() -> bool:
-    return os.environ.get("REPRO_SCALE", "quick").lower() == "full"
+    return current_scale().label == "full"
 
 
 def grid(full, quick):
@@ -33,3 +35,14 @@ def run_once(benchmark):
         return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
     return _run
+
+
+@pytest.fixture
+def sweep(tmp_path):
+    """A SweepExecutor with a per-test result cache.
+
+    Benchmarks that fan a RunSpec grid out (instead of calling an
+    experiment runner directly) use this to pick up ``REPRO_WORKERS``
+    parallelism for free:  ``results = sweep.run(expand_grid(...))``.
+    """
+    return SweepExecutor(cache=ResultCache(tmp_path / "repro-cache"))

@@ -1,50 +1,37 @@
 #!/usr/bin/env python3
 """Mixed model-size fleet with a tensor-parallel 34B (§IX-E scenario).
 
-Deploys a 3B/7B/13B/34B mix (the 34B runs TP-2 and falls back to exclusive
-GPU allocation), serves a bursty trace, and shows how SLINFER packs small
-models onto CPUs while reserving GPUs for the large ones.
+The fleet composition lives in the registered ``mixed-fleet`` workload
+scenario (``repro/workloads/scenarios.py``): a 3B/7B/13B/34B mix where
+the 34B runs TP-2 and falls back to exclusive GPU allocation.  This
+example names it in a RunSpec, runs it through the orchestration layer,
+and shows how SLINFER packs small models onto CPUs while reserving GPUs
+for the large ones.
 
 Run:  python examples/mixed_fleet.py
 """
 
-from repro.core import Slinfer
-from repro.hardware import Cluster
-from repro.models import CODELLAMA_34B, LLAMA2_13B, LLAMA2_7B, LLAMA32_3B
-from repro.workloads import AzureServerlessConfig, synthesize_azure_trace
-from repro.workloads.azure_serverless import mixed_models
-from repro.workloads.spec import Deployment, Workload
+from repro.runner import RunSpec, build_workload, execute_spec
+
+SPEC = RunSpec(
+    system="slinfer",
+    scenario="mixed-fleet",
+    n_models=28,
+    cluster="mixed-fleet",  # 4 CPU + 6 GPU nodes
+    seed=3,
+    duration=480.0,
+    scenario_params={"ratio": (4, 1, 1, 1)},
+)
 
 
 def main() -> None:
-    models = mixed_models(
-        {LLAMA32_3B: 4, LLAMA2_7B: 1, LLAMA2_13B: 1, CODELLAMA_34B: 1},
-        total=28,
-        seed=3,
-    )
-    config = AzureServerlessConfig(
-        n_models=28, duration=480.0, requests_per_model=20, seed=3
-    )
-    workload = synthesize_azure_trace(models, config)
-    # 34B deployments need 2 GPUs each (tensor parallelism).
-    deployments = {
-        name: Deployment(
-            name=name, model=d.model, tp_degree=2 if d.model is CODELLAMA_34B else 1
-        )
-        for name, d in workload.deployments.items()
-    }
-    workload = Workload(
-        name=workload.name,
-        deployments=deployments,
-        requests=workload.requests,
-        duration=workload.duration,
-    )
-
-    cluster = Cluster.build(cpu_count=4, gpu_count=6)
-    system = Slinfer(cluster)
-    report = system.run(workload)
-
+    workload = build_workload(SPEC)
+    result = execute_spec(SPEC, workload=workload)
+    report = result.report
     print(report.summary_line())
+    print(f"  [{report.timing_line()}]")
+
+    deployments = workload.deployments
     sizes = {}
     for request in report.requests:
         model = deployments[request.deployment].model

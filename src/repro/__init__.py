@@ -32,26 +32,46 @@ from repro.baselines import (
 from repro.core import BaseServingSystem, Slinfer, SlinferConfig, SystemConfig
 from repro.hardware import Cluster, paper_testbed
 from repro.metrics import RunReport
+from repro.registry import CLUSTERS, SCENARIOS, SYSTEMS, build_cluster, system_factory
+from repro.runner import (
+    ResultCache,
+    RunResult,
+    RunSpec,
+    SweepExecutor,
+    execute_spec,
+    expand_grid,
+)
 from repro.slo import DEFAULT_SLO, SloPolicy, ttft_slo
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BaseServingSystem",
+    "CLUSTERS",
     "Cluster",
     "DEFAULT_SLO",
     "NeoSystem",
     "PdSllmSystem",
     "PdSlinfer",
+    "ResultCache",
     "RunReport",
+    "RunResult",
+    "RunSpec",
+    "SCENARIOS",
+    "SYSTEMS",
     "Slinfer",
     "SlinferConfig",
     "SloPolicy",
+    "SweepExecutor",
     "SystemConfig",
+    "build_cluster",
+    "execute_spec",
+    "expand_grid",
     "make_sllm",
     "make_sllm_c",
     "make_sllm_cs",
     "paper_testbed",
+    "system_factory",
     "ttft_slo",
     "__version__",
 ]

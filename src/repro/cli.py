@@ -4,30 +4,62 @@ Commands:
 
 * ``compare`` — run the four systems on one workload and print Fig. 22-style
   metrics.
+* ``sweep`` — run a (system × scenario × model-count × seed) grid across
+  worker processes, with an on-disk result cache.
+* ``list`` — show the registered systems, scenarios, and clusters.
 * ``experiment`` — run a named paper experiment (``fig22``, ``ablation``,
   ``table1``, ``table2``, ``watermark``, ``keepalive``, ``pd``, ``quant``).
 * ``calibration`` — print the calibrated latency laws against the paper's
   published anchors.
+
+Workload and system tables are never hand-rolled here: every lookup goes
+through :mod:`repro.registry`, and runs execute through
+:mod:`repro.runner`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
-from repro.baselines import make_sllm, make_sllm_c, make_sllm_cs
-from repro.core import Slinfer
-from repro.hardware import Cluster
-from repro.models import CATALOG, LLAMA2_7B, get_model
-from repro.workloads import AzureServerlessConfig, synthesize_azure_trace
-from repro.workloads.azure_serverless import replica_models
+from repro.models import CATALOG, get_model
+from repro.registry import (
+    CLUSTERS,
+    RegistryError,
+    SCENARIOS,
+    STANDARD_SYSTEMS,
+    SYSTEMS,
+    build_cluster,
+)
+from repro.runner import (
+    ResultCache,
+    RunSpec,
+    SweepExecutor,
+    build_workload,
+    default_workers,
+    execute_spec,
+    expand_grid,
+)
 
-_SYSTEMS = {
-    "sllm": make_sllm,
-    "sllm+c": make_sllm_c,
-    "sllm+c+s": make_sllm_cs,
-    "slinfer": Slinfer,
-}
+
+def _csv(value: str) -> list[str]:
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _validate_names(systems=(), scenarios=(), clusters=(), models=()) -> None:
+    """Fail fast (before any simulation) on unknown registry names."""
+    for name in systems:
+        SYSTEMS.get(name)
+    for name in scenarios:
+        SCENARIOS.get(name)
+    for name in clusters:
+        build_cluster(name)
+    for name in models:
+        try:
+            get_model(name)
+        except KeyError as error:
+            raise RegistryError(str(error).strip('"')) from None
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -39,30 +71,89 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--gpus", type=int, default=4)
 
 
-def _build_workload(args: argparse.Namespace):
-    per_model = 73.0 * args.duration / 1800.0
-    config = AzureServerlessConfig(
-        n_models=args.models,
-        duration=args.duration,
-        requests_per_model=per_model,
-        seed=args.seed,
-    )
-    return synthesize_azure_trace(
-        replica_models(get_model(args.model), args.models), config
-    )
-
-
 def cmd_compare(args: argparse.Namespace) -> int:
-    workload = _build_workload(args)
+    wanted = _csv(args.systems) if args.systems else list(STANDARD_SYSTEMS)
+    _validate_names(systems=wanted)
+    specs = [
+        RunSpec(
+            system=name,
+            scenario="azure",
+            model=args.model,
+            n_models=args.models,
+            cluster=f"cpu{args.cpus}-gpu{args.gpus}",
+            seed=args.seed,
+            duration=args.duration,
+        )
+        for name in wanted
+    ]
+    workload = build_workload(specs[0])
     print(
         f"workload: {workload.total_requests} requests / {args.models} models "
         f"/ {args.duration:.0f}s on {args.cpus} CPU + {args.gpus} GPU nodes"
     )
-    wanted = args.systems.split(",") if args.systems else list(_SYSTEMS)
-    for name in wanted:
-        factory = _SYSTEMS[name.strip()]
-        report = factory(Cluster.build(args.cpus, args.gpus)).run(workload)
-        print(report.summary_line())
+    for spec in specs:
+        # All specs share the workload axes, so synthesize the trace once.
+        result = execute_spec(spec, workload=workload)
+        print(f"{result.report.summary_line()}  [{result.report.timing_line()}]")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    systems = _csv(args.systems) if args.systems else list(STANDARD_SYSTEMS)
+    _validate_names(
+        systems=systems,
+        scenarios=_csv(args.scenarios),
+        clusters=_csv(args.clusters),
+        models=_csv(args.model),
+    )
+    specs = expand_grid(
+        systems,
+        scenarios=_csv(args.scenarios),
+        models=_csv(args.model),
+        n_models=[int(n) for n in _csv(args.models)],
+        clusters=_csv(args.clusters),
+        seeds=[int(s) for s in _csv(args.seeds)],
+        scale=args.scale,
+        duration=args.duration,
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    executor = SweepExecutor(workers=args.workers, cache=cache)
+    print(f"sweep: {len(specs)} spec(s) across {executor.workers} worker(s)")
+    results = executor.run(specs)
+    for result in results:
+        print(f"  {result.spec.label()}")
+        print(f"  {result.summary_line()}")
+    simulated = [r for r in results if not r.from_cache]
+    total_wall = sum(r.wall_seconds for r in simulated)
+    print(
+        f"done: {len(results)} result(s), {len(results) - len(simulated)} from cache, "
+        f"{total_wall:.2f}s simulating"
+    )
+    if cache is not None:
+        print(cache.stats_line())
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for result in results:
+            path = out_dir / f"{result.fingerprint}.json"
+            path.write_text(result.canonical_json(), encoding="utf-8")
+        print(f"wrote {len(results)} canonical report(s) to {out_dir}")
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("systems:")
+    for name in SYSTEMS.names():
+        print(f"  {name}")
+    print("scenarios:")
+    for name in SCENARIOS.names():
+        print(f"  {name}")
+    print("clusters (plus ad-hoc 'cpu{N}-gpu{M}'):")
+    for name in CLUSTERS.names():
+        print(f"  {name}")
+    print("models:")
+    for name in sorted(CATALOG):
+        print(f"  {name}")
     return 0
 
 
@@ -120,6 +211,27 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--systems", default="", help="comma list (default: all)")
     compare.set_defaults(func=cmd_compare)
 
+    sweep = sub.add_parser("sweep", help="run a spec grid across worker processes")
+    sweep.add_argument("--systems", default="", help="comma list (default: the four §IX-B systems)")
+    sweep.add_argument("--scenarios", default="azure", help="comma list of registered scenarios")
+    sweep.add_argument("--model", default="llama-2-7b", help="comma list of model names")
+    sweep.add_argument("--models", default="32", help="comma list of deployment counts")
+    sweep.add_argument("--clusters", default="paper", help="comma list (or cpu{N}-gpu{M})")
+    sweep.add_argument("--seeds", default="1", help="comma list of seeds")
+    sweep.add_argument("--scale", default="quick", choices=["full", "quick", "smoke"])
+    sweep.add_argument("--duration", type=float, default=None, help="override scale window (s)")
+    sweep.add_argument(
+        "--workers", type=int, default=default_workers(),
+        help="worker processes (default: REPRO_WORKERS or 1)",
+    )
+    sweep.add_argument("--no-cache", action="store_true", help="always re-simulate")
+    sweep.add_argument("--cache-dir", default=None, help="result cache directory")
+    sweep.add_argument("--out", default=None, help="write per-spec canonical JSON here")
+    sweep.set_defaults(func=cmd_sweep)
+
+    listing = sub.add_parser("list", help="show registered systems/scenarios/clusters")
+    listing.set_defaults(func=cmd_list)
+
     experiment = sub.add_parser("experiment", help="run a named paper experiment")
     experiment.add_argument(
         "name",
@@ -135,7 +247,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except RegistryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

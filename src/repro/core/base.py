@@ -69,6 +69,7 @@ class BaseServingSystem(abc.ABC):
     # ------------------------------------------------------------------
     def run(self, workload: Workload, until: Optional[float] = None) -> RunReport:
         """Serve a workload to completion and return the measured report."""
+        start = _wallclock.perf_counter()
         self.deployments = dict(workload.deployments)
         self._trace_duration = workload.duration
         self._prepare(workload)
@@ -78,7 +79,10 @@ class BaseServingSystem(abc.ABC):
             self.sim.schedule(self.config.sample_interval, self._sample_memory)
         horizon = until if until is not None else workload.duration + self.config.drain_timeout
         self.sim.run(until=horizon)
-        return self.metrics.finalize(self.sim.now, workload.duration, self.name)
+        report = self.metrics.finalize(self.sim.now, workload.duration, self.name)
+        report.wall_seconds = _wallclock.perf_counter() - start
+        report.events_processed = self.sim.events_processed
+        return report
 
     def _prepare(self, workload: Workload) -> None:
         """Hook: build executors / per-node state before the trace starts."""

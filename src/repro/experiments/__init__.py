@@ -12,6 +12,7 @@ from repro.experiments.common import (
     current_scale,
     make_azure_workload,
     standard_systems,
+    systems_named,
 )
 from repro.experiments.discussion import run_quantization_comparison
 from repro.experiments.render import render_fig22, render_reports, render_table2
@@ -69,4 +70,5 @@ __all__ = [
     "render_reports",
     "render_table2",
     "standard_systems",
+    "systems_named",
 ]

@@ -1,56 +1,42 @@
-"""Shared experiment plumbing: scale control, workload builders, systems."""
+"""Shared experiment plumbing on top of the run-orchestration layer.
+
+Scale control lives in :mod:`repro.runner.scale`; systems, clusters, and
+scenarios are resolved through :mod:`repro.registry`.  This module keeps
+the experiment-facing conveniences (and their historical import paths).
+"""
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass
 from typing import Callable
 
-from repro.baselines import make_sllm, make_sllm_c, make_sllm_cs
-from repro.core import Slinfer
 from repro.hardware.cluster import Cluster, paper_testbed
 from repro.metrics.report import RunReport
 from repro.models.catalog import ModelSpec
-from repro.workloads.azure_serverless import (
-    AzureServerlessConfig,
-    REQUESTS_PER_MODEL_30MIN,
-    replica_models,
-    synthesize_azure_trace,
+from repro.registry import SCENARIOS, STANDARD_SYSTEMS, SYSTEMS, systems_named
+from repro.runner.scale import (
+    FULL_SCALE,
+    QUICK_SCALE,
+    SMOKE_SCALE,
+    ExperimentScale,
+    current_scale,
 )
 from repro.workloads.datasets import AZURE_CONV, LengthDistribution
 from repro.workloads.spec import Workload
 
+__all__ = [
+    "ExperimentScale",
+    "FULL_SCALE",
+    "QUICK_SCALE",
+    "SMOKE_SCALE",
+    "SystemFactory",
+    "current_scale",
+    "make_azure_workload",
+    "run_on_testbed",
+    "standard_systems",
+    "systems_named",
+]
+
 SystemFactory = Callable[[Cluster], object]
-
-
-@dataclass(frozen=True)
-class ExperimentScale:
-    """Trace scale: the paper's 30 minutes, or a faster slice.
-
-    The request *rate* (requests per model per minute) is preserved; only
-    the observation window shrinks, so SLO rates and resource usage stay
-    comparable while runs finish ~duration-proportionally faster.
-    """
-
-    duration: float
-    label: str
-
-    @property
-    def requests_per_model(self) -> float:
-        return REQUESTS_PER_MODEL_30MIN * self.duration / 1800.0
-
-
-FULL_SCALE = ExperimentScale(duration=1800.0, label="full")
-QUICK_SCALE = ExperimentScale(duration=600.0, label="quick")
-SMOKE_SCALE = ExperimentScale(duration=180.0, label="smoke")
-
-
-def current_scale() -> ExperimentScale:
-    """Scale selected via the REPRO_SCALE environment variable."""
-    value = os.environ.get("REPRO_SCALE", "quick").lower()
-    return {"full": FULL_SCALE, "quick": QUICK_SCALE, "smoke": SMOKE_SCALE}.get(
-        value, QUICK_SCALE
-    )
 
 
 def make_azure_workload(
@@ -62,23 +48,19 @@ def make_azure_workload(
 ) -> Workload:
     """The §IX-B workload: n replica deployments on the Azure trace."""
     scale = scale or current_scale()
-    config = AzureServerlessConfig(
-        n_models=n_models,
-        duration=scale.duration,
-        requests_per_model=scale.requests_per_model,
-        seed=seed,
+    return SCENARIOS.get("azure")(
+        model,
+        n_models,
+        scale.duration,
+        scale.requests_per_model,
+        seed,
+        dataset=length_distribution.name,
     )
-    return synthesize_azure_trace(replica_models(model, n_models), config, length_distribution)
 
 
 def standard_systems() -> dict[str, SystemFactory]:
     """The four systems of the end-to-end comparison (§IX-B)."""
-    return {
-        "sllm": make_sllm,
-        "sllm+c": make_sllm_c,
-        "sllm+c+s": make_sllm_cs,
-        "slinfer": Slinfer,
-    }
+    return {name: SYSTEMS.get(name) for name in STANDARD_SYSTEMS}
 
 
 def run_on_testbed(

@@ -4,8 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core import Slinfer
 from repro.experiments.common import ExperimentScale, current_scale
+from repro.registry import system_factory
 from repro.hardware.cluster import Cluster
 from repro.metrics.report import RunReport
 from repro.models.catalog import CODESTRAL_22B, Quantization
@@ -49,7 +49,7 @@ def run_quantization_comparison(
             seed=seed,
         )
         workload = synthesize_azure_trace(replica_models(model, n_models), config)
-        report = Slinfer(Cluster.build(0, 4)).run(workload)
+        report = system_factory("slinfer")(Cluster.build(0, 4)).run(workload)
         results.append(
             QuantizationResult(
                 quantization=quantization.value,

@@ -4,14 +4,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines import PdSllmSystem, PdSlinfer, make_sllm_cs
-from repro.core import Slinfer, SlinferConfig
+from repro.core import SlinferConfig
 from repro.experiments.common import (
     ExperimentScale,
     current_scale,
     make_azure_workload,
-    standard_systems,
 )
+from repro.registry import STANDARD_SYSTEMS, system_factory
+from repro.runner import RunSpec, SweepExecutor
 from repro.hardware.cluster import paper_testbed
 from repro.metrics.report import RunReport
 from repro.models.catalog import LLAMA2_13B, LLAMA2_7B, LLAMA32_3B, ModelSpec
@@ -38,21 +38,44 @@ class E2ECell:
 def run_fig22(
     size: str = "7B",
     counts: tuple[int, ...] = (32, 64, 128),
-    systems: dict | None = None,
+    systems: tuple[str, ...] | None = None,
     scale: ExperimentScale | None = None,
     seed: int = 1,
+    workers: int | None = None,
 ) -> list[E2ECell]:
-    """One panel of Fig. 22 (a/b/c by model size)."""
+    """One panel of Fig. 22 (a/b/c by model size).
+
+    The (count × system) grid goes through the sweep executor, so
+    ``REPRO_WORKERS`` (or ``workers=``) parallelizes the panel across
+    processes with results identical to a sequential run.
+    """
     model = SIZE_MODELS[size]
     scale = scale or current_scale()
-    systems = systems or standard_systems()
-    cells = []
-    for n_models in counts:
-        workload = make_azure_workload(model, n_models, scale, seed=seed)
-        for name, factory in systems.items():
-            report = factory(paper_testbed()).run(workload)
-            cells.append(E2ECell(system=name, size=size, n_models=n_models, report=report))
-    return cells
+    names = list(systems) if systems is not None else list(STANDARD_SYSTEMS)
+    specs = [
+        RunSpec(
+            system=name,
+            scenario="azure",
+            model=model.name,
+            n_models=n_models,
+            cluster="paper",
+            seed=seed,
+            scale=scale.label,
+            duration=scale.duration,
+        )
+        for n_models in counts
+        for name in names
+    ]
+    results = SweepExecutor(workers=workers).run(specs)
+    return [
+        E2ECell(
+            system=result.spec.system,
+            size=size,
+            n_models=result.spec.n_models,
+            report=result.report,
+        )
+        for result in results
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -74,10 +97,11 @@ def run_ablation(
 ) -> dict[str, RunReport]:
     scale = scale or current_scale()
     workload = make_azure_workload(SIZE_MODELS[size], n_models, scale, seed=seed)
+    slinfer = system_factory("slinfer")
     results = {}
     for label, overrides in ABLATIONS.items():
         config = SlinferConfig(**overrides)
-        results[label] = Slinfer(paper_testbed(), config=config).run(workload)
+        results[label] = slinfer(paper_testbed(), config=config).run(workload)
     return results
 
 
@@ -110,20 +134,13 @@ def run_pd_table(
     rows = []
     for n_models in counts:
         workload = make_azure_workload(LLAMA2_7B, n_models, scale, seed=seed)
-        rows.append(
-            PdRow(
-                system="sllm+c+s",
-                n_models=n_models,
-                aggregated=make_sllm_cs(paper_testbed()).run(workload),
-                disaggregated=PdSllmSystem(paper_testbed()).run(workload),
+        for system, pd_system in (("sllm+c+s", "pd-sllm"), ("slinfer", "pd-slinfer")):
+            rows.append(
+                PdRow(
+                    system=system,
+                    n_models=n_models,
+                    aggregated=system_factory(system)(paper_testbed()).run(workload),
+                    disaggregated=system_factory(pd_system)(paper_testbed()).run(workload),
+                )
             )
-        )
-        rows.append(
-            PdRow(
-                system="slinfer",
-                n_models=n_models,
-                aggregated=Slinfer(paper_testbed()).run(workload),
-                disaggregated=PdSlinfer(paper_testbed()).run(workload),
-            )
-        )
     return rows

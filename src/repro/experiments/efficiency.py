@@ -4,9 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines import make_sllm, make_sllm_cs
-from repro.core import Slinfer
-from repro.experiments.common import ExperimentScale, current_scale
+from repro.experiments.common import ExperimentScale, current_scale, systems_named
 from repro.hardware.cluster import paper_testbed
 from repro.metrics.cdf import Cdf
 from repro.metrics.report import RunReport
@@ -51,11 +49,7 @@ def run_gpu_efficiency(
     )
     workload = synthesize_azure_trace(models, config)
     results = []
-    for name, factory in (
-        ("sllm", make_sllm),
-        ("sllm+c+s", make_sllm_cs),
-        ("slinfer", Slinfer),
-    ):
+    for name, factory in systems_named("sllm", "sllm+c+s", "slinfer"):
         report = factory(paper_testbed()).run(workload)
         gpu_values = []
         for batch, count in report.gpu_batch_histogram.items():

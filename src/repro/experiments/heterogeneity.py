@@ -4,13 +4,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines import NeoSystem, make_sllm_c, make_sllm_cs
-from repro.core import Slinfer
 from repro.experiments.common import (
     ExperimentScale,
     current_scale,
     make_azure_workload,
+    systems_named,
 )
+from repro.registry import system_factory
 from repro.hardware.cluster import Cluster
 from repro.hardware.specs import XEON_GEN4_32C, harvested_cpu
 from repro.metrics.report import RunReport
@@ -48,12 +48,13 @@ def run_cpu_scalability(
     """Start from 2 GPU + 0 CPU nodes and add CPU or GPU nodes."""
     scale = scale or current_scale()
     workload = make_azure_workload(LLAMA2_7B, n_models, scale, seed=seed)
+    slinfer = system_factory("slinfer")
     points = []
     for kind in ("cpu", "gpu"):
         for added in range(0, max_added + 1, 2):
             cpu = added if kind == "cpu" else 0
             gpu = 2 + (added if kind == "gpu" else 0)
-            report = Slinfer(Cluster.build(cpu, gpu)).run(workload)
+            report = slinfer(Cluster.build(cpu, gpu)).run(workload)
             points.append(
                 ScalabilityPoint(
                     added_nodes=added,
@@ -130,11 +131,7 @@ def run_mixed_deployment(
     for ratio in ratios:
         workload = _mixed_workload(ratio, n_models, scale, seed)
         label = ":".join(str(x) for x in ratio)
-        for name, factory in (
-            ("sllm+c", make_sllm_c),
-            ("sllm+c+s", make_sllm_cs),
-            ("slinfer", Slinfer),
-        ):
+        for name, factory in systems_named("sllm+c", "sllm+c+s", "slinfer"):
             report = factory(Cluster.build(4, 6)).run(workload)
             results.append(MixedResult(ratio=label, system=name, report=report))
     return results
@@ -166,13 +163,10 @@ def run_harvested_cores(
         else:
             cpu_spec = XEON_GEN4_32C
             cluster_cpus = 0
-        for name, factory in (
-            ("neo+", lambda c: NeoSystem(c, harvested_cores_per_gpu=cores)),
-            ("sllm+c+s", make_sllm_cs),
-            ("slinfer", Slinfer),
-        ):
+        for name, factory in systems_named("neo+", "sllm+c+s", "slinfer"):
+            kwargs = {"harvested_cores_per_gpu": cores} if name == "neo+" else {}
             cluster = Cluster.build(cluster_cpus, 4, cpu_spec=cpu_spec)
-            report = factory(cluster).run(workload)
+            report = factory(cluster, **kwargs).run(workload)
             points.append(
                 HarvestPoint(cores_per_gpu=cores, system=name, slo_miss_rate=report.slo_miss_rate)
             )

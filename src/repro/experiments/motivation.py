@@ -4,8 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.baselines import make_sllm
 from repro.experiments.common import ExperimentScale, current_scale, make_azure_workload
+from repro.registry import system_factory
 from repro.hardware.cluster import Cluster
 from repro.hardware.specs import A100_80GB, XEON_GEN4_32C
 from repro.metrics.cdf import Cdf
@@ -41,7 +41,7 @@ def run_fig4_sllm_capacity(
     points = []
     for n_models in counts:
         workload = make_azure_workload(LLAMA2_7B, n_models, scale, seed=seed)
-        report = make_sllm(Cluster.build(0, 4)).run(workload)
+        report = system_factory("sllm")(Cluster.build(0, 4)).run(workload)
         points.append(CapacityPoint(n_models=n_models, slo_rate=report.slo_rate))
     return points
 
@@ -54,7 +54,7 @@ def run_fig5_memory_utilization(
 ) -> Cdf:
     scale = scale or current_scale()
     workload = make_azure_workload(LLAMA2_7B, n_models, scale, seed=seed)
-    report = make_sllm(Cluster.build(0, 4)).run(workload)
+    report = system_factory("sllm")(Cluster.build(0, 4)).run(workload)
     return report.memory_utilization_cdf()
 
 

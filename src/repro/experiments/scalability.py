@@ -4,9 +4,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines import make_sllm_cs
-from repro.core import Slinfer
-from repro.experiments.common import ExperimentScale, current_scale, make_azure_workload
+from repro.experiments.common import (
+    ExperimentScale,
+    current_scale,
+    make_azure_workload,
+    systems_named,
+)
+from repro.registry import system_factory
 from repro.hardware.cluster import Cluster
 from repro.metrics.report import OverheadStat, RunReport
 from repro.models.catalog import LLAMA2_7B
@@ -31,7 +35,7 @@ def run_node_scaling(
     workload = make_azure_workload(LLAMA2_7B, n_models, scale, seed=seed)
     points = []
     for pairs in node_pairs:
-        for name, factory in (("sllm+c+s", make_sllm_cs), ("slinfer", Slinfer)):
+        for name, factory in systems_named("sllm+c+s", "slinfer"):
             report = factory(Cluster.build(pairs, pairs)).run(workload)
             points.append(
                 NodeScalingPoint(
@@ -67,7 +71,7 @@ def run_scheduling_overhead(
     points = []
     empty = OverheadStat(count=0, total_seconds=0.0, mean_seconds=0.0)
     for pairs in node_pairs:
-        report = Slinfer(Cluster.build(pairs, pairs)).run(workload)
+        report = system_factory("slinfer")(Cluster.build(pairs, pairs)).run(workload)
         points.append(
             OverheadPoint(
                 total_nodes=2 * pairs,

@@ -4,9 +4,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines import make_sllm_cs
-from repro.core import Slinfer, SlinferConfig, SystemConfig
-from repro.experiments.common import ExperimentScale, current_scale, make_azure_workload
+from repro.core import SlinferConfig, SystemConfig
+from repro.experiments.common import (
+    ExperimentScale,
+    current_scale,
+    make_azure_workload,
+    systems_named,
+)
+from repro.registry import system_factory
 from repro.hardware.cluster import paper_testbed
 from repro.metrics.report import RunReport
 from repro.models.catalog import LLAMA31_8B, LLAMA2_7B
@@ -40,7 +45,7 @@ def run_burstgpt_loads(
                 aggregate_rps=rps, duration=scale.duration, n_models=n_models, seed=seed
             ),
         )
-        for name, factory in (("sllm+c+s", make_sllm_cs), ("slinfer", Slinfer)):
+        for name, factory in systems_named("sllm+c+s", "slinfer"):
             report = factory(paper_testbed()).run(workload)
             points.append(BurstGptPoint(rps=rps, system=name, report=report))
     return points
@@ -67,11 +72,11 @@ def run_keepalive_sweep(
     workload = make_azure_workload(LLAMA2_7B, n_models, scale, seed=seed)
     points = []
     for threshold in thresholds:
-        for name, factory, config in (
-            ("sllm+c+s", make_sllm_cs, SystemConfig(keepalive=threshold)),
-            ("slinfer", Slinfer, SlinferConfig(keepalive=threshold)),
+        for name, config in (
+            ("sllm+c+s", SystemConfig(keepalive=threshold)),
+            ("slinfer", SlinferConfig(keepalive=threshold)),
         ):
-            report = factory(paper_testbed(), config=config).run(workload)
+            report = system_factory(name)(paper_testbed(), config=config).run(workload)
             ttft_cdf = report.ttft_cdf()
             p95 = ttft_cdf.percentile(95.0) if not ttft_cdf.empty else float("nan")
             points.append(
@@ -107,7 +112,7 @@ def run_watermark_sweep(
     points = []
     for watermark in watermarks:
         config = SlinferConfig(watermark=watermark)
-        report = Slinfer(paper_testbed(), config=config).run(workload)
+        report = system_factory("slinfer")(paper_testbed(), config=config).run(workload)
         kv_samples = report.kv_utilization_samples
         kv_util = sum(kv_samples) / len(kv_samples) if kv_samples else 0.0
         # §IX-I5 reports the *underestimation*-driven migration rate.
@@ -153,7 +158,7 @@ def run_dataset_sweep(
             LLAMA31_8B, n_models, scale, seed=seed,
             length_distribution=DATASETS[dataset_name],
         )
-        for name, factory in (("sllm+c+s", make_sllm_cs), ("slinfer", Slinfer)):
+        for name, factory in systems_named("sllm+c+s", "slinfer"):
             report = factory(paper_testbed()).run(workload)
             results.append(DatasetResult(dataset=dataset_name, system=name, report=report))
     return results

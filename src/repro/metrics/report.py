@@ -7,6 +7,7 @@ derives every metric the paper plots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.engine.request import Request, RequestState
 from repro.hardware.specs import HardwareKind
@@ -18,6 +19,53 @@ class OverheadStat:
     count: int
     total_seconds: float
     mean_seconds: float
+
+
+# Request fields serialized into report JSON, in row order.
+_REQUEST_FIELDS: tuple[str, ...] = (
+    "req_id",
+    "deployment",
+    "arrival",
+    "input_len",
+    "output_len",
+    "ttft_slo",
+    "tpot_slo",
+    "state",
+    "grace",
+    "tokens_out",
+    "prefill_len",
+    "first_token_at",
+    "finished_at",
+    "dropped_at",
+    "violation_at",
+    "cold_started",
+    "migrations",
+)
+
+
+def _request_to_row(request: Request) -> list[Any]:
+    row = []
+    for name in _REQUEST_FIELDS:
+        value = getattr(request, name)
+        row.append(value.value if name == "state" else value)
+    return row
+
+
+def _request_from_row(row: list[Any]) -> Request:
+    values = dict(zip(_REQUEST_FIELDS, row))
+    request = Request(
+        req_id=values["req_id"],
+        deployment=values["deployment"],
+        arrival=values["arrival"],
+        input_len=values["input_len"],
+        output_len=values["output_len"],
+        ttft_slo=values["ttft_slo"],
+        tpot_slo=values["tpot_slo"],
+    )
+    request.state = RequestState(values["state"])
+    for name in _REQUEST_FIELDS[8:]:
+        setattr(request, name, values[name])
+    return request
 
 
 @dataclass
@@ -42,6 +90,9 @@ class RunReport:
     evictions: int = 0
     preemptions: int = 0
     cold_starts: int = 0
+    # Run-cost accounting (set by BaseServingSystem.run).
+    wall_seconds: float = 0.0
+    events_processed: int = 0
 
     # ------------------------------------------------------------------
     # Request outcomes
@@ -148,4 +199,89 @@ class RunReport:
             f"dropped={self.dropped_count:4d} "
             f"nodes(cpu/gpu)={self.avg_nodes_used_cpu:.1f}/{self.avg_nodes_used_gpu:.1f} "
             f"decode(tok/node·s cpu/gpu)={self.decode_speed_cpu:.0f}/{self.decode_speed_gpu:.0f}"
+        )
+
+    def timing_line(self) -> str:
+        """Run cost: simulated events processed per wall-clock second."""
+        rate = self.events_processed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+        return (
+            f"wall={self.wall_seconds:.2f}s "
+            f"events={self.events_processed} ({rate:,.0f} ev/s)"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (sweep cache / figure re-renders)
+    # ------------------------------------------------------------------
+    def to_dict(self, include_volatile: bool = True) -> dict:
+        """A JSON-safe dict that round-trips through :meth:`from_dict`.
+
+        With ``include_volatile=False`` the wall-clock measurements
+        (``wall_seconds``, ``overhead_stats``) are omitted: the remainder
+        is fully determined by the run's spec and seed, so two runs of
+        the same spec — sequential or parallel, cached or fresh —
+        serialize to identical bytes.
+        """
+        payload: dict = {
+            "system": self.system,
+            "duration": self.duration,
+            "requests": [_request_to_row(r) for r in self.requests],
+            "node_seconds_cpu": self.node_seconds_cpu,
+            "node_seconds_gpu": self.node_seconds_gpu,
+            "decode_tokens_cpu": self.decode_tokens_cpu,
+            "decode_tokens_gpu": self.decode_tokens_gpu,
+            "batch_histogram": sorted(self.batch_histogram.items()),
+            "gpu_batch_histogram": sorted(self.gpu_batch_histogram.items()),
+            "memory_samples": {
+                kind.value: list(samples)
+                for kind, samples in sorted(
+                    self.memory_samples.items(), key=lambda kv: kv[0].value
+                )
+            },
+            "kv_utilization_samples": list(self.kv_utilization_samples),
+            "scaling_ops": self.scaling_ops,
+            "scaling_busy_seconds": self.scaling_busy_seconds,
+            "migrations": self.migrations,
+            "evictions": self.evictions,
+            "preemptions": self.preemptions,
+            "cold_starts": self.cold_starts,
+            "events_processed": self.events_processed,
+        }
+        if include_volatile:
+            payload["wall_seconds"] = self.wall_seconds
+            payload["overhead_stats"] = {
+                name: [stat.count, stat.total_seconds, stat.mean_seconds]
+                for name, stat in sorted(self.overhead_stats.items())
+            }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunReport":
+        overhead_stats = {
+            name: OverheadStat(count=row[0], total_seconds=row[1], mean_seconds=row[2])
+            for name, row in payload.get("overhead_stats", {}).items()
+        }
+        return cls(
+            system=payload["system"],
+            duration=payload["duration"],
+            requests=[_request_from_row(row) for row in payload["requests"]],
+            node_seconds_cpu=payload["node_seconds_cpu"],
+            node_seconds_gpu=payload["node_seconds_gpu"],
+            decode_tokens_cpu=payload["decode_tokens_cpu"],
+            decode_tokens_gpu=payload["decode_tokens_gpu"],
+            batch_histogram={int(k): v for k, v in payload["batch_histogram"]},
+            gpu_batch_histogram={int(k): v for k, v in payload["gpu_batch_histogram"]},
+            memory_samples={
+                HardwareKind(kind): list(samples)
+                for kind, samples in payload["memory_samples"].items()
+            },
+            kv_utilization_samples=list(payload["kv_utilization_samples"]),
+            overhead_stats=overhead_stats,
+            scaling_ops=payload["scaling_ops"],
+            scaling_busy_seconds=payload["scaling_busy_seconds"],
+            migrations=payload["migrations"],
+            evictions=payload["evictions"],
+            preemptions=payload["preemptions"],
+            cold_starts=payload["cold_starts"],
+            wall_seconds=payload.get("wall_seconds", 0.0),
+            events_processed=payload["events_processed"],
         )

@@ -1,0 +1,172 @@
+"""Decorator-based registries for systems, clusters, and workload scenarios.
+
+Every entry point (the CLI, the experiment runners, the benchmark
+harness, the sweep executor) resolves serving systems, cluster shapes,
+and workload scenarios by name through the registries defined here —
+there is exactly one table of each, instead of per-driver hand-rolled
+dicts.
+
+Usage::
+
+    from repro.registry import SCENARIOS, SYSTEMS, build_cluster, system_factory
+
+    @SCENARIOS.register("my-trace")
+    def my_trace(model, n_models, duration, requests_per_model, seed, **params):
+        ...
+        return workload
+
+    system = system_factory("slinfer")(build_cluster("paper"))
+
+Contracts:
+
+* **system** — ``factory(cluster, **kwargs) -> BaseServingSystem``; extra
+  keyword arguments (``config=``, ``slo=``, system-specific knobs) pass
+  through to the underlying constructor.
+* **cluster** — ``factory() -> Cluster``.  :func:`build_cluster`
+  additionally accepts ad-hoc ``cpu{N}-gpu{M}`` names (e.g.
+  ``cpu2-gpu6``) so sweeps can vary node counts without registering
+  every shape.
+* **scenario** — ``factory(model, n_models, duration, requests_per_model,
+  seed, **params) -> Workload`` (see :mod:`repro.workloads.scenarios`).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Generic, Iterator, TypeVar
+
+from repro.baselines import NeoSystem, PdSlinfer, PdSllmSystem, make_sllm, make_sllm_c, make_sllm_cs
+from repro.core import Slinfer
+from repro.hardware.cluster import Cluster, paper_testbed
+
+T = TypeVar("T")
+
+
+class RegistryError(KeyError):
+    """Unknown name or duplicate registration in a registry."""
+
+    def __str__(self) -> str:  # KeyError repr-quotes its message; undo that
+        return self.args[0] if self.args else ""
+
+
+class Registry(Generic[T]):
+    """A named table of factories with decorator registration."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, T] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, obj: T | None = None) -> Callable[[T], T] | T:
+        """Register ``obj`` under ``name``.
+
+        Usable as a decorator (``@REG.register("name")``) or directly
+        (``REG.register("name", factory)``).  Duplicate names are an
+        error: registries are single-source-of-truth tables.
+        """
+
+        def _add(value: T) -> T:
+            if name in self._entries:
+                raise RegistryError(
+                    f"{self.kind} {name!r} is already registered; "
+                    f"pick a distinct name or remove the duplicate"
+                )
+            self._entries[name] = value
+            return value
+
+        if obj is not None:
+            return _add(obj)
+        return _add
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> T:
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(self.names())
+            raise RegistryError(
+                f"unknown {self.kind} {name!r} (known: {known})"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def items(self) -> list[tuple[str, T]]:
+        return sorted(self._entries.items())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# ----------------------------------------------------------------------
+# The three registries
+# ----------------------------------------------------------------------
+SYSTEMS: Registry[Callable[..., object]] = Registry("system")
+CLUSTERS: Registry[Callable[[], Cluster]] = Registry("cluster")
+SCENARIOS: Registry[Callable[..., object]] = Registry("scenario")
+
+
+def system_factory(name: str) -> Callable[..., object]:
+    """Resolve a serving-system factory by registered name."""
+    return SYSTEMS.get(name)
+
+
+def systems_named(*names: str) -> list[tuple[str, Callable[..., object]]]:
+    """``(name, factory)`` pairs for the given registered systems."""
+    return [(name, SYSTEMS.get(name)) for name in names]
+
+
+_CLUSTER_PATTERN = re.compile(r"^cpu(\d+)-gpu(\d+)$")
+
+
+def build_cluster(name: str) -> Cluster:
+    """Build a cluster from a registered name or a ``cpu{N}-gpu{M}`` spec."""
+    if name in CLUSTERS:
+        return CLUSTERS.get(name)()
+    match = _CLUSTER_PATTERN.match(name)
+    if match:
+        return Cluster.build(cpu_count=int(match.group(1)), gpu_count=int(match.group(2)))
+    known = ", ".join(CLUSTERS.names())
+    raise RegistryError(
+        f"unknown cluster {name!r} (known: {known}; or use the 'cpu{{N}}-gpu{{M}}' form)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Built-in systems (§IX-A): the four headline systems plus the NEO+ and
+# prefill/decode-disaggregated variants used by Fig. 29 and Table III.
+# ----------------------------------------------------------------------
+SYSTEMS.register("sllm", make_sllm)
+SYSTEMS.register("sllm+c", make_sllm_c)
+SYSTEMS.register("sllm+c+s", make_sllm_cs)
+SYSTEMS.register("slinfer", Slinfer)
+SYSTEMS.register("neo+", NeoSystem)
+SYSTEMS.register("pd-sllm", PdSllmSystem)
+SYSTEMS.register("pd-slinfer", PdSlinfer)
+
+# The §IX-B end-to-end comparison set, in the paper's presentation order.
+STANDARD_SYSTEMS: tuple[str, ...] = ("sllm", "sllm+c", "sllm+c+s", "slinfer")
+
+
+# ----------------------------------------------------------------------
+# Built-in clusters
+# ----------------------------------------------------------------------
+CLUSTERS.register("paper", paper_testbed)
+CLUSTERS.register("small", lambda: Cluster.build(cpu_count=2, gpu_count=2))
+CLUSTERS.register("gpu-only", lambda: Cluster.build(cpu_count=0, gpu_count=4))
+CLUSTERS.register("mixed-fleet", lambda: Cluster.build(cpu_count=4, gpu_count=6))
+
+
+# Importing the scenario module populates SCENARIOS (kept last: the
+# scenario definitions import SCENARIOS from this module).
+from repro.workloads import scenarios as _scenarios  # noqa: E402,F401

@@ -1,0 +1,83 @@
+"""On-disk JSON result cache keyed by RunSpec fingerprint.
+
+Re-rendering a figure re-runs the same grid of specs; simulation is the
+expensive part, so finished reports are persisted as one JSON file per
+fingerprint and replayed on the next request.  Entries are self-checking
+(version + fingerprint echo) and corrupt files degrade to a miss.
+
+The cache directory defaults to ``.repro-cache/`` under the working
+directory, overridable with ``REPRO_CACHE_DIR``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.runner.spec import PAYLOAD_VERSION
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+
+
+def _repro_version() -> str:
+    from repro import __version__  # deferred: repro.__init__ imports this package
+
+    return __version__
+
+
+class ResultCache:
+    """A content-addressed store of executed sweep results."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> dict[str, Any] | None:
+        """The stored payload for ``fingerprint``, or None on a miss."""
+        path = self.path(fingerprint)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if (
+            payload.get("version") != PAYLOAD_VERSION
+            or payload.get("fingerprint") != fingerprint
+            or payload.get("repro_version") != _repro_version()
+        ):
+            # A version mismatch means the simulator (or the payload
+            # format) changed since the entry was written: stale results
+            # must re-simulate, not silently replay.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, fingerprint: str, payload: dict[str, Any]) -> None:
+        """Atomically persist a payload (write-to-temp, then rename)."""
+        payload = {**payload, "repro_version": _repro_version()}
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, self.path(fingerprint))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def stats_line(self) -> str:
+        return f"cache: {self.hits} hit(s), {self.misses} miss(es) under {self.root}"

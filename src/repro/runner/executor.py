@@ -1,0 +1,102 @@
+"""Sweep execution: one spec, or a grid of specs across worker processes.
+
+:func:`execute_spec` materializes and runs a single
+:class:`~repro.runner.spec.RunSpec`.  :class:`SweepExecutor` runs many —
+consulting the result cache first, then fanning the remainder out over a
+``multiprocessing`` pool (``--workers`` / ``REPRO_WORKERS``).
+
+Determinism: every simulation is fully seeded, and results always travel
+through the same JSON round-trip whether they were computed in-process,
+in a worker, or restored from cache.  A parallel sweep therefore
+produces byte-identical per-spec reports to a sequential one (only the
+wall-clock timing envelope differs).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Sequence
+
+from repro.registry import build_cluster, system_factory
+from repro.runner.cache import ResultCache
+from repro.runner.spec import RunResult, RunSpec, build_workload
+
+
+def default_workers() -> int:
+    """Worker-count default from the ``REPRO_WORKERS`` environment variable."""
+    try:
+        return max(1, int(os.environ.get("REPRO_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+def execute_spec(spec: RunSpec, workload=None, **system_kwargs: Any) -> RunResult:
+    """Run one spec in-process and return its result envelope.
+
+    ``workload`` short-circuits trace synthesis when the caller already
+    materialized the spec's workload (it must be the one
+    ``build_workload(spec)`` would produce, or the fingerprint lies).
+    """
+    if workload is None:
+        workload = build_workload(spec)
+    system = system_factory(spec.system)(build_cluster(spec.cluster), **system_kwargs)
+    report = system.run(workload)
+    return RunResult(
+        spec=spec,
+        fingerprint=spec.fingerprint(),
+        report=report,
+        wall_seconds=report.wall_seconds,
+    )
+
+
+def _worker(spec_dict: dict[str, Any]) -> dict[str, Any]:
+    """Process-pool entry point: execute and return the transport payload."""
+    return execute_spec(RunSpec.from_dict(spec_dict)).to_payload()
+
+
+class SweepExecutor:
+    """Runs spec grids with caching and optional process parallelism."""
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache: ResultCache | None = None,
+    ) -> None:
+        self.workers = max(1, workers) if workers is not None else default_workers()
+        self.cache = cache
+
+    def run(self, specs: Sequence[RunSpec]) -> list[RunResult]:
+        """Execute ``specs``, returning results in spec order.
+
+        Cached specs are restored without simulation; the rest run
+        sequentially or across the worker pool.  Every result is passed
+        through the canonical JSON round-trip, so the returned reports
+        are independent of worker count and cache state.
+        """
+        results: list[RunResult | None] = [None] * len(specs)
+        pending: list[tuple[int, RunSpec]] = []
+        for index, spec in enumerate(specs):
+            fingerprint = spec.fingerprint()
+            payload = self.cache.get(fingerprint) if self.cache is not None else None
+            if payload is not None:
+                results[index] = RunResult.from_payload(payload, from_cache=True)
+            else:
+                pending.append((index, spec))
+
+        if pending:
+            if self.workers > 1 and len(pending) > 1:
+                payloads = self._run_parallel([spec for _, spec in pending])
+            else:
+                payloads = [execute_spec(spec).to_payload() for _, spec in pending]
+            for (index, _), payload in zip(pending, payloads):
+                if self.cache is not None:
+                    self.cache.put(payload["fingerprint"], payload)
+                results[index] = RunResult.from_payload(payload)
+
+        return [result for result in results if result is not None]
+
+    def _run_parallel(self, specs: Sequence[RunSpec]) -> list[dict[str, Any]]:
+        workers = min(self.workers, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_worker, [spec.to_dict() for spec in specs]))

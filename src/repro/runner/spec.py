@@ -1,0 +1,240 @@
+"""Run specifications and results.
+
+A :class:`RunSpec` names one simulation completely: the serving system,
+the workload scenario and its parameters, the cluster shape, the seed,
+and the trace scale.  Everything is a registry name or a JSON-safe
+value, so a spec is trivially picklable (for worker processes) and
+hashable into a stable fingerprint (for the on-disk result cache).
+
+:func:`expand_grid` produces the cross-product of spec axes for sweeps;
+:class:`RunResult` is the envelope the executor returns — the measured
+:class:`~repro.metrics.report.RunReport` plus wall-clock timing and the
+spec fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.metrics.report import OverheadStat, RunReport
+from repro.models.catalog import get_model
+from repro.registry import SCENARIOS
+from repro.runner.scale import get_scale
+from repro.workloads.azure_serverless import REQUESTS_PER_MODEL_30MIN
+from repro.workloads.spec import Workload
+
+PAYLOAD_VERSION = 1
+
+
+def _freeze_params(params: Any) -> tuple[tuple[str, Any], ...]:
+    """Normalize scenario params to a sorted, hashable tuple of pairs."""
+    if params is None:
+        return ()
+    if isinstance(params, dict):
+        items = params.items()
+    else:
+        items = tuple(params)
+    frozen = []
+    for key, value in sorted(items):
+        if isinstance(value, list):
+            value = tuple(value)
+        frozen.append((str(key), value))
+    return tuple(frozen)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-specified simulation run."""
+
+    system: str
+    scenario: str = "azure"
+    model: str = "llama-2-7b"
+    n_models: int = 32
+    cluster: str = "paper"
+    seed: int = 1
+    scale: str = "quick"
+    duration: float | None = None  # explicit override of the scale's window
+    scenario_params: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scenario_params", _freeze_params(self.scenario_params))
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolved_duration(self) -> float:
+        return self.duration if self.duration is not None else get_scale(self.scale).duration
+
+    def resolved_requests_per_model(self) -> float:
+        """Rate-preserving request budget for the resolved window."""
+        return REQUESTS_PER_MODEL_30MIN * self.resolved_duration() / 1800.0
+
+    def params_dict(self) -> dict[str, Any]:
+        return {key: list(v) if isinstance(v, tuple) else v for key, v in self.scenario_params}
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "system": self.system,
+            "scenario": self.scenario,
+            "model": self.model,
+            "n_models": self.n_models,
+            "cluster": self.cluster,
+            "seed": self.seed,
+            "scale": self.scale,
+            "duration": self.duration,
+            "scenario_params": self.params_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "RunSpec":
+        return cls(
+            system=payload["system"],
+            scenario=payload.get("scenario", "azure"),
+            model=payload.get("model", "llama-2-7b"),
+            n_models=payload.get("n_models", 32),
+            cluster=payload.get("cluster", "paper"),
+            seed=payload.get("seed", 1),
+            scale=payload.get("scale", "quick"),
+            duration=payload.get("duration"),
+            scenario_params=payload.get("scenario_params"),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the spec (the cache key)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        window = f"{self.duration:g}s" if self.duration is not None else self.scale
+        params = ""
+        if self.scenario_params:
+            params = "{" + ",".join(f"{k}={v}" for k, v in self.scenario_params) + "}"
+        return (
+            f"{self.scenario}{params}/{self.model} x{self.n_models} "
+            f"@{window} on {self.cluster} seed={self.seed} -> {self.system}"
+        )
+
+
+def build_workload(spec: RunSpec) -> Workload:
+    """Materialize the spec's workload through the scenario registry."""
+    factory = SCENARIOS.get(spec.scenario)
+    return factory(
+        get_model(spec.model),
+        spec.n_models,
+        spec.resolved_duration(),
+        spec.resolved_requests_per_model(),
+        spec.seed,
+        **spec.params_dict(),
+    )
+
+
+def expand_grid(
+    systems: Iterable[str],
+    *,
+    scenarios: Iterable[str] = ("azure",),
+    models: Iterable[str] = ("llama-2-7b",),
+    n_models: Iterable[int] = (32,),
+    clusters: Iterable[str] = ("paper",),
+    seeds: Iterable[int] = (1,),
+    scale: str = "quick",
+    duration: float | None = None,
+    scenario_params: dict[str, Any] | None = None,
+) -> list[RunSpec]:
+    """The cross-product of the given axes, in deterministic order.
+
+    Workload axes vary outermost and systems innermost, so consecutive
+    specs compare systems on the same workload.
+    """
+    specs = []
+    for scenario in scenarios:
+        for model in models:
+            for count in n_models:
+                for cluster in clusters:
+                    for seed in seeds:
+                        for system in systems:
+                            specs.append(
+                                RunSpec(
+                                    system=system,
+                                    scenario=scenario,
+                                    model=model,
+                                    n_models=count,
+                                    cluster=cluster,
+                                    seed=seed,
+                                    scale=scale,
+                                    duration=duration,
+                                    scenario_params=scenario_params,
+                                )
+                            )
+    return specs
+
+
+@dataclass
+class RunResult:
+    """One executed (or cache-restored) spec: report + timing envelope."""
+
+    spec: RunSpec
+    fingerprint: str
+    report: RunReport
+    wall_seconds: float
+    from_cache: bool = False
+
+    # ------------------------------------------------------------------
+    # Canonical (deterministic) view
+    # ------------------------------------------------------------------
+    def canonical_report_dict(self) -> dict[str, Any]:
+        return self.report.to_dict(include_volatile=False)
+
+    def canonical_json(self) -> str:
+        """Byte-identical for identical specs, however they were executed."""
+        return json.dumps(
+            {"spec": self.spec.to_dict(), "report": self.canonical_report_dict()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    # ------------------------------------------------------------------
+    # Transport (worker processes, on-disk cache)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "version": PAYLOAD_VERSION,
+            "fingerprint": self.fingerprint,
+            "spec": self.spec.to_dict(),
+            "report": self.canonical_report_dict(),
+            "timing": {
+                "wall_seconds": self.wall_seconds,
+                "overhead_stats": {
+                    name: [stat.count, stat.total_seconds, stat.mean_seconds]
+                    for name, stat in sorted(self.report.overhead_stats.items())
+                },
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any], from_cache: bool = False) -> "RunResult":
+        timing = payload["timing"]
+        report = RunReport.from_dict(payload["report"])
+        # Restore the volatile envelope so a round-tripped report keeps
+        # its original run cost (the canonical view still excludes it).
+        report.wall_seconds = timing["wall_seconds"]
+        report.overhead_stats = {
+            name: OverheadStat(count=row[0], total_seconds=row[1], mean_seconds=row[2])
+            for name, row in timing.get("overhead_stats", {}).items()
+        }
+        return cls(
+            spec=RunSpec.from_dict(payload["spec"]),
+            fingerprint=payload["fingerprint"],
+            report=report,
+            wall_seconds=timing["wall_seconds"],
+            from_cache=from_cache,
+        )
+
+    def summary_line(self) -> str:
+        origin = "cache" if self.from_cache else f"{self.wall_seconds:.2f}s"
+        return f"[{self.fingerprint[:12]}] {self.report.summary_line()}  ({origin})"

@@ -62,6 +62,11 @@ def _zipf_weights(n: int, exponent: float, rng: np.random.Generator) -> np.ndarr
     return weights
 
 
+def clamp_input_len(input_len: int, output_len: int, max_context: int) -> int:
+    """Trim the prompt so prompt + generation fits the model context."""
+    return max(1, min(input_len, max_context - output_len - 1))
+
+
 def _burst_sizes(total: int, popularity: float, max_size: int, rng: np.random.Generator) -> list[int]:
     """Split ``total`` burst requests into clusters; hot models burst bigger."""
     sizes: list[int] = []
@@ -128,8 +133,7 @@ def synthesize_azure_trace(
         pairs = length_distribution.sample_pairs(length_rng, len(times))
         max_context = models[name].max_context
         for time, (input_len, output_len) in zip(times, pairs):
-            input_len = min(input_len, max_context - output_len - 1)
-            input_len = max(1, input_len)
+            input_len = clamp_input_len(input_len, output_len, max_context)
             requests.append(RequestSpec(name, time, input_len, output_len))
 
     tp_degrees = tp_degrees or {}

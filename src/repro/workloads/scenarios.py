@@ -1,0 +1,291 @@
+"""Registered workload scenarios.
+
+Every scenario is a factory with one shared signature::
+
+    scenario(model, n_models, duration, requests_per_model, seed, **params)
+        -> Workload
+
+registered in :data:`repro.registry.SCENARIOS` so sweeps can name it on
+the command line.  ``params`` are scenario-specific knobs; they must be
+JSON-representable (they become part of a RunSpec fingerprint).
+
+Scenarios:
+
+* ``azure`` — the paper's §IX-B workload: replica deployments replaying
+  the synthetic Azure Serverless trace.
+* ``burstgpt`` — the §IX-I2 alternative arrival process.
+* ``diurnal`` — a day/night load cycle compressed into the trace window;
+  arrival density follows a raised sinusoid, so schedulers see sustained
+  ramps instead of the Azure trace's stationary mix.
+* ``bursty-spike`` — a flash crowd: background traffic plus a
+  coordinated spike that multiplies the hottest deployments' load inside
+  a short window (the §III-C concurrency-surge pattern, amplified).
+* ``mixed-fleet`` — the §IX-E heterogeneous fleet (3B/7B/13B/34B, the
+  34B tensor-parallel over 2 GPUs), promoted from ``examples/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.catalog import CODELLAMA_34B, LLAMA2_7B, LLAMA2_13B, LLAMA32_3B, ModelSpec
+from repro.registry import SCENARIOS
+from repro.sim.rng import make_rng
+from repro.workloads.azure_serverless import (
+    AzureServerlessConfig,
+    _zipf_weights,
+    clamp_input_len,
+    mixed_models,
+    replica_models,
+    synthesize_azure_trace,
+)
+from repro.workloads.burstgpt import BurstGPTConfig, synthesize_burstgpt_trace
+from repro.workloads.datasets import DATASETS, LengthDistribution
+from repro.workloads.spec import Deployment, RequestSpec, Workload
+
+
+def _length_distribution(dataset: str) -> LengthDistribution:
+    try:
+        return DATASETS[dataset]
+    except KeyError:
+        known = ", ".join(sorted(DATASETS))
+        raise KeyError(f"unknown dataset {dataset!r} (known: {known})") from None
+
+
+def _emit(
+    name: str,
+    times: list[float],
+    length_rng: np.random.Generator,
+    lengths: LengthDistribution,
+    model: ModelSpec,
+    out: list[RequestSpec],
+) -> None:
+    """Append one request per arrival time, with context-clamped lengths."""
+    pairs = lengths.sample_pairs(length_rng, len(times))
+    for time, (input_len, output_len) in zip(times, pairs):
+        input_len = clamp_input_len(input_len, output_len, model.max_context)
+        out.append(RequestSpec(name, time, input_len, output_len))
+
+
+# ----------------------------------------------------------------------
+# Paper workloads
+# ----------------------------------------------------------------------
+@SCENARIOS.register("azure")
+def azure(
+    model: ModelSpec,
+    n_models: int,
+    duration: float,
+    requests_per_model: float,
+    seed: int,
+    *,
+    dataset: str = "azure-conversation",
+) -> Workload:
+    """§IX-B: replica deployments on the synthetic Azure Serverless trace."""
+    config = AzureServerlessConfig(
+        n_models=n_models,
+        duration=duration,
+        requests_per_model=requests_per_model,
+        seed=seed,
+    )
+    return synthesize_azure_trace(
+        replica_models(model, n_models), config, _length_distribution(dataset)
+    )
+
+
+@SCENARIOS.register("burstgpt")
+def burstgpt(
+    model: ModelSpec,
+    n_models: int,
+    duration: float,
+    requests_per_model: float,
+    seed: int,
+    *,
+    aggregate_rps: float | None = None,
+    dataset: str = "azure-conversation",
+) -> Workload:
+    """§IX-I2: gamma-burst arrivals with Pareto model popularity.
+
+    ``aggregate_rps`` overrides the rate implied by ``requests_per_model``.
+    """
+    if aggregate_rps is None:
+        aggregate_rps = requests_per_model * n_models / duration
+    config = BurstGPTConfig(
+        aggregate_rps=aggregate_rps, duration=duration, n_models=n_models, seed=seed
+    )
+    return synthesize_burstgpt_trace(
+        replica_models(model, n_models), config, _length_distribution(dataset)
+    )
+
+
+# ----------------------------------------------------------------------
+# Diurnal load cycle
+# ----------------------------------------------------------------------
+@SCENARIOS.register("diurnal")
+def diurnal(
+    model: ModelSpec,
+    n_models: int,
+    duration: float,
+    requests_per_model: float,
+    seed: int,
+    *,
+    peak_to_trough: float = 4.0,
+    cycles: float = 1.0,
+    zipf_exponent: float = 1.2,
+    dataset: str = "azure-conversation",
+) -> Workload:
+    """A day/night cycle compressed into the trace window.
+
+    The arrival density is a raised sinusoid starting at the trough:
+    ``d(t) ∝ 1 + a·(1 - cos(2π·cycles·t/T))`` with ``a`` chosen so the
+    peak rate is ``peak_to_trough`` times the trough rate.  Per-model
+    popularity keeps the Azure trace's Zipf skew; the total request
+    budget (``requests_per_model × n_models`` in expectation) matches the
+    stationary scenarios, so results are load-comparable.
+    """
+    if peak_to_trough < 1.0:
+        raise ValueError("peak_to_trough must be >= 1")
+    rate_rng = make_rng(seed, "diurnal-rates")
+    arrival_rng = make_rng(seed, "diurnal-arrivals")
+    length_rng = make_rng(seed, "diurnal-lengths")
+
+    models = replica_models(model, n_models)
+    names = list(models)
+    weights = _zipf_weights(n_models, zipf_exponent, rate_rng)
+    total_target = requests_per_model * n_models
+
+    # Inverse-CDF sampling of the sinusoidal density on a fine grid.
+    amplitude = (peak_to_trough - 1.0) / 2.0
+    grid = np.linspace(0.0, duration, 4096)
+    density = 1.0 + amplitude * (1.0 - np.cos(2.0 * np.pi * cycles * grid / duration))
+    cdf = np.cumsum(density)
+    cdf = (cdf - cdf[0]) / (cdf[-1] - cdf[0])
+
+    requests: list[RequestSpec] = []
+    for name, weight in zip(names, weights):
+        count = int(arrival_rng.poisson(total_target * weight))
+        if count == 0:
+            continue
+        uniforms = arrival_rng.uniform(0.0, 1.0, size=count)
+        times = [float(t) for t in np.interp(uniforms, cdf, grid)]
+        _emit(name, times, length_rng, _length_distribution(dataset), model, requests)
+
+    deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
+    return Workload(
+        name=f"diurnal-{n_models}m",
+        deployments=deployments,
+        requests=requests,
+        duration=duration,
+    )
+
+
+# ----------------------------------------------------------------------
+# Flash-crowd spike
+# ----------------------------------------------------------------------
+@SCENARIOS.register("bursty-spike")
+def bursty_spike(
+    model: ModelSpec,
+    n_models: int,
+    duration: float,
+    requests_per_model: float,
+    seed: int,
+    *,
+    spike_factor: float = 8.0,
+    spike_start: float = 0.4,
+    spike_width: float = 0.1,
+    spike_share: float = 0.125,
+    zipf_exponent: float = 1.2,
+    dataset: str = "azure-conversation",
+) -> Workload:
+    """Background traffic plus a coordinated flash crowd.
+
+    Every deployment receives stationary Poisson background load; inside
+    the window ``[spike_start, spike_start + spike_width]`` (fractions of
+    the trace) the hottest ``spike_share`` of deployments additionally
+    receive ``spike_factor`` times their whole-trace background volume,
+    concentrated in the window — the worst case for keep-alive and
+    consolidation policies.
+    """
+    if not 0.0 < spike_width <= 1.0 or not 0.0 <= spike_start < 1.0:
+        raise ValueError("spike window must lie inside the trace")
+    rate_rng = make_rng(seed, "spike-rates")
+    arrival_rng = make_rng(seed, "spike-arrivals")
+    length_rng = make_rng(seed, "spike-lengths")
+
+    models = replica_models(model, n_models)
+    names = list(models)
+    weights = _zipf_weights(n_models, zipf_exponent, rate_rng)
+    total_target = requests_per_model * n_models
+    lengths = _length_distribution(dataset)
+
+    hot_count = max(1, round(n_models * spike_share))
+    hot = set(np.argsort(weights)[::-1][:hot_count])
+    window_start = spike_start * duration
+    window_end = min(duration, (spike_start + spike_width) * duration)
+
+    requests: list[RequestSpec] = []
+    for index, (name, weight) in enumerate(zip(names, weights)):
+        base_count = int(arrival_rng.poisson(total_target * weight))
+        times = [float(t) for t in arrival_rng.uniform(0.0, duration, size=base_count)]
+        if index in hot:
+            surge = int(arrival_rng.poisson(spike_factor * total_target * weight))
+            times += [
+                float(t)
+                for t in arrival_rng.uniform(window_start, window_end, size=surge)
+            ]
+        if times:
+            _emit(name, times, length_rng, lengths, model, requests)
+
+    deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
+    return Workload(
+        name=f"bursty-spike-{n_models}m",
+        deployments=deployments,
+        requests=requests,
+        duration=duration,
+    )
+
+
+# ----------------------------------------------------------------------
+# Heterogeneous fleet (promoted from examples/mixed_fleet.py)
+# ----------------------------------------------------------------------
+_SIZE_SPECS: tuple[ModelSpec, ...] = (LLAMA32_3B, LLAMA2_7B, LLAMA2_13B, CODELLAMA_34B)
+
+
+@SCENARIOS.register("mixed-fleet")
+def mixed_fleet(
+    model: ModelSpec,
+    n_models: int,
+    duration: float,
+    requests_per_model: float,
+    seed: int,
+    *,
+    ratio: tuple[int, int, int, int] = (4, 1, 1, 1),
+    dataset: str = "azure-conversation",
+) -> Workload:
+    """§IX-E: a 3B/7B/13B/34B fleet, the 34B tensor-parallel over 2 GPUs.
+
+    ``ratio`` gives the population weights for the four sizes.  The
+    ``model`` argument is ignored — the fleet's composition is the point.
+    """
+    ratio = tuple(ratio)
+    if len(ratio) != len(_SIZE_SPECS):
+        raise ValueError(f"ratio must have {len(_SIZE_SPECS)} entries, got {len(ratio)}")
+    specs = {
+        spec: weight for spec, weight in zip(_SIZE_SPECS, ratio) if weight > 0
+    }
+    models = mixed_models(specs, total=n_models, seed=seed)
+    config = AzureServerlessConfig(
+        n_models=n_models,
+        duration=duration,
+        requests_per_model=requests_per_model,
+        seed=seed,
+    )
+    tp_degrees = {name: 2 for name, spec in models.items() if spec is CODELLAMA_34B}
+    workload = synthesize_azure_trace(
+        models, config, _length_distribution(dataset), tp_degrees=tp_degrees
+    )
+    return Workload(
+        name=f"mixed-fleet-{n_models}m",
+        deployments=workload.deployments,
+        requests=workload.requests,
+        duration=workload.duration,
+    )

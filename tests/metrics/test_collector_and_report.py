@@ -155,3 +155,51 @@ def test_overhead_stats():
     stat = report.overhead_stats["shadow_validation"]
     assert stat.count == 2
     assert stat.mean_seconds == pytest.approx(0.002)
+
+
+def test_report_dict_round_trip_preserves_metrics():
+    collector = MetricsCollector()
+    request = Request(
+        req_id=0, deployment="m#000", arrival=1.0, input_len=64, output_len=8,
+        ttft_slo=2.0, tpot_slo=0.2,
+    )
+    collector.register_request(request)
+    request.record_tokens(2.0)
+    for _ in range(7):
+        request.record_tokens(2.5)
+    request.complete(2.5)
+    collector.node_loaded("gpu-0", HardwareKind.GPU, 0.0)
+    collector.node_unloaded("gpu-0", 8.0)
+    collector.add_decode_tokens(HardwareKind.GPU, 8)
+    collector.sample_batch_size(2, HardwareKind.GPU)
+    collector.sample_memory_utilization(HardwareKind.GPU, 0.5)
+    collector.sample_kv_utilization(0.25)
+    collector.add_overhead("placement", 0.001)
+    report = collector.finalize(now=10.0, duration=10.0, system="t")
+    report.wall_seconds = 1.5
+    report.events_processed = 42
+
+    from repro.metrics.report import RunReport
+
+    restored = RunReport.from_dict(report.to_dict())
+    assert restored.slo_met_count == report.slo_met_count
+    assert restored.requests[0].ttft == report.requests[0].ttft
+    assert restored.batch_histogram == report.batch_histogram
+    assert restored.memory_samples == report.memory_samples
+    assert restored.events_processed == 42
+    assert restored.wall_seconds == 1.5
+    assert restored.overhead_stats == report.overhead_stats
+    # The canonical (deterministic) view drops the wall-clock envelope.
+    canonical = report.to_dict(include_volatile=False)
+    assert "wall_seconds" not in canonical and "overhead_stats" not in canonical
+    assert RunReport.from_dict(canonical).wall_seconds == 0.0
+
+
+def test_run_sets_wall_and_event_accounting():
+    from repro.registry import build_cluster, system_factory
+    from repro.runner import RunSpec, build_workload
+
+    spec = RunSpec(system="sllm", n_models=2, duration=60.0)
+    report = system_factory("sllm")(build_cluster("small")).run(build_workload(spec))
+    assert report.wall_seconds > 0.0
+    assert report.events_processed > 0

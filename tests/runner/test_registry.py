@@ -1,0 +1,86 @@
+"""Registry registration, lookup, and error behaviour."""
+
+import pytest
+
+from repro.registry import (
+    CLUSTERS,
+    SCENARIOS,
+    STANDARD_SYSTEMS,
+    SYSTEMS,
+    Registry,
+    RegistryError,
+    build_cluster,
+    system_factory,
+    systems_named,
+)
+
+
+def test_register_as_decorator_returns_the_function():
+    reg = Registry("thing")
+
+    @reg.register("alpha")
+    def alpha():
+        return 1
+
+    assert alpha() == 1
+    assert reg.get("alpha") is alpha
+    assert "alpha" in reg
+
+
+def test_register_direct_and_names_sorted():
+    reg = Registry("thing")
+    reg.register("b", object())
+    reg.register("a", object())
+    assert reg.names() == ["a", "b"]
+    assert len(reg) == 2
+    assert list(reg) == ["a", "b"]
+
+
+def test_duplicate_registration_is_an_error():
+    reg = Registry("thing")
+    reg.register("x", 1)
+    with pytest.raises(RegistryError, match="already registered"):
+        reg.register("x", 2)
+
+
+def test_unknown_lookup_lists_known_names():
+    reg = Registry("gadget")
+    reg.register("left", 1)
+    reg.register("right", 2)
+    with pytest.raises(RegistryError, match=r"unknown gadget 'middle' \(known: left, right\)"):
+        reg.get("middle")
+
+
+def test_builtin_systems_cover_the_paper():
+    for name in ("sllm", "sllm+c", "sllm+c+s", "slinfer", "neo+", "pd-sllm", "pd-slinfer"):
+        assert name in SYSTEMS
+    assert set(STANDARD_SYSTEMS) <= set(SYSTEMS.names())
+
+
+def test_builtin_scenarios_registered():
+    for name in ("azure", "burstgpt", "diurnal", "bursty-spike", "mixed-fleet"):
+        assert name in SCENARIOS
+
+
+def test_system_factory_builds_named_system(small_cluster):
+    system = system_factory("sllm+c+s")(small_cluster)
+    assert system.name == "sllm+c+s"
+
+
+def test_systems_named_pairs():
+    pairs = systems_named("sllm", "slinfer")
+    assert [name for name, _ in pairs] == ["sllm", "slinfer"]
+    assert all(callable(factory) for _, factory in pairs)
+
+
+def test_build_cluster_registered_and_pattern():
+    paper = build_cluster("paper")
+    assert len(paper.cpu_nodes) == 4 and len(paper.gpu_nodes) == 4
+    assert "paper" in CLUSTERS
+    adhoc = build_cluster("cpu1-gpu3")
+    assert len(adhoc.cpu_nodes) == 1 and len(adhoc.gpu_nodes) == 3
+
+
+def test_build_cluster_unknown_name():
+    with pytest.raises(RegistryError, match="unknown cluster"):
+        build_cluster("warehouse-scale")

@@ -1,0 +1,83 @@
+"""RunSpec identity, grids, and workload materialization."""
+
+import pytest
+
+from repro.runner import RunSpec, build_workload, expand_grid, get_scale
+
+
+def test_fingerprint_stable_and_sensitive():
+    spec = RunSpec(system="sllm", seed=1)
+    assert spec.fingerprint() == RunSpec(system="sllm", seed=1).fingerprint()
+    assert spec.fingerprint() != RunSpec(system="sllm", seed=2).fingerprint()
+    assert spec.fingerprint() != RunSpec(system="slinfer", seed=1).fingerprint()
+    assert (
+        spec.fingerprint()
+        != RunSpec(system="sllm", seed=1, scenario_params={"dataset": "sharegpt"}).fingerprint()
+    )
+
+
+def test_scenario_params_normalized_from_dict():
+    a = RunSpec(system="sllm", scenario_params={"b": 2, "a": 1})
+    b = RunSpec(system="sllm", scenario_params=(("a", 1), ("b", 2)))
+    assert a == b
+    assert a.fingerprint() == b.fingerprint()
+    assert a.params_dict() == {"a": 1, "b": 2}
+
+
+def test_spec_dict_round_trip():
+    spec = RunSpec(
+        system="slinfer",
+        scenario="mixed-fleet",
+        n_models=12,
+        cluster="cpu2-gpu2",
+        seed=7,
+        duration=120.0,
+        scenario_params={"ratio": (4, 1, 1, 1)},
+    )
+    assert RunSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_resolved_duration_prefers_override():
+    assert RunSpec(system="sllm", scale="smoke").resolved_duration() == get_scale("smoke").duration
+    assert RunSpec(system="sllm", scale="smoke", duration=42.0).resolved_duration() == 42.0
+
+
+def test_resolved_requests_per_model_is_rate_preserving():
+    half_hour = RunSpec(system="sllm", duration=1800.0)
+    tenth = RunSpec(system="sllm", duration=180.0)
+    assert half_hour.resolved_requests_per_model() == pytest.approx(73.0)
+    assert tenth.resolved_requests_per_model() == pytest.approx(7.3)
+
+
+def test_expand_grid_cross_product_order():
+    specs = expand_grid(
+        ["sllm", "slinfer"],
+        scenarios=["azure", "diurnal"],
+        seeds=[1, 2],
+        scale="smoke",
+    )
+    assert len(specs) == 8
+    # Workload axes outermost, systems innermost.
+    assert [(s.scenario, s.seed, s.system) for s in specs[:4]] == [
+        ("azure", 1, "sllm"),
+        ("azure", 1, "slinfer"),
+        ("azure", 2, "sllm"),
+        ("azure", 2, "slinfer"),
+    ]
+    assert {s.scenario for s in specs[4:]} == {"diurnal"}
+    assert all(s.scale == "smoke" for s in specs)
+
+
+def test_build_workload_respects_spec():
+    spec = RunSpec(system="sllm", scenario="azure", n_models=4, duration=60.0, seed=5)
+    workload = build_workload(spec)
+    assert len(workload.deployments) == 4
+    assert workload.duration == 60.0
+    # Same spec -> identical workload; different seed -> different trace.
+    again = build_workload(spec)
+    assert [r.arrival for r in workload.requests] == [r.arrival for r in again.requests]
+
+
+def test_build_workload_unknown_scenario():
+    with pytest.raises(KeyError):
+        build_workload(RunSpec(system="sllm", scenario="no-such-trace"))

@@ -28,6 +28,62 @@ def test_compare_command_small(capsys):
     assert "sllm" in out and "slinfer" in out
 
 
+def test_compare_prints_wall_clock_timing(capsys):
+    assert main(
+        [
+            "compare",
+            "--models", "2",
+            "--duration", "60",
+            "--cpus", "1",
+            "--gpus", "1",
+            "--systems", "sllm",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "wall=" in out and "ev/s" in out
+
+
+def test_list_command_shows_registries(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for expected in ("slinfer", "sllm+c+s", "bursty-spike", "diurnal", "mixed-fleet", "paper"):
+        assert expected in out
+
+
+def test_sweep_command_parallel_matches_sequential(tmp_path, capsys):
+    common = [
+        "sweep",
+        "--systems", "sllm,slinfer",
+        "--seeds", "1,2",
+        "--models", "2",
+        "--duration", "60",
+        "--no-cache",
+    ]
+    assert main(common + ["--workers", "4", "--out", str(tmp_path / "par")]) == 0
+    assert main(common + ["--workers", "1", "--out", str(tmp_path / "seq")]) == 0
+    par = sorted((tmp_path / "par").iterdir())
+    seq = sorted((tmp_path / "seq").iterdir())
+    assert [p.name for p in par] == [s.name for s in seq] and len(par) == 4
+    for a, b in zip(par, seq):
+        assert a.read_bytes() == b.read_bytes()
+    out = capsys.readouterr().out
+    assert "4 spec(s)" in out
+
+
+def test_sweep_command_uses_cache(tmp_path, capsys):
+    args = [
+        "sweep",
+        "--systems", "sllm",
+        "--models", "2",
+        "--duration", "60",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    assert main(args) == 0
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "1 from cache" in out
+
+
 def test_parser_rejects_unknown_experiment():
     parser = build_parser()
     with pytest.raises(SystemExit):

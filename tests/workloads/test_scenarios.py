@@ -1,0 +1,82 @@
+"""The registered workload scenarios: shape and determinism."""
+
+import pytest
+
+from repro.models import CODELLAMA_34B, LLAMA2_7B
+from repro.registry import SCENARIOS
+
+
+def build(name, n_models=16, duration=600.0, requests_per_model=24.0, seed=3, **params):
+    return SCENARIOS.get(name)(LLAMA2_7B, n_models, duration, requests_per_model, seed, **params)
+
+
+@pytest.mark.parametrize("name", ["azure", "burstgpt", "diurnal", "bursty-spike", "mixed-fleet"])
+def test_scenarios_build_valid_workloads(name):
+    workload = build(name)
+    assert len(workload.deployments) == 16
+    assert workload.duration == 600.0
+    assert workload.total_requests > 0
+    assert all(0.0 <= r.arrival < 600.0 for r in workload.requests)
+
+
+@pytest.mark.parametrize("name", ["diurnal", "bursty-spike", "mixed-fleet"])
+def test_scenarios_deterministic_per_seed(name):
+    first, second = build(name), build(name)
+    assert [(r.deployment, r.arrival, r.input_len, r.output_len) for r in first.requests] == [
+        (r.deployment, r.arrival, r.input_len, r.output_len) for r in second.requests
+    ]
+    different = build(name, seed=4)
+    assert [r.arrival for r in first.requests] != [r.arrival for r in different.requests]
+
+
+def test_diurnal_concentrates_load_at_the_peak():
+    workload = build("diurnal", n_models=32, requests_per_model=40.0, peak_to_trough=6.0)
+    counts = workload.per_minute_counts()
+    # One cycle starting at the trough: the middle of the trace is the peak.
+    edge = sum(counts[:2]) + sum(counts[-2:])
+    middle = sum(counts[4:6])
+    assert middle > edge
+
+
+def test_bursty_spike_floods_the_window():
+    workload = build(
+        "bursty-spike",
+        n_models=32,
+        requests_per_model=20.0,
+        spike_factor=10.0,
+        spike_start=0.5,
+        spike_width=0.1,
+    )
+    duration = workload.duration
+    window = [r for r in workload.requests if 0.5 * duration <= r.arrival < 0.6 * duration]
+    # The 10% window holds far more than 10% of the traffic.
+    assert len(window) > 0.4 * workload.total_requests
+
+
+def test_bursty_spike_rejects_bad_window():
+    with pytest.raises(ValueError):
+        build("bursty-spike", spike_start=1.2)
+
+
+def test_mixed_fleet_runs_34b_tensor_parallel():
+    workload = build("mixed-fleet", n_models=24)
+    tp2 = [d for d in workload.deployments.values() if d.tp_degree == 2]
+    assert tp2, "expected TP-2 deployments in the mixed fleet"
+    assert all(d.model is CODELLAMA_34B for d in tp2)
+    sizes = {d.model.size_label for d in workload.deployments.values()}
+    assert len(sizes) == 4
+
+
+def test_mixed_fleet_ratio_validation():
+    with pytest.raises(ValueError):
+        build("mixed-fleet", ratio=(1, 2))
+
+
+def test_dataset_param_selects_length_distribution():
+    conv = build("azure", dataset="azure-conversation")
+    code = build("azure", dataset="azure-code")
+    # Code outputs are much shorter than conversation outputs on average.
+    mean_out = lambda w: sum(r.output_len for r in w.requests) / w.total_requests
+    assert mean_out(code) < mean_out(conv)
+    with pytest.raises(KeyError):
+        build("azure", dataset="no-such-dataset")
