@@ -2,7 +2,6 @@
 
 from repro.experiments import run_fig6_ttft_curves, run_fig7_8_tpot_curves
 from repro.models import LLAMA2_13B
-from repro.slo import ttft_slo
 
 
 def test_fig6_ttft_curves(run_once):

@@ -1,8 +1,6 @@
 """Fig. 21 — Azure serverless trace characterization."""
 
-from conftest import at_full_scale
 
-from repro.experiments.common import FULL_SCALE, current_scale
 from repro.models import LLAMA2_7B
 from repro.workloads import AzureServerlessConfig, synthesize_azure_trace
 from repro.workloads.azure_serverless import replica_models

@@ -1,0 +1,73 @@
+"""Policy-matrix sweep: mechanism ablations as a 2×2 cross-product.
+
+Not a paper figure — this guards the policy redesign's headline
+workflow: sweeping SLINFER's placement against the sllm+c+s slot
+placement while crossing the reclaim policy (keep-alive vs never), all
+from one `expand_grid` call.  Every combination must produce a distinct
+fingerprint, a self-describing system label, and deterministic reports
+through the sweep executor; the reclaim axis must move resource usage
+in the expected direction (never-reclaim keeps nodes resident).
+"""
+
+from conftest import grid
+
+from repro.runner import expand_grid, expand_policy_grid
+
+
+def _matrix_specs():
+    duration = grid(600.0, 90.0)
+    return expand_grid(
+        ["slinfer"],
+        n_models=[4],
+        clusters=["small"],
+        duration=duration,
+        policies={
+            "placement": ["slinfer", "sllm+c+s"],
+            "reclaim": ["keepalive", "never"],
+        },
+    )
+
+
+def test_policy_matrix_2x2(run_once, sweep):
+    specs = _matrix_specs()
+    assert len(specs) == 4
+    assert len({spec.fingerprint() for spec in specs}) == 4
+
+    results = run_once(sweep.run, specs)
+    by_label = {result.report.system: result.report for result in results}
+    assert set(by_label) == {
+        "slinfer[placement=slinfer,reclaim=keepalive]",
+        "slinfer[placement=slinfer,reclaim=never]",
+        "slinfer[placement=sllm+c+s,reclaim=keepalive]",
+        "slinfer[placement=sllm+c+s,reclaim=never]",
+    }
+
+    print("\nPolicy matrix: placement × reclaim (azure, 4 models)")
+    for label, report in sorted(by_label.items()):
+        print(
+            f"  {label:48s} slo={100 * report.slo_rate:5.1f}% "
+            f"nodes(cpu/gpu)={report.avg_nodes_used_cpu:.1f}/{report.avg_nodes_used_gpu:.1f}"
+        )
+
+    # Never-reclaim keeps instances resident: node-time never shrinks.
+    for placement in ("slinfer", "sllm+c+s"):
+        kept = by_label[f"slinfer[placement={placement},reclaim=never]"]
+        stock = by_label[f"slinfer[placement={placement},reclaim=keepalive]"]
+        kept_busy = kept.node_seconds_cpu + kept.node_seconds_gpu
+        stock_busy = stock.node_seconds_cpu + stock.node_seconds_gpu
+        assert kept_busy >= stock_busy
+
+    # A second pass replays the whole matrix from the result cache.
+    replayed = sweep.run(specs)
+    assert all(result.from_cache for result in replayed)
+    assert [r.canonical_json() for r in replayed] == [r.canonical_json() for r in results]
+
+
+def test_policy_grid_expansion_shape():
+    combos = expand_policy_grid({"placement": ["a", "b"], "reclaim": ["x", "y"]})
+    assert combos == [
+        (("placement", "a"), ("reclaim", "x")),
+        (("placement", "a"), ("reclaim", "y")),
+        (("placement", "b"), ("reclaim", "x")),
+        (("placement", "b"), ("reclaim", "y")),
+    ]

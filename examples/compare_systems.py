@@ -10,9 +10,8 @@ Run:  python examples/compare_systems.py  [--full]
 
 import argparse
 
-from repro.baselines import make_sllm, make_sllm_c, make_sllm_cs
-from repro.core import Slinfer
 from repro.hardware import paper_testbed
+from repro.registry import STANDARD_SYSTEMS, system_factory
 from repro.models import LLAMA2_7B
 from repro.workloads import AzureServerlessConfig, synthesize_azure_trace
 from repro.workloads.azure_serverless import replica_models
@@ -36,8 +35,8 @@ def main() -> None:
           f"/ {args.models} models\n")
 
     results = {}
-    for factory in (make_sllm, make_sllm_c, make_sllm_cs, Slinfer):
-        report = factory(paper_testbed()).run(workload)
+    for name in STANDARD_SYSTEMS:
+        report = system_factory(name)(paper_testbed()).run(workload)
         results[report.system] = report
         ttft = report.ttft_cdf()
         median = f"{ttft.median:.2f}s" if not ttft.empty else "n/a"

@@ -7,7 +7,7 @@ serverless workload, serves it with SLINFER, and prints the outcome.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import Slinfer, SlinferConfig
+from repro.core import ServingSystem, SlinferConfig
 from repro.hardware import paper_testbed
 from repro.models import LLAMA2_7B
 from repro.workloads import AzureServerlessConfig, synthesize_azure_trace
@@ -28,7 +28,7 @@ def main() -> None:
           f"({workload.aggregated_rpm:.1f} req/min aggregate)")
 
     # 3. Serve it with SLINFER on 4 CPU + 4 GPU nodes.
-    system = Slinfer(paper_testbed(), config=SlinferConfig(seed=7))
+    system = ServingSystem(paper_testbed(), policies="slinfer", config=SlinferConfig(seed=7))
     report = system.run(workload)
 
     # 4. Inspect the outcome.

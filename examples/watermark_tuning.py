@@ -8,7 +8,7 @@ KV memory.  25 % is the sweet spot.
 Run:  python examples/watermark_tuning.py
 """
 
-from repro.core import Slinfer, SlinferConfig
+from repro.core import ServingSystem, SlinferConfig
 from repro.hardware import paper_testbed
 from repro.models import LLAMA2_7B
 from repro.workloads import AzureServerlessConfig, synthesize_azure_trace
@@ -24,7 +24,7 @@ def main() -> None:
     print("watermark | KV util | time resizing | migrations | SLO rate")
     for watermark in (0.0, 0.10, 0.25, 0.50, 1.00):
         config = SlinferConfig(watermark=watermark, seed=5)
-        report = Slinfer(paper_testbed(), config=config).run(workload)
+        report = ServingSystem(paper_testbed(), policies="slinfer", config=config).run(workload)
         samples = report.kv_utilization_samples
         kv_util = sum(samples) / len(samples) if samples else 0.0
         print(

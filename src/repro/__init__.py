@@ -3,21 +3,28 @@ Inference with SLINFER" (HPCA 2026).
 
 Public API quick reference::
 
-    from repro import Slinfer, SlinferConfig, paper_testbed
+    from repro import ServingSystem, paper_testbed
     from repro.workloads import synthesize_azure_trace, AzureServerlessConfig
     from repro.workloads.azure_serverless import replica_models
     from repro.models import LLAMA2_7B
 
     workload = synthesize_azure_trace(replica_models(LLAMA2_7B, 32),
                                       AzureServerlessConfig(n_models=32))
-    report = Slinfer(paper_testbed()).run(workload)
+    report = ServingSystem(paper_testbed(), policies="slinfer").run(workload)
     print(report.summary_line())
+
+Systems are composed from policy bundles (``repro.policies``):
+placement, reclaim, admission, and work-selection policies plus a typed
+event bus for metrics/observability.  ``python -m repro list policies``
+shows the tables; ``repro sweep --policy kind=spec,...`` sweeps
+mechanism ablations.
 
 Sub-packages: ``sim`` (event kernel), ``models``, ``hardware``, ``perf``
 (calibrated latency substrate + §VI-B quantification), ``engine``
 (instances/requests/KV-cache), ``compute`` (headroom & shadow validation),
 ``memory`` (watermark & hazard-aware orchestration), ``consolidation``,
-``core`` (the SLINFER controller), ``baselines``, ``workloads``,
+``policies`` (composable policy layer + event bus), ``core`` (the
+serving loop), ``baselines`` (deprecated shims), ``workloads``,
 ``metrics``, and ``experiments`` (one runner per paper table/figure).
 """
 
@@ -29,8 +36,15 @@ from repro.baselines import (
     make_sllm_c,
     make_sllm_cs,
 )
-from repro.core import BaseServingSystem, Slinfer, SlinferConfig, SystemConfig
+from repro.core import (
+    BaseServingSystem,
+    ServingSystem,
+    Slinfer,
+    SlinferConfig,
+    SystemConfig,
+)
 from repro.hardware import Cluster, paper_testbed
+from repro.policies import EventBus, PolicyBundle, build_bundle
 from repro.metrics import RunReport
 from repro.registry import CLUSTERS, SCENARIOS, SYSTEMS, build_cluster, system_factory
 from repro.runner import (
@@ -50,6 +64,7 @@ __all__ = [
     "CLUSTERS",
     "Cluster",
     "DEFAULT_SLO",
+    "EventBus",
     "NeoSystem",
     "PdSllmSystem",
     "PdSlinfer",
@@ -57,13 +72,16 @@ __all__ = [
     "RunReport",
     "RunResult",
     "RunSpec",
+    "PolicyBundle",
     "SCENARIOS",
     "SYSTEMS",
+    "ServingSystem",
     "Slinfer",
     "SlinferConfig",
     "SloPolicy",
     "SweepExecutor",
     "SystemConfig",
+    "build_bundle",
     "build_cluster",
     "execute_spec",
     "expand_grid",

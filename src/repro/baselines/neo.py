@@ -1,37 +1,28 @@
-"""NEO+ baseline (§IX-I3, Fig. 29).
+"""Deprecated shim: the NEO+ baseline (§IX-I3, Fig. 29).
 
-NEO [32] offloads KV-cache and the associated attention computation from
-the GPU to harvested host-CPU cores, (a) speeding up decode iterations and
-(b) relieving GPU memory pressure so instances can admit larger batches.
-It remains an exclusive-GPU design optimized for single-instance high-load
-serving — in the serverless multi-model regime the paper targets it cannot
-raise deployment density, which is why it trails SLINFER.
+NEO offloads KV-cache and the associated attention computation from the
+GPU to harvested host-CPU cores.  The behaviour now lives in the policy
+layer — ``sllm`` placement with a scaled concurrency limit plus the
+``cpu-assist`` work policy — composed by the ``neo+`` bundle::
 
-Calibration: with a full 32-core complement the CPU absorbs roughly the
-attention half of decode (≈25 % latency reduction) and extends effective
-KV capacity by ≈50 % (CPU-resident cache).
+    ServingSystem(cluster, policies=neo_bundle(harvested_cores_per_gpu=16))
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from repro.baselines.sllm import SllmSystem
 from repro.compute.scheduler import WorkKind
 from repro.core.config import SystemConfig
 from repro.engine.executor import Executor
-from repro.engine.instance import Instance
 from repro.hardware.cluster import Cluster
-from repro.perf.limits import baseline_concurrency_limit
 from repro.slo import DEFAULT_SLO, SloPolicy
-
-_FULL_CORES = 32
-_MAX_DECODE_GAIN = 0.25
-_MAX_LIMIT_GAIN = 0.5
 
 
 class NeoSystem(SllmSystem):
-    """Exclusive GPU serving with CPU-assisted decode."""
+    """Deprecated: use the ``neo+`` bundle."""
 
     def __init__(
         self,
@@ -40,27 +31,25 @@ class NeoSystem(SllmSystem):
         slo: SloPolicy = DEFAULT_SLO,
         config: Optional[SystemConfig] = None,
     ) -> None:
-        super().__init__(cluster, use_cpu=False, static_share=False, slo=slo, config=config)
-        if harvested_cores_per_gpu < 0:
-            raise ValueError("harvested cores must be non-negative")
-        self.harvested_cores_per_gpu = harvested_cores_per_gpu
+        warnings.warn(
+            "NeoSystem is deprecated; use ServingSystem with the 'neo+' bundle "
+            "(neo_bundle(harvested_cores_per_gpu=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.policies.registry import neo_bundle
 
-    @property
-    def name(self) -> str:  # type: ignore[override]
-        return "neo+"
+        super().__init__(
+            cluster,
+            slo=slo,
+            config=config,
+            policies=neo_bundle(harvested_cores_per_gpu),
+        )
 
+    # Legacy attribute surface ------------------------------------------
     @property
-    def _assist(self) -> float:
-        """0..1 fraction of the full CPU-assist benefit available."""
-        return min(1.0, self.harvested_cores_per_gpu / _FULL_CORES)
+    def harvested_cores_per_gpu(self) -> int:
+        return self.policies.work.harvested_cores_per_gpu  # type: ignore[attr-defined]
 
     def _iteration_latency_factor(self, executor: Executor, kind: WorkKind) -> float:
-        if kind is WorkKind.DECODE and executor.node.is_gpu:
-            return 1.0 - _MAX_DECODE_GAIN * self._assist
-        return 1.0
-
-    def _limit(self, instance: Instance) -> int:
-        base = baseline_concurrency_limit(
-            instance.node.spec, instance.model, shared=False, tp_degree=instance.tp_degree
-        )
-        return max(1, int(base * (1.0 + _MAX_LIMIT_GAIN * self._assist)))
+        return self.policies.work.latency_factor(self, executor, kind)

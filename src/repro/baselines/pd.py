@@ -1,108 +1,103 @@
-"""Prefill–decode disaggregated variants (§IX-G, Table III).
+"""Deprecated shims: prefill–decode disaggregated variants (§IX-G).
 
-PD disaggregation launches *dedicated* prefill and decode instances per
-model.  A request is served by a prefill-role instance, its KV-cache is
-transferred over the 100 Gbps cross-node fabric, and decoding continues on
-a decode-role instance (which may itself need a cold start).  The paper
-finds this *hurts* in the serverless regime: prefill instances spend ~93 %
-of their lifetime cold-starting or idle, so both GPU usage and SLO rates
-degrade — which these variants reproduce for sllm+c+s and SLINFER.
-
-Implementation: the KV hand-off is modelled as a transfer delay plus a
-1-token "attach" iteration on the decode instance (negligible compute, it
-reuses the uniform prefill machinery; the request's output budget is
-adjusted so total generated tokens are unchanged).
+PD routing and the KV hand-off now live in
+:class:`~repro.policies.admission.PdAdmission`; these classes remain for
+one release and simply select the ``pd-sllm`` / ``pd-slinfer`` bundles.
 """
 
 from __future__ import annotations
 
-from repro.core.slinfer import Slinfer
+import warnings
+from typing import Optional
+
 from repro.baselines.sllm import SllmSystem
-from repro.engine.instance import Instance
-from repro.engine.request import Request, RequestState
-from repro.hardware.node import Node
-from repro.workloads.spec import Deployment
+from repro.core.config import SlinferConfig
+from repro.core.system import ServingSystem
+from repro.hardware.cluster import Cluster
+from repro.policies.admission import (
+    DECODE_ROLE,
+    KV_TRANSFER_BYTES_PER_S,
+    PREFILL_ROLE,
+    PdAdmission,
+)
+from repro.slo import DEFAULT_SLO, SloPolicy
 
-KV_TRANSFER_BYTES_PER_S = 100e9 / 8.0  # 100 Gbps (§IX-G)
-
-PREFILL_ROLE = "prefill"
-DECODE_ROLE = "decode"
-
-
-class _PdMixin:
-    """Role tagging, phase routing, and KV transfer for PD systems."""
-
-    def _pd_init(self) -> None:
-        self._roles: dict[int, str] = {}
-        self._phases: dict[int, str] = {}
-        self._placing_role: str = PREFILL_ROLE
-
-    def _role_of(self, instance: Instance) -> str:
-        return self._roles.get(instance.inst_id, PREFILL_ROLE)
-
-    def _phase_of(self, request: Request) -> str:
-        return self._phases.get(request.req_id, PREFILL_ROLE)
-
-    # --- role assignment at creation ----------------------------------
-    def _make_instance(self, deployment: Deployment, node: Node, **kwargs) -> Instance:
-        instance = super()._make_instance(deployment, node, **kwargs)
-        self._roles[instance.inst_id] = self._placing_role
-        return instance
-
-    # --- role filtering during placement -------------------------------
-    def _allowed_instance(self, instance: Instance, request: Request) -> bool:
-        return self._role_of(instance) == self._phase_of(request)
-
-    def _try_place(self, request: Request) -> bool:
-        self._placing_role = self._phase_of(request)
-        try:
-            return super()._try_place(request)
-        finally:
-            self._placing_role = PREFILL_ROLE
-
-    # --- the KV hand-off ------------------------------------------------
-    def _admit_after_prefill(self, instance: Instance, request: Request) -> None:
-        if self._role_of(instance) != PREFILL_ROLE:
-            super()._admit_after_prefill(instance, request)
-            return
-        self._phases[request.req_id] = DECODE_ROLE
-        request.state = RequestState.MIGRATING
-        request.prefill_len = 1  # the "attach" iteration on the decode side
-        request.output_len += 1  # the attach token is not real output
-        transfer_bytes = request.context_len * instance.model.kv_bytes_per_token
-        delay = transfer_bytes / KV_TRANSFER_BYTES_PER_S
-        self.sim.schedule(delay, self._pd_deliver, request)
-
-    def _pd_deliver(self, request: Request) -> None:
-        if request.state is not RequestState.MIGRATING:
-            return  # dropped during the transfer
-        if not self._timed_place(request):
-            self._enqueue(request)
-
-    def _complete_request(self, instance: Instance, request: Request) -> None:
-        self._phases.pop(request.req_id, None)
-        super()._complete_request(instance, request)
+__all__ = [
+    "DECODE_ROLE",
+    "KV_TRANSFER_BYTES_PER_S",
+    "PREFILL_ROLE",
+    "PdSllmSystem",
+    "PdSlinfer",
+]
 
 
-class PdSllmSystem(_PdMixin, SllmSystem):
-    """sllm+c+s with PD disaggregation (Table III upper half)."""
+class PdSllmSystem(SllmSystem):
+    """Deprecated: use the ``pd-sllm`` bundle (sllm+c+s with PD)."""
 
-    def __init__(self, cluster, **kwargs) -> None:
-        kwargs.setdefault("use_cpu", True)
-        kwargs.setdefault("static_share", True)
-        super().__init__(cluster, **kwargs)
-        self._pd_init()
+    def __init__(
+        self,
+        cluster: Cluster,
+        use_cpu: bool = True,
+        static_share: bool = True,
+        **kwargs,
+    ) -> None:
+        warnings.warn(
+            "PdSllmSystem is deprecated; use ServingSystem(cluster, policies='pd-sllm')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.policies import KeepAliveReclaim, PolicyBundle, SllmPlacement
+        from repro.policies.registry import pd_sllm_bundle
+
+        if use_cpu and static_share:
+            bundle = pd_sllm_bundle()  # the registry's 'pd-sllm' composition
+        else:
+            # Non-registry variants (Table III's other rows) keep the old
+            # constructor flags.
+            base = "sllm+c+s" if static_share else ("sllm+c" if use_cpu else "sllm")
+            bundle = PolicyBundle(
+                name=f"{base}+pd",
+                placement=SllmPlacement(use_cpu=use_cpu, static_share=static_share),
+                reclaim=KeepAliveReclaim(),
+                admission=PdAdmission(),
+            )
+        super().__init__(cluster, policies=bundle, **kwargs)
 
     @property
-    def name(self) -> str:  # type: ignore[override]
-        return f"{SllmSystem.name.fget(self)}+pd"
+    def _roles(self) -> dict[int, str]:
+        admission: PdAdmission = self.policies.admission  # type: ignore[assignment]
+        return admission._roles
 
 
-class PdSlinfer(_PdMixin, Slinfer):
-    """SLINFER with PD disaggregation (Table III lower half)."""
+class PdSlinfer(ServingSystem):
+    """Deprecated: use the ``pd-slinfer`` bundle (SLINFER with PD)."""
 
-    def __init__(self, cluster, **kwargs) -> None:
-        super().__init__(cluster, **kwargs)
-        self._pd_init()
+    def __init__(
+        self,
+        cluster: Cluster,
+        slo: SloPolicy = DEFAULT_SLO,
+        config: Optional[SlinferConfig] = None,
+    ) -> None:
+        warnings.warn(
+            "PdSlinfer is deprecated; use ServingSystem(cluster, policies='pd-slinfer')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.policies.registry import pd_slinfer_bundle
 
-    name = "slinfer+pd"
+        super().__init__(
+            cluster,
+            policies=pd_slinfer_bundle(config),
+            slo=slo,
+            config=config or SlinferConfig(),
+        )
+        self.policies.placement.system = self
+
+    @property
+    def _roles(self) -> dict[int, str]:
+        admission: PdAdmission = self.policies.admission  # type: ignore[assignment]
+        return admission._roles
+
+    @property
+    def _orchestrators(self):
+        return self.policies.placement._orchestrators  # type: ignore[attr-defined]

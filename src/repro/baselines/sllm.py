@@ -1,41 +1,28 @@
-"""The ServerlessLLM baseline family (§IX-A).
+"""Deprecated shims: the ServerlessLLM baseline family (§IX-A).
 
-Behaviour, per the paper:
-
-* Event-driven: a request goes to an existing instance of its model if one
-  has room under the (conservatively tailored) fixed concurrency limit;
-  otherwise a new instance is launched on an available node (CPU-first for
-  the ``+c`` variants); otherwise the request queues and is dropped once
-  its queuing delay exceeds the TTFT SLO.
-* Exclusive allocation: each instance owns a whole node — or, under
-  ``+s`` static sharing, half a node (13B-sized models on CPUs keep a full
-  node because half a CPU misses the TPOT SLO even at batch 1).
-* Each instance statically allocates its entire slot's remaining memory as
-  KV-cache (the over-provisioning Figs. 5 and 25 expose).
+The behaviour now lives in :class:`~repro.policies.sllm.SllmPlacement`
+composed by the ``sllm`` / ``sllm+c`` / ``sllm+c+s`` bundles; construct
+through ``ServingSystem(cluster, policies="sllm+c+s")`` or the system
+registry.  These classes remain for one release.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
-from repro.core.base import BaseServingSystem
 from repro.core.config import SystemConfig
-from repro.engine.executor import Executor
-from repro.engine.instance import Instance, InstanceState
-from repro.engine.request import Request
+from repro.core.system import ServingSystem
+from repro.engine.instance import Instance
 from repro.hardware.cluster import Cluster
 from repro.hardware.node import Node
 from repro.models.catalog import ModelSpec
-from repro.perf.laws import kv_scaling_seconds
-from repro.perf.limits import baseline_concurrency_limit
+from repro.policies.base import PolicyBundle
 from repro.slo import DEFAULT_SLO, SloPolicy
-from repro.workloads.spec import Deployment, Workload
-
-_EPS = 1e-9
 
 
-class SllmSystem(BaseServingSystem):
-    """ServerlessLLM and its +c / +c+s variants."""
+class SllmSystem(ServingSystem):
+    """Deprecated: use ``ServingSystem(cluster, policies="sllm[+c[+s]]")``."""
 
     def __init__(
         self,
@@ -44,157 +31,36 @@ class SllmSystem(BaseServingSystem):
         static_share: bool = False,
         slo: SloPolicy = DEFAULT_SLO,
         config: Optional[SystemConfig] = None,
+        policies: Optional[PolicyBundle] = None,
     ) -> None:
-        super().__init__(cluster, slo, config)
-        self.use_cpu = use_cpu
-        self.static_share = static_share
-        self._free_fraction: dict[str, float] = {}
+        if type(self) is SllmSystem:
+            warnings.warn(
+                "SllmSystem is deprecated; use ServingSystem with an 'sllm' bundle",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        from repro.policies.registry import build_bundle
+
+        if policies is None:
+            name = "sllm+c+s" if static_share else ("sllm+c" if use_cpu else "sllm")
+            policies = build_bundle(name)
+        super().__init__(cluster, policies=policies, slo=slo, config=config)
+        self.policies.placement.system = self
+
+    # Legacy attribute surface ------------------------------------------
+    @property
+    def use_cpu(self) -> bool:
+        return self.policies.placement.use_cpu  # type: ignore[attr-defined]
 
     @property
-    def name(self) -> str:  # type: ignore[override]
-        if self.static_share:
-            return "sllm+c+s"
-        if self.use_cpu:
-            return "sllm+c"
-        return "sllm"
-
-    # ------------------------------------------------------------------
-    # Setup / slots
-    # ------------------------------------------------------------------
-    def _prepare(self, workload: Workload) -> None:
-        self._free_fraction = {node.node_id: 1.0 for node in self.cluster.nodes}
+    def static_share(self) -> bool:
+        return self.policies.placement.static_share  # type: ignore[attr-defined]
 
     def _slot_fraction(self, node: Node, model: ModelSpec) -> float:
-        """Fraction of the node an instance occupies."""
-        if not self.static_share:
-            return 1.0
-        if node.is_cpu:
-            # 13B-sized (and larger) models keep a full CPU node (§IX-A):
-            # half a node misses the TPOT SLO even at batch 1.
-            law = self.perf.law(node.spec, model, fraction=0.5)
-            probe = min(4096, model.max_context)
-            if law.decode_seconds(1, probe) > self.slo.tpot:
-                return 1.0
-        return 0.5
+        return self.policies.placement.slot_fraction(node, model)  # type: ignore[attr-defined]
 
     def _limit(self, instance: Instance) -> int:
-        return max(
-            1,
-            baseline_concurrency_limit(
-                instance.node.spec,
-                instance.model,
-                shared=self.static_share,
-                tp_degree=instance.tp_degree,
-            ),
-        )
-
-    # ------------------------------------------------------------------
-    # Placement
-    # ------------------------------------------------------------------
-    def _cpu_ok(self, node: Node, model: ModelSpec, request: Request) -> bool:
-        if not self.use_cpu:
-            return False
-        return self.perf.cpu_can_serve(node.spec, model, request.prefill_len, self.slo)
-
-    def _allowed_instance(self, instance: Instance, request: Request) -> bool:
-        """Hook for role filtering (PD variants)."""
-        return True
-
-    def _try_place(self, request: Request) -> bool:
-        deployment = self.deployments[request.deployment]
-        candidates = sorted(
-            self.instances_of(deployment.name),
-            key=lambda inst: (0 if inst.node.is_cpu else 1, inst.inst_id),
-        )
-        for instance in candidates:
-            if not self._allowed_instance(instance, request):
-                continue
-            if instance.node.is_cpu and not self._cpu_ok(
-                instance.node, instance.model, request
-            ):
-                continue
-            if instance.request_count < self._limit(instance):
-                self._dispatch(request, instance)
-                return True
-        return self._scale_out(request, deployment)
-
-    def _scale_out(self, request: Request, deployment: Deployment) -> bool:
-        model = deployment.model
-        if deployment.tp_degree > 1:
-            return self._scale_out_tp(request, deployment)
-        nodes = list(self.cluster.cpu_nodes) + list(self.cluster.gpu_nodes)
-        for node in nodes:
-            if node.is_cpu and not self._cpu_ok(node, model, request):
-                continue
-            if node.is_gpu and node.memory_bytes < model.weight_bytes:
-                continue
-            fraction = self._slot_fraction(node, model)
-            if self._free_fraction[node.node_id] + _EPS < fraction:
-                continue
-            instance = self._launch(deployment, node, fraction)
-            self._dispatch(request, instance)
-            return True
-        return False
-
-    def _scale_out_tp(self, request: Request, deployment: Deployment) -> bool:
-        tp = deployment.tp_degree
-        free = [
-            node
-            for node in self.cluster.gpu_nodes
-            if self._free_fraction[node.node_id] >= 1.0 - _EPS
-        ]
-        if len(free) < tp:
-            return False
-        primary, partners = free[0], free[1:tp]
-        instance = self._launch(deployment, primary, 1.0, partners=partners)
-        self._dispatch(request, instance)
-        return True
-
-    # ------------------------------------------------------------------
-    # Instance lifecycle
-    # ------------------------------------------------------------------
-    def _launch(
-        self,
-        deployment: Deployment,
-        node: Node,
-        fraction: float,
-        partners: Optional[list[Node]] = None,
-    ) -> Instance:
-        instance = self._make_instance(deployment, node, fraction=fraction)
-        executor = Executor(
-            exec_id=f"x-{node.node_id}-i{instance.inst_id}", node=node, fraction=fraction
-        )
-        self.executors.append(executor)
-        self._attach(instance, executor)
-        self._free_fraction[node.node_id] -= fraction
-        self._partners_of = getattr(self, "_partners_of", {})
-        for partner in partners or []:
-            self._free_fraction[partner.node_id] -= 1.0
-            self.metrics.node_loaded(partner.node_id, partner.kind, self.sim.now)
-        if partners:
-            self._partners_of[instance.inst_id] = partners
-        slot_bytes = int(node.memory_bytes * fraction)
-        kv_capacity = max(0, slot_bytes * instance.tp_degree - instance.model.weight_bytes)
-        load_seconds = instance.model.weight_bytes / instance.tp_degree / node.spec.loader_bytes_per_s
-        load_seconds += kv_scaling_seconds(0, kv_capacity, 0)
-        instance.load_ready_at = self.sim.now + load_seconds
-        self.sim.schedule(load_seconds, self._finish_launch, instance, kv_capacity)
-        return instance
-
-    def _finish_launch(self, instance: Instance, kv_capacity: int) -> None:
-        instance.kv.allocated_bytes = kv_capacity
-        self._activate_instance(instance)
-
-    def _reclaim(self, instance: Instance) -> None:
-        instance.state = InstanceState.UNLOADED
-        instance.kv.allocated_bytes = 0
-        self._free_fraction[instance.node.node_id] += instance.fraction
-        partners = getattr(self, "_partners_of", {}).pop(instance.inst_id, [])
-        for partner in partners:
-            self._free_fraction[partner.node_id] += 1.0
-            self.metrics.node_unloaded(partner.node_id, self.sim.now)
-        self._detach(instance)
-        self._capacity_changed()
+        return self.policies.placement.limit(instance)  # type: ignore[attr-defined]
 
 
 def make_sllm(cluster: Cluster, **kwargs) -> SllmSystem:

@@ -4,9 +4,13 @@ Commands:
 
 * ``compare`` — run the four systems on one workload and print Fig. 22-style
   metrics.
-* ``sweep`` — run a (system × scenario × model-count × seed) grid across
-  worker processes, with an on-disk result cache.
-* ``list`` — show the registered systems, scenarios, and clusters.
+* ``sweep`` — run a (system × scenario × model-count × seed × policy)
+  grid across worker processes, with an on-disk result cache.  Repeated
+  ``--policy kind=spec1,spec2`` flags form a policy cross-product, so a
+  mechanism ablation (e.g. SLINFER placement with the reclaim policy
+  swapped) is one command line instead of a bespoke driver.
+* ``list`` — show the registered systems, scenarios, clusters, models,
+  and (``list policies``) the policy and bundle tables.
 * ``experiment`` — run a named paper experiment (``fig22``, ``ablation``,
   ``table1``, ``table2``, ``watermark``, ``keepalive``, ``pd``, ``quant``).
 * ``calibration`` — print the calibrated latency laws against the paper's
@@ -24,6 +28,7 @@ import sys
 from pathlib import Path
 
 from repro.models import CATALOG, get_model
+from repro.policies import POLICY_KINDS, POLICY_REGISTRIES, BUNDLES, resolve_policy
 from repro.registry import (
     CLUSTERS,
     RegistryError,
@@ -45,6 +50,28 @@ from repro.runner import (
 
 def _csv(value: str) -> list[str]:
     return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _parse_policy_axes(flags: list[str]) -> dict[str, list[str]]:
+    """``--policy kind=spec1,spec2`` flags → a policy sweep dict.
+
+    Every spec is resolved once up front so unknown kinds/names/args
+    fail fast, before any simulation starts.
+    """
+    axes: dict[str, list[str]] = {}
+    for flag in flags:
+        kind, sep, specs = flag.partition("=")
+        kind = kind.strip()
+        values = _csv(specs)
+        if not sep or not values:
+            raise RegistryError(
+                f"bad --policy {flag!r}: expected kind=spec[,spec...] "
+                f"with kind one of {', '.join(POLICY_KINDS)}"
+            )
+        for spec in values:
+            resolve_policy(kind, spec)
+        axes.setdefault(kind, []).extend(values)
+    return axes
 
 
 def _validate_names(systems=(), scenarios=(), clusters=(), models=()) -> None:
@@ -115,6 +142,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seeds=[int(s) for s in _csv(args.seeds)],
         scale=args.scale,
         duration=args.duration,
+        policies=_parse_policy_axes(args.policy or []),
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     executor = SweepExecutor(workers=args.workers, cache=cache)
@@ -141,19 +169,38 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_list(_args: argparse.Namespace) -> int:
-    print("systems:")
-    for name in SYSTEMS.names():
-        print(f"  {name}")
-    print("scenarios:")
-    for name in SCENARIOS.names():
-        print(f"  {name}")
-    print("clusters (plus ad-hoc 'cpu{N}-gpu{M}'):")
-    for name in CLUSTERS.names():
-        print(f"  {name}")
-    print("models:")
-    for name in sorted(CATALOG):
-        print(f"  {name}")
+def _list_policies() -> None:
+    print("policies (use with 'sweep --policy kind=spec[,spec...]'):")
+    for kind in POLICY_KINDS:
+        names = ", ".join(POLICY_REGISTRIES[kind].names())
+        print(f"  {kind}: {names}")
+    print("bundles (system name -> policy assignment):")
+    for name in BUNDLES.names():
+        composition = BUNDLES.get(name)().describe()
+        rendered = ", ".join(f"{kind}={spec}" for kind, spec in composition.items())
+        print(f"  {name}: {rendered}")
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    what = getattr(args, "what", "all")
+    if what in ("all", "systems"):
+        print("systems:")
+        for name in SYSTEMS.names():
+            print(f"  {name}")
+    if what in ("all", "scenarios"):
+        print("scenarios:")
+        for name in SCENARIOS.names():
+            print(f"  {name}")
+    if what in ("all", "clusters"):
+        print("clusters (plus ad-hoc 'cpu{N}-gpu{M}'):")
+        for name in CLUSTERS.names():
+            print(f"  {name}")
+    if what in ("all", "models"):
+        print("models:")
+        for name in sorted(CATALOG):
+            print(f"  {name}")
+    if what in ("all", "policies"):
+        _list_policies()
     return 0
 
 
@@ -221,6 +268,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--scale", default="quick", choices=["full", "quick", "smoke"])
     sweep.add_argument("--duration", type=float, default=None, help="override scale window (s)")
     sweep.add_argument(
+        "--policy",
+        action="append",
+        metavar="KIND=SPEC[,SPEC...]",
+        help="policy override axis (repeatable); e.g. --policy placement=slinfer,sllm "
+        "--policy reclaim=keepalive,never sweeps the 2x2 mechanism matrix",
+    )
+    sweep.add_argument(
         "--workers", type=int, default=default_workers(),
         help="worker processes (default: REPRO_WORKERS or 1)",
     )
@@ -229,7 +283,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--out", default=None, help="write per-spec canonical JSON here")
     sweep.set_defaults(func=cmd_sweep)
 
-    listing = sub.add_parser("list", help="show registered systems/scenarios/clusters")
+    listing = sub.add_parser(
+        "list", help="show registered systems/scenarios/clusters/models/policies"
+    )
+    listing.add_argument(
+        "what",
+        nargs="?",
+        default="all",
+        choices=["all", "systems", "scenarios", "clusters", "models", "policies"],
+    )
     listing.set_defaults(func=cmd_list)
 
     experiment = sub.add_parser("experiment", help="run a named paper experiment")

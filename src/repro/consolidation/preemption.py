@@ -23,7 +23,7 @@ from repro.engine.instance import Instance, InstanceState
 from repro.engine.request import Request
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.slinfer import Slinfer
+    from repro.policies.slinfer import SlinferPlacement
 
 MAX_VICTIMS_PER_PLAN = 2
 
@@ -38,7 +38,7 @@ class PreemptionPlan:
     migrations: list[tuple[Request, Instance]] = field(default_factory=list)
 
 
-def _victim_candidates(system: "Slinfer", target: Instance) -> list[Instance]:
+def _victim_candidates(system: "SlinferPlacement", target: Instance) -> list[Instance]:
     """Smaller-batch neighbours on the target's executor, smallest first."""
     executor = system.executor_for(target)
     neighbours = [
@@ -54,7 +54,7 @@ def _victim_candidates(system: "Slinfer", target: Instance) -> list[Instance]:
 
 
 def _destinations_for(
-    system: "Slinfer", victim: Instance, excluded: set[int]
+    system: "SlinferPlacement", victim: Instance, excluded: set[int]
 ) -> list[tuple[Request, Instance]] | None:
     """Validated destinations for every request of ``victim``.
 
@@ -83,7 +83,7 @@ def _destinations_for(
     return destinations
 
 
-def plan_preemption(system: "Slinfer", request: Request, deployment: str) -> PreemptionPlan | None:
+def plan_preemption(system: "SlinferPlacement", request: Request, deployment: str) -> PreemptionPlan | None:
     """Find a preemption that lets some replica of ``deployment`` absorb
     ``request``; None when no valid plan exists."""
     replicas = [

@@ -1,7 +1,14 @@
-"""SLINFER core: the controller, configuration, and shared system base."""
+"""Serving-system core: the composable loop, configuration, and shims."""
 
 from repro.core.base import BaseServingSystem
 from repro.core.config import SlinferConfig, SystemConfig
 from repro.core.slinfer import Slinfer
+from repro.core.system import ServingSystem
 
-__all__ = ["BaseServingSystem", "Slinfer", "SlinferConfig", "SystemConfig"]
+__all__ = [
+    "BaseServingSystem",
+    "ServingSystem",
+    "Slinfer",
+    "SlinferConfig",
+    "SystemConfig",
+]

@@ -1,397 +1,19 @@
-"""Shared serving-system machinery.
+"""Deprecated compatibility module.
 
-Every system (SLINFER and the sllm-family baselines) drives the same
-event-driven loop: requests arrive, are placed onto instances (or queued
-and eventually dropped when their queuing delay exceeds the TTFT SLO,
-§IX-B), executors run prefill/decode iterations one at a time, idle
-instances are reclaimed after the keep-alive threshold.
-
-Subclasses implement placement (``_try_place``), instance memory
-accounting, and reclaim; the base class owns the simulator, the executor
-loop, queue/drop handling, metrics, and request lifecycle bookkeeping.
+The inheritance-based ``BaseServingSystem`` was replaced by the
+composable :class:`~repro.core.system.ServingSystem` plus a
+:class:`~repro.policies.base.PolicyBundle`.  ``BaseServingSystem`` is
+kept as an alias for one release so type hints and ``isinstance``
+checks keep working; new code should import :class:`ServingSystem`
+and express behaviour as policies.
 """
 
 from __future__ import annotations
 
-import abc
-import itertools
-import time as _wallclock
-from collections import deque
-from typing import Optional
+from repro.core.system import ServingSystem
 
-from repro.core.config import SystemConfig
-from repro.compute.scheduler import WorkItem, WorkKind, select_next_work
-from repro.engine.executor import Executor
-from repro.engine.instance import Instance, InstanceState
-from repro.engine.request import Request, RequestState
-from repro.hardware.cluster import Cluster
-from repro.hardware.node import Node
-from repro.metrics.collector import MetricsCollector
-from repro.metrics.report import RunReport
-from repro.perf.database import PerfDatabase
-from repro.sim.simulator import EventHandle, Simulator
-from repro.slo import DEFAULT_SLO, SloPolicy
-from repro.workloads.spec import Deployment, Workload
+#: Deprecated alias — the hook-override extension API is gone; compose a
+#: :class:`~repro.policies.base.PolicyBundle` instead.
+BaseServingSystem = ServingSystem
 
-
-class BaseServingSystem(abc.ABC):
-    """Event-driven serving system skeleton."""
-
-    name = "base"
-
-    def __init__(
-        self,
-        cluster: Cluster,
-        slo: SloPolicy = DEFAULT_SLO,
-        config: Optional[SystemConfig] = None,
-    ) -> None:
-        self.cluster = cluster
-        self.slo = slo
-        self.config = config or SystemConfig()
-        self.sim = Simulator()
-        self.perf = PerfDatabase(jitter_sigma=self.config.jitter_sigma, seed=self.config.seed)
-        self.metrics = MetricsCollector()
-        self.queue: deque[Request] = deque()
-        self._queue_timers: dict[int, EventHandle] = {}
-        self._inst_seq = itertools.count()
-        self._req_seq = itertools.count()
-        self.deployments: dict[str, Deployment] = {}
-        self.executors: list[Executor] = []
-        self._executor_of: dict[int, Executor] = {}  # instance id -> executor
-        self._instances_by_deployment: dict[str, list[Instance]] = {}
-        self._trace_duration: float = 0.0
-        self._retrying = False
-        self._last_retry_at = -1.0
-        self._retry_dirty = True
-
-    # ------------------------------------------------------------------
-    # Entry point
-    # ------------------------------------------------------------------
-    def run(self, workload: Workload, until: Optional[float] = None) -> RunReport:
-        """Serve a workload to completion and return the measured report."""
-        start = _wallclock.perf_counter()
-        self.deployments = dict(workload.deployments)
-        self._trace_duration = workload.duration
-        self._prepare(workload)
-        for spec in workload.requests:
-            self.sim.schedule_at(spec.arrival, self._arrive, spec)
-        if self.config.sample_interval > 0:
-            self.sim.schedule(self.config.sample_interval, self._sample_memory)
-        horizon = until if until is not None else workload.duration + self.config.drain_timeout
-        self.sim.run(until=horizon)
-        report = self.metrics.finalize(self.sim.now, workload.duration, self.name)
-        report.wall_seconds = _wallclock.perf_counter() - start
-        report.events_processed = self.sim.events_processed
-        return report
-
-    def _prepare(self, workload: Workload) -> None:
-        """Hook: build executors / per-node state before the trace starts."""
-
-    # ------------------------------------------------------------------
-    # Arrivals, queue, drops
-    # ------------------------------------------------------------------
-    def _arrive(self, spec) -> None:
-        request = Request(
-            req_id=next(self._req_seq),
-            deployment=spec.deployment,
-            arrival=self.sim.now,
-            input_len=spec.input_len,
-            output_len=spec.output_len,
-            ttft_slo=self.slo.ttft(spec.input_len),
-            tpot_slo=self.slo.tpot,
-        )
-        self.metrics.register_request(request)
-        if not self._timed_place(request):
-            self._enqueue(request)
-
-    def _timed_place(self, request: Request) -> bool:
-        if not self.config.measure_overheads:
-            return self._try_place(request)
-        start = _wallclock.perf_counter()
-        placed = self._try_place(request)
-        self.metrics.add_overhead("placement", _wallclock.perf_counter() - start)
-        return placed
-
-    @abc.abstractmethod
-    def _try_place(self, request: Request) -> bool:
-        """Attempt to put ``request`` onto an instance; False → queue it."""
-
-    def _enqueue(self, request: Request) -> None:
-        request.state = RequestState.QUEUED
-        self.queue.append(request)
-        deadline = request.next_token_deadline
-        if deadline > self.sim.now:
-            handle = self.sim.schedule_at(deadline, self._queue_timeout, request)
-            self._queue_timers[request.req_id] = handle
-        else:
-            self._queue_timeout(request)
-
-    def _queue_timeout(self, request: Request) -> None:
-        """Drop a request whose queuing delay exceeded its TTFT SLO (§IX-B)."""
-        self._queue_timers.pop(request.req_id, None)
-        if request.state in (RequestState.QUEUED, RequestState.MIGRATING):
-            if request in self.queue:
-                self.queue.remove(request)
-            request.drop(self.sim.now)
-
-    def _capacity_changed(self) -> None:
-        """Capacity was freed (completion/unload/scale): retry the queue."""
-        self._retry_dirty = True
-        self._retry_queue()
-
-    def _retry_queue(self) -> None:
-        """Re-attempt placement for queued requests (FIFO, bounded work).
-
-        A failed attempt for a deployment skips the rest of that
-        deployment's queue — the outcome would be identical — and retries
-        are coalesced per simulation instant.  ``_retrying`` is visible to
-        subclasses so expensive arrival-only machinery (e.g. preemption
-        planning) is not re-run for every queued request on every
-        completion event.
-        """
-        if self._last_retry_at == self.sim.now and not self._retry_dirty:
-            return
-        self._last_retry_at = self.sim.now
-        self._retry_dirty = False
-        attempts = 0
-        failed_deployments: set[str] = set()
-        self._retrying = True
-        try:
-            for request in list(self.queue):
-                if attempts >= self.config.max_queue_retries:
-                    break
-                if request.state not in (RequestState.QUEUED, RequestState.MIGRATING):
-                    self.queue.remove(request)
-                    continue
-                if request.deployment in failed_deployments:
-                    continue
-                attempts += 1
-                if self._timed_place(request):
-                    self.queue.remove(request)
-                    timer = self._queue_timers.pop(request.req_id, None)
-                    if timer is not None:
-                        timer.cancel()
-                else:
-                    failed_deployments.add(request.deployment)
-        finally:
-            self._retrying = False
-
-    # ------------------------------------------------------------------
-    # Instances
-    # ------------------------------------------------------------------
-    def _make_instance(
-        self,
-        deployment: Deployment,
-        node: Node,
-        fraction: float = 1.0,
-        exclusive: bool = False,
-    ) -> Instance:
-        instance = Instance(
-            inst_id=next(self._inst_seq),
-            deployment=deployment.name,
-            model=deployment.model,
-            node=node,
-            fraction=fraction,
-            tp_degree=deployment.tp_degree,
-            created_at=self.sim.now,
-            exclusive=exclusive,
-        )
-        return instance
-
-    def _attach(self, instance: Instance, executor: Executor) -> None:
-        executor.add_instance(instance)
-        self._executor_of[instance.inst_id] = executor
-        instance.node.instances.append(instance)
-        self._instances_by_deployment.setdefault(instance.deployment, []).append(instance)
-        self.metrics.node_loaded(instance.node.node_id, instance.node.kind, self.sim.now)
-        self.metrics.cold_starts += 1
-
-    def _detach(self, instance: Instance) -> None:
-        executor = self._executor_of.pop(instance.inst_id)
-        executor.remove_instance(instance)
-        instance.node.instances.remove(instance)
-        self._instances_by_deployment[instance.deployment].remove(instance)
-        self.metrics.node_unloaded(instance.node.node_id, self.sim.now)
-
-    def executor_for(self, instance: Instance) -> Executor:
-        return self._executor_of[instance.inst_id]
-
-    def instances_of(self, deployment: str) -> list[Instance]:
-        return [
-            inst
-            for inst in self._instances_by_deployment.get(deployment, [])
-            if inst.state is not InstanceState.UNLOADED
-        ]
-
-    def _activate_instance(self, instance: Instance) -> None:
-        """Cold start finished: the instance may serve."""
-        instance.state = InstanceState.ACTIVE
-        if instance.request_count == 0:
-            self._instance_went_idle(instance)
-        self._kick(self.executor_for(instance))
-        self._capacity_changed()
-
-    # ------------------------------------------------------------------
-    # Dispatch
-    # ------------------------------------------------------------------
-    def _dispatch(self, request: Request, instance: Instance) -> None:
-        """Hand a (new or migrating) request to an instance."""
-        request.state = RequestState.PENDING_PREFILL
-        instance.enqueue(request)
-        if instance.state is InstanceState.LOADING:
-            cold_delay = max(0.0, instance.load_ready_at - request.arrival)
-            request.grace = max(request.grace, cold_delay)
-            request.cold_started = True
-        if instance.keepalive_handle is not None:
-            instance.keepalive_handle.cancel()
-            instance.keepalive_handle = None
-        instance.idle_since = None
-        if instance.state is InstanceState.ACTIVE:
-            self._kick(self.executor_for(instance))
-
-    # ------------------------------------------------------------------
-    # Executor loop
-    # ------------------------------------------------------------------
-    def _select_work(self, executor: Executor) -> Optional[WorkItem]:
-        if not self.config.measure_overheads:
-            return select_next_work(executor, self.sim.now)
-        start = _wallclock.perf_counter()
-        item = select_next_work(executor, self.sim.now)
-        self.metrics.add_overhead("token_schedule", _wallclock.perf_counter() - start)
-        return item
-
-    def _iteration_latency_factor(self, executor: Executor, kind: WorkKind) -> float:
-        """Hook for latency adjustments (e.g. NEO's CPU-assisted decode)."""
-        return 1.0
-
-    def _kick(self, executor: Executor) -> None:
-        if executor.busy:
-            return
-        item = self._select_work(executor)
-        if item is None:
-            return
-        instance = item.instance
-        spec = instance.node.spec
-        if item.is_prefill:
-            duration = self.perf.execute_prefill(
-                spec, instance.model, item.request.prefill_len,
-                instance.fraction, instance.tp_degree,
-            )
-            batch_size = 0
-        else:
-            batch_size = instance.batch_size
-            duration = self.perf.execute_decode(
-                spec, instance.model, batch_size, instance.avg_context_len(),
-                instance.fraction, instance.tp_degree,
-            )
-        duration *= self._iteration_latency_factor(executor, item.kind)
-        executor.busy = True
-        executor.busy_until = self.sim.now + duration
-        self.sim.schedule(duration, self._finish_iteration, executor, item, batch_size)
-
-    def _finish_iteration(self, executor: Executor, item: WorkItem, batch_size: int) -> None:
-        executor.busy = False
-        executor.iterations += 1
-        instance = item.instance
-        if instance.state is InstanceState.UNLOADED:
-            self._kick(executor)
-            return
-        instance.iterations += 1
-        if item.is_prefill:
-            self._finish_prefill(instance, item.request)
-        else:
-            self._finish_decode(instance, batch_size)
-        self._after_iteration(instance)
-        if instance.idle and instance.keepalive_handle is None:
-            self._instance_went_idle(instance)
-        self._kick(executor)
-
-    def _finish_prefill(self, instance: Instance, request: Request) -> None:
-        if request.state is not RequestState.PENDING_PREFILL or request not in instance.prefill_pending:
-            return  # dropped or migrated while the iteration ran
-        instance.prefill_pending.remove(request)
-        request.prefill_len = 0
-        request.record_tokens(self.sim.now)
-        if request.done:
-            self._complete_request(instance, request)
-            return
-        self._admit_after_prefill(instance, request)
-
-    def _admit_after_prefill(self, instance: Instance, request: Request) -> None:
-        """Hook: where decode continues after prefill (PD overrides this)."""
-        request.state = RequestState.DECODING
-        instance.admit_to_batch(request)
-
-    def _finish_decode(self, instance: Instance, batch_size: int) -> None:
-        tokens = 0
-        for request in list(instance.batch):
-            request.record_tokens(self.sim.now)
-            tokens += 1
-            if request.done:
-                instance.batch.remove(request)
-                self._complete_request(instance, request)
-        if tokens:
-            self.metrics.add_decode_tokens(instance.node.kind, tokens)
-            instance.decode_tokens += tokens
-        if batch_size:
-            self.metrics.sample_batch_size(batch_size, instance.node.kind)
-
-    def _after_iteration(self, instance: Instance) -> None:
-        """Hook: per-iteration memory checks (SLINFER's emergency path)."""
-
-    def _complete_request(self, instance: Instance, request: Request) -> None:
-        request.complete(self.sim.now)
-        self._on_request_complete(instance, request)
-        self._capacity_changed()
-
-    def _on_request_complete(self, instance: Instance, request: Request) -> None:
-        """Hook: completion bookkeeping (Ō updates, lazy scale-down)."""
-
-    # ------------------------------------------------------------------
-    # Keep-alive
-    # ------------------------------------------------------------------
-    def _instance_went_idle(self, instance: Instance) -> None:
-        instance.idle_since = self.sim.now
-        instance.keepalive_handle = self.sim.schedule(
-            self.config.keepalive, self._keepalive_expired, instance
-        )
-
-    def _keepalive_expired(self, instance: Instance) -> None:
-        instance.keepalive_handle = None
-        if instance.state is InstanceState.ACTIVE and instance.idle:
-            self._reclaim(instance)
-
-    @abc.abstractmethod
-    def _reclaim(self, instance: Instance) -> None:
-        """Unload an idle instance and release its resources."""
-
-    # ------------------------------------------------------------------
-    # Memory sampling (Figs. 5 and 25)
-    # ------------------------------------------------------------------
-    def _node_memory_used(self, node: Node) -> int:
-        used = 0
-        for instance in node.instances:
-            if instance.state is InstanceState.UNLOADED:
-                continue
-            used += instance.weight_bytes_per_node + instance.live_kv_bytes()
-        return used
-
-    def _sample_memory(self) -> None:
-        if self.sim.now <= self._trace_duration:
-            for node in self.cluster.nodes:
-                loaded = [
-                    i for i in node.instances if i.state is not InstanceState.UNLOADED
-                ]
-                if not loaded:
-                    continue
-                utilization = self._node_memory_used(node) / node.memory_bytes
-                self.metrics.sample_memory_utilization(node.kind, min(1.0, utilization))
-                self._sample_kv_utilization(node, loaded)
-            self.sim.schedule(self.config.sample_interval, self._sample_memory)
-
-    def _sample_kv_utilization(self, node: Node, instances: list[Instance]) -> None:
-        for instance in instances:
-            if instance.kv.allocated_bytes > 0:
-                self.metrics.sample_kv_utilization(
-                    min(1.0, instance.live_kv_bytes() / instance.kv.allocated_bytes)
-                )
+__all__ = ["BaseServingSystem", "ServingSystem"]

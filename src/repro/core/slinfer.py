@@ -1,56 +1,32 @@
-"""SLINFER: the full serving scheme (§V).
+"""Deprecated shim: ``Slinfer`` as a class.
 
-Request lifecycle (Fig. 13): on arrival, try existing replicas (CPU nodes
-first, reactive bin-packing order), validating each with the compute
-subsystem's shadow validation and the memory subsystem's Eq. 2 /
-watermark checks (with the §VII-D compromise to ``M_require``).  If no
-replica absorbs the request, try proactive preemption (§VIII-A); then try
-launching a new instance on a best-fit node; otherwise the request queues
-and is dropped once its queuing delay exceeds the TTFT SLO.
+The paper's system now lives in the policy layer
+(:class:`~repro.policies.slinfer.SlinferPlacement` composed by the
+``slinfer`` bundle); construct it with::
 
-Large models (weights above ``exclusive_weight_fraction`` of GPU memory, or
-tensor-parallel deployments) fall back to ServerlessLLM-style exclusive GPU
-allocation (§IX-E, §X).
+    from repro.core import ServingSystem
+    system = ServingSystem(cluster, policies="slinfer")
+
+This class remains for one release so existing call sites (and the
+pre-redesign constructor signature) keep working; it simply builds the
+bundle and forwards the legacy attribute surface to the policies.
 """
 
 from __future__ import annotations
 
-import time as _wallclock
+import warnings
 from typing import Optional
 
-from repro.compute.shadow import (
-    ShadowInstance,
-    ShadowRequest,
-    ShadowVerdict,
-    shadow_validate,
-)
-from repro.consolidation.binpack import order_dispatch_candidates, order_nodes_best_fit
-from repro.consolidation.preemption import plan_preemption
-from repro.core.base import BaseServingSystem
 from repro.core.config import SlinferConfig
-from repro.engine.executor import Executor
-from repro.engine.instance import Instance, InstanceState
-from repro.engine.request import Request, RequestState
+from repro.core.system import ServingSystem
 from repro.hardware.cluster import Cluster
-from repro.hardware.node import Node
-from repro.memory.estimator import (
-    OutputLengthEstimator,
-    initial_kv_required,
-    kv_required_bytes,
-)
-from repro.memory.operations import MemoryOp, OpKind
-from repro.memory.orchestrator import MemoryOrchestrator
-from repro.memory.watermark import WatermarkPolicy
-from repro.models.catalog import ModelSpec
-from repro.perf.laws import kv_scaling_seconds
+from repro.memory.estimator import OutputLengthEstimator
 from repro.slo import DEFAULT_SLO, SloPolicy
-from repro.workloads.spec import Deployment, Workload
+from repro.workloads.spec import Deployment
 
 
-class Slinfer(BaseServingSystem):
-    """The paper's system: elastic heterogeneous sharing."""
-
-    name = "slinfer"
+class Slinfer(ServingSystem):
+    """Deprecated: use ``ServingSystem(cluster, policies="slinfer")``."""
 
     def __init__(
         self,
@@ -58,520 +34,35 @@ class Slinfer(BaseServingSystem):
         slo: SloPolicy = DEFAULT_SLO,
         config: Optional[SlinferConfig] = None,
     ) -> None:
-        super().__init__(cluster, slo, config or SlinferConfig())
-        self.cfg: SlinferConfig = self.config  # typed alias
-        self.watermark = WatermarkPolicy(self.cfg.watermark)
-        self.estimator = OutputLengthEstimator(prior=self.cfg.output_length_prior)
-        self._orchestrators: dict[str, MemoryOrchestrator] = {}
-        self._node_executor: dict[str, Executor] = {}
-        self._reserved_nodes: set[str] = set()  # secondaries of TP instances
-        self._exclusive_partners: dict[int, list[Node]] = {}
-
-    # ------------------------------------------------------------------
-    # Setup
-    # ------------------------------------------------------------------
-    def _prepare(self, workload: Workload) -> None:
-        for node in self.cluster.nodes:
-            executor = Executor(exec_id=f"x-{node.node_id}", node=node)
-            self.executors.append(executor)
-            self._node_executor[node.node_id] = executor
-            self._orchestrators[node.node_id] = MemoryOrchestrator(
-                sim=self.sim, node=node, listener=self, on_op_metric=self._op_metric
-            )
-
-    def _orch(self, instance_or_node) -> MemoryOrchestrator:
-        node = instance_or_node if isinstance(instance_or_node, Node) else instance_or_node.node
-        return self._orchestrators[node.node_id]
-
-    # ------------------------------------------------------------------
-    # Orchestrator listener
-    # ------------------------------------------------------------------
-    def on_load_complete(self, instance: Instance) -> None:
-        self._activate_instance(instance)
-
-    def on_unload_complete(self, instance: Instance) -> None:
-        self._detach(instance)
-        self._capacity_changed()
-
-    def on_scale_complete(self, instance: Instance, op: MemoryOp) -> None:
-        self._capacity_changed()
-
-    def _op_metric(self, op: MemoryOp, duration: float) -> None:
-        if op.kind in (OpKind.SCALE_UP, OpKind.SCALE_DOWN):
-            self.metrics.add_scaling_op(duration)
-
-    def unloading(self, instance: Instance) -> bool:
-        orch = self._orch(instance)
-        if not orch.has_instance(instance):
-            return True
-        return orch._accounts[instance.inst_id].unload_issued
-
-    # ------------------------------------------------------------------
-    # Placement
-    # ------------------------------------------------------------------
-    def _try_place(self, request: Request) -> bool:
-        deployment = self.deployments[request.deployment]
-        if self._is_exclusive_deployment(deployment):
-            return self._place_exclusive(request, deployment)
-        candidates = self._candidate_instances(deployment, request)
-        for instance in candidates[: self.config.max_placement_candidates]:
-            if self._validate_and_dispatch(instance, request):
-                return True
-        # Preemption planning is arrival-time machinery (§VIII-A); queued
-        # requests being retried skip it — the cluster state that failed
-        # them hasn't structurally changed, and re-planning per retry would
-        # make retries quadratic under overload.
-        if (
-            self.cfg.enable_consolidation
-            and not self._retrying
-            and self._try_preemption(request, deployment)
-        ):
-            return True
-        return self._place_new_instance(request, deployment)
-
-    def _candidate_instances(self, deployment: Deployment, request: Request) -> list[Instance]:
-        instances = [
-            inst
-            for inst in self.instances_of(deployment.name)
-            if not inst.exclusive
-            and not self.unloading(inst)
-            and self._allowed_instance(inst, request)
-        ]
-        instances = [
-            inst
-            for inst in instances
-            if inst.node.is_gpu or self._cpu_ok(inst.node, deployment.model, request)
-        ]
-        return order_dispatch_candidates(
-            instances,
-            prefer_cpu=self.cfg.enable_cpu,
-            bin_packing=self.cfg.enable_consolidation,
+        warnings.warn(
+            "Slinfer is deprecated; use ServingSystem(cluster, policies='slinfer')",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from repro.policies.registry import slinfer_bundle
 
-    def _allowed_instance(self, instance: Instance, request: Request) -> bool:
-        """Hook for role filtering (PD variants)."""
-        return True
-
-    def _cpu_ok(self, node: Node, model: ModelSpec, request: Request) -> bool:
-        if not self.cfg.enable_cpu:
-            return False
-        return self.perf.cpu_can_serve(node.spec, model, request.prefill_len, self.slo)
-
-    # ------------------------------------------------------------------
-    # Admission to an existing instance
-    # ------------------------------------------------------------------
-    def _validate_and_dispatch(self, instance: Instance, request: Request) -> bool:
-        orch = self._orch(instance)
-        average_out = self.estimator.average(instance.deployment)
-        require = kv_required_bytes(instance, average_out, extra_requests=[request])
-        planned = orch.planned_kv_bytes(instance)
-        target: Optional[int] = None
-        if planned < require:
-            recommend = self.watermark.recommended_bytes(require)
-            if orch.can_scale_to(instance, recommend):
-                target = recommend
-            elif orch.can_scale_to(instance, require):
-                target = require  # §VII-D intra-instance compromise
-            else:
-                return False
-        if not self._shadow_ok(instance, request):
-            return False
-        if target is not None:
-            if instance.state is InstanceState.LOADING:
-                orch.retarget_load_kv(instance, target)
-            else:
-                orch.request_scale(instance, target)
-        self._dispatch(request, instance)
-        return True
-
-    # ------------------------------------------------------------------
-    # Shadow validation plumbing
-    # ------------------------------------------------------------------
-    def _shadow_request(self, request: Request, grace: float) -> ShadowRequest:
-        return ShadowRequest(
-            deadline_base=request.arrival + request.ttft_slo + grace,
-            tpot_slo=request.tpot_slo,
-            tokens_out=request.tokens_out,
-            context_len=request.context_len,
-            prefill_len=request.prefill_len,
-            is_new=True,
-            # Mid-stream requests (migrations, PD hand-offs) are placed
-            # best-effort: only harm to other requests vetoes placement.
-            soft=request.tokens_out > 0,
+        super().__init__(
+            cluster,
+            policies=slinfer_bundle(config),
+            slo=slo,
+            config=config or SlinferConfig(),
         )
+        # Legacy call sites inspect placement state before run(); bind the
+        # system reference early (prepare() re-binds it identically).
+        self.policies.placement.system = self
 
-    def _shadow_instance(self, instance: Instance) -> ShadowInstance:
-        perf = self.perf.quantified(
-            instance.node.spec, instance.model, instance.fraction, instance.tp_degree
-        )
-        ready_at = (
-            instance.load_ready_at if instance.state is InstanceState.LOADING else 0.0
-        )
-        shadow = ShadowInstance(perf=perf, ready_at=ready_at)
-        for pending in instance.prefill_pending:
-            shadow.prefill_queue.append(
-                ShadowRequest(
-                    deadline_base=pending.arrival + pending.ttft_slo + pending.grace,
-                    tpot_slo=pending.tpot_slo,
-                    tokens_out=pending.tokens_out,
-                    context_len=pending.context_len,
-                    prefill_len=pending.prefill_len,
-                )
-            )
-        for running in instance.batch:
-            shadow.batch.append(
-                ShadowRequest(
-                    deadline_base=running.arrival + running.ttft_slo + running.grace,
-                    tpot_slo=running.tpot_slo,
-                    tokens_out=running.tokens_out,
-                    context_len=running.context_len,
-                )
-            )
-        return shadow
+    # Legacy attribute surface ------------------------------------------
+    @property
+    def cfg(self) -> SlinferConfig:
+        return self.config  # type: ignore[return-value]
 
-    def _run_shadow(
-        self,
-        executor: Executor,
-        shadows: list[ShadowInstance],
-    ) -> ShadowVerdict:
-        busy_until = executor.busy_until if executor.busy else self.sim.now
-        if not self.config.measure_overheads:
-            return shadow_validate(
-                shadows,
-                now=self.sim.now,
-                busy_until=busy_until,
-                tpot_slo=self.slo.tpot,
-                overestimate=self.cfg.overestimate,
-            )
-        start = _wallclock.perf_counter()
-        verdict = shadow_validate(
-            shadows,
-            now=self.sim.now,
-            busy_until=busy_until,
-            tpot_slo=self.slo.tpot,
-            overestimate=self.cfg.overestimate,
-        )
-        self.metrics.add_overhead("shadow_validation", _wallclock.perf_counter() - start)
-        return verdict
+    @property
+    def estimator(self) -> OutputLengthEstimator:
+        return self.policies.placement.estimator  # type: ignore[attr-defined]
 
-    def _shadow_precheck(
-        self,
-        executor: Executor,
-        request: Request,
-        extra_batch: int,
-        extra_model: ModelSpec,
-        extra_fraction: float,
-        extra_tp: int,
-        exclude: Optional[set[int]] = None,
-    ) -> bool:
-        """Cheap necessary conditions before the full shadow simulation.
+    @property
+    def _orchestrators(self):
+        return self.policies.placement._orchestrators  # type: ignore[attr-defined]
 
-        Case 3 (aggregate steady-state decode) and case 1 (the new
-        request's own prefill estimate vs its headroom) can be bounded in
-        O(instances) — the full virtual execution would reach the same
-        verdict, so rejecting here only saves work.
-        """
-        exclude = exclude or set()
-        aggregate = 0.0
-        for other in executor.active_instances():
-            if other.inst_id in exclude:
-                continue
-            batch = other.batch_size + len(other.prefill_pending)
-            if batch > 0:
-                context = other.avg_context_len() or request.context_len
-                perf = self.perf.quantified(
-                    other.node.spec, other.model, other.fraction, other.tp_degree
-                )
-                aggregate += perf.tpot_seconds(batch, context)
-        perf_new = self.perf.quantified(
-            executor.node.spec, extra_model, extra_fraction, extra_tp
-        )
-        aggregate += perf_new.tpot_seconds(extra_batch + 1, request.context_len)
-        if aggregate * self.cfg.overestimate > self.slo.tpot:
-            return False
-        if request.tokens_out > 0:
-            return True  # mid-stream: own deadline is soft
-        prefill = perf_new.ttft_seconds(request.prefill_len) * self.cfg.overestimate
-        headroom = request.headroom(self.sim.now) + request.tpot_slo
-        return prefill <= headroom + max(0.0, request.grace)
-
-    def _shadow_ok(
-        self,
-        instance: Instance,
-        request: Request,
-        exclude: Optional[set[int]] = None,
-    ) -> bool:
-        executor = self.executor_for(instance)
-        exclude = exclude or set()
-        if not self._shadow_precheck(
-            executor,
-            request,
-            extra_batch=instance.batch_size,
-            extra_model=instance.model,
-            extra_fraction=instance.fraction,
-            extra_tp=instance.tp_degree,
-            exclude=exclude | {instance.inst_id},
-        ):
-            return False
-        shadows = []
-        for other in executor.active_instances():
-            if other.inst_id in exclude:
-                continue
-            shadow = self._shadow_instance(other)
-            if other is instance:
-                grace = request.grace
-                if instance.state is InstanceState.LOADING:
-                    grace = max(grace, instance.load_ready_at - request.arrival)
-                shadow.prefill_queue.append(self._shadow_request(request, grace))
-            shadows.append(shadow)
-        return self._run_shadow(executor, shadows) is ShadowVerdict.PASS
-
-    # Hooks used by the preemption planner ------------------------------
-    def validate_migration(self, destination: Instance, request: Request) -> bool:
-        """Would ``request`` (about to be evicted) meet SLOs on ``destination``?"""
-        if destination.state is InstanceState.UNLOADED or self.unloading(destination):
-            return False
-        orch = self._orch(destination)
-        average_out = self.estimator.average(destination.deployment)
-        require = kv_required_bytes(destination, average_out, extra_requests=[request])
-        if orch.planned_kv_bytes(destination) < require and not orch.can_scale_to(
-            destination, require
-        ):
-            return False
-        return self._shadow_ok(destination, request)
-
-    def validate_after_preemption(
-        self, target: Instance, request: Request, victims: list[Instance]
-    ) -> bool:
-        """Would ``target`` absorb ``request`` once ``victims`` are gone?"""
-        orch = self._orch(target)
-        average_out = self.estimator.average(target.deployment)
-        require = kv_required_bytes(target, average_out, extra_requests=[request])
-        freed = sum(
-            victim.weight_bytes_per_node + orch.planned_kv_bytes(victim)
-            for victim in victims
-        )
-        planned = orch.planned_kv_bytes(target)
-        if planned < require:
-            if orch.optimistic_free() + freed < require - planned:
-                return False
-        return self._shadow_ok(target, request, exclude={v.inst_id for v in victims})
-
-    # ------------------------------------------------------------------
-    # Proactive preemption (§VIII-A)
-    # ------------------------------------------------------------------
-    def _try_preemption(self, request: Request, deployment: Deployment) -> bool:
-        if not self.instances_of(deployment.name):
-            return False
-        if self.config.measure_overheads:
-            start = _wallclock.perf_counter()
-            plan = plan_preemption(self, request, deployment.name)
-            self.metrics.add_overhead("preemption_planning", _wallclock.perf_counter() - start)
-        else:
-            plan = plan_preemption(self, request, deployment.name)
-        if plan is None:
-            return False
-        self.metrics.preemptions += len(plan.victims)
-        for victim in plan.victims:
-            for victim_request in victim.requests:
-                victim.remove(victim_request)
-                victim_request.begin_migration()
-                self.metrics.migrations += 1
-            self._orch(victim).unload_instance(victim)
-        for migrated, destination in plan.migrations:
-            if not self._validate_and_dispatch(destination, migrated):
-                self._enqueue(migrated)
-        # The target should now absorb the trigger request; fall back to the
-        # normal path if runtime state shifted underneath the plan.
-        if self._validate_and_dispatch(plan.target, request):
-            return True
-        return self._place_new_instance(request, deployment)
-
-    # ------------------------------------------------------------------
-    # New instances (§V bin-packing placement)
-    # ------------------------------------------------------------------
-    def _place_new_instance(self, request: Request, deployment: Deployment) -> bool:
-        model = deployment.model
-        average_out = self.estimator.average(deployment.name)
-        require = initial_kv_required(model, request, average_out)
-        recommend = self.watermark.recommended_bytes(require)
-        weights = model.weight_bytes
-
-        nodes = [
-            node
-            for node in self.cluster.nodes
-            if node.node_id not in self._reserved_nodes
-            and not any(inst.exclusive for inst in node.instances)
-        ]
-        if not self.cfg.enable_sharing:
-            nodes = [
-                node
-                for node in nodes
-                if not any(
-                    inst.state is not InstanceState.UNLOADED for inst in node.instances
-                )
-            ]
-        nodes = [
-            node
-            for node in nodes
-            if node.is_gpu or self._cpu_ok(node, model, request)
-        ]
-        ordered = order_nodes_best_fit(
-            nodes,
-            free_bytes=lambda n: self._orchestrators[n.node_id].optimistic_free(),
-            required_bytes=weights + require,
-            prefer_cpu=self.cfg.enable_cpu,
-        )
-        for node in ordered[: self.config.max_placement_candidates]:
-            orch = self._orchestrators[node.node_id]
-            if orch.can_admit(weights, recommend):
-                kv_target = recommend
-            elif orch.can_admit(weights, require):
-                kv_target = require
-            else:
-                continue
-            load_estimate = weights / node.spec.loader_bytes_per_s
-            load_estimate += kv_scaling_seconds(0, kv_target, 0)
-            if not self._shadow_ok_new_instance(node, deployment, request, load_estimate):
-                continue
-            instance = self._make_instance(deployment, node)
-            executor = self._node_executor[node.node_id]
-            self._attach(instance, executor)
-            duration = orch.admit_instance(instance, kv_target)
-            instance.load_ready_at = self.sim.now + duration
-            self._dispatch(request, instance)
-            return True
-        return False
-
-    def _shadow_ok_new_instance(
-        self, node: Node, deployment: Deployment, request: Request, load_estimate: float
-    ) -> bool:
-        executor = self._node_executor[node.node_id]
-        if not self._shadow_precheck(
-            executor,
-            request,
-            extra_batch=0,
-            extra_model=deployment.model,
-            extra_fraction=1.0,
-            extra_tp=deployment.tp_degree,
-        ):
-            return False
-        shadows = [self._shadow_instance(other) for other in executor.active_instances()]
-        perf = self.perf.quantified(node.spec, deployment.model, 1.0, deployment.tp_degree)
-        grace = max(request.grace, load_estimate)
-        virtual = ShadowInstance(perf=perf, ready_at=self.sim.now + load_estimate)
-        virtual.prefill_queue.append(self._shadow_request(request, grace))
-        shadows.append(virtual)
-        return self._run_shadow(executor, shadows) is ShadowVerdict.PASS
-
-    # ------------------------------------------------------------------
-    # Memory-driven behaviour during serving
-    # ------------------------------------------------------------------
-    def _after_iteration(self, instance: Instance) -> None:
-        if instance.exclusive or instance.state is not InstanceState.ACTIVE:
-            return
-        if self.unloading(instance):
-            return
-        orch = self._orch(instance)
-        next_live = instance.live_kv_bytes() + instance.batch_size * instance.model.kv_bytes_per_token
-        planned = orch.planned_kv_bytes(instance)
-        if next_live <= planned:
-            return
-        # Underestimation (§VII-D): try to grow again, else evict the
-        # request with the longest headroom and reschedule it.
-        average_out = self.estimator.average(instance.deployment)
-        require = max(kv_required_bytes(instance, average_out), next_live)
-        if orch.request_scale(instance, require):
-            return
-        self._evict_longest_headroom(instance)
-
-    def _evict_longest_headroom(self, instance: Instance) -> None:
-        if not instance.batch:
-            return
-        victim = max(instance.batch, key=lambda r: r.headroom(self.sim.now))
-        instance.batch.remove(victim)
-        victim.begin_migration()
-        self.metrics.migrations += 1
-        self.metrics.evictions += 1
-        if not self._timed_place(victim):
-            self._enqueue(victim)
-
-    def _on_request_complete(self, instance: Instance, request: Request) -> None:
-        self.estimator.observe(request.deployment, max(1, request.tokens_out))
-        if instance.exclusive or instance.state is InstanceState.UNLOADED:
-            return
-        if self.unloading(instance):
-            return
-        orch = self._orch(instance)
-        average_out = self.estimator.average(instance.deployment)
-        require = kv_required_bytes(instance, average_out)
-        planned = orch.planned_kv_bytes(instance)
-        if self.watermark.should_scale_down(planned, require):
-            orch.request_scale(instance, self.watermark.scale_down_target(require))
-
-    # ------------------------------------------------------------------
-    # Reclaim
-    # ------------------------------------------------------------------
-    def _reclaim(self, instance: Instance) -> None:
-        if instance.exclusive:
-            self._reclaim_exclusive(instance)
-            return
-        self._orch(instance).unload_instance(instance)
-
-    # ------------------------------------------------------------------
-    # Exclusive fallback for large models (§IX-E, §X)
-    # ------------------------------------------------------------------
     def _is_exclusive_deployment(self, deployment: Deployment) -> bool:
-        if deployment.tp_degree > 1:
-            return True
-        gpu_nodes = self.cluster.gpu_nodes
-        if not gpu_nodes:
-            return False
-        threshold = self.cfg.exclusive_weight_fraction * gpu_nodes[0].memory_bytes
-        return deployment.model.weight_bytes > threshold
-
-    def _place_exclusive(self, request: Request, deployment: Deployment) -> bool:
-        from repro.perf.limits import baseline_concurrency_limit
-
-        for instance in self.instances_of(deployment.name):
-            limit = baseline_concurrency_limit(
-                instance.node.spec, instance.model, shared=False, tp_degree=instance.tp_degree
-            )
-            if instance.request_count < max(1, limit):
-                self._dispatch(request, instance)
-                return True
-        tp = deployment.tp_degree
-        free = [
-            node
-            for node in self.cluster.gpu_nodes
-            if not node.instances and node.node_id not in self._reserved_nodes
-        ]
-        if len(free) < tp:
-            return False
-        primary, partners = free[0], free[1:tp]
-        instance = self._make_instance(deployment, primary, exclusive=True)
-        executor = self._node_executor[primary.node_id]
-        self._attach(instance, executor)
-        for partner in partners:
-            self._reserved_nodes.add(partner.node_id)
-            self.metrics.node_loaded(partner.node_id, partner.kind, self.sim.now)
-        self._exclusive_partners[instance.inst_id] = partners
-        shard_bytes = deployment.model.weight_bytes / tp
-        duration = shard_bytes / primary.spec.loader_bytes_per_s
-        instance.load_ready_at = self.sim.now + duration
-        self.sim.schedule(duration, self._exclusive_loaded, instance)
-        self._dispatch(request, instance)
-        return True
-
-    def _exclusive_loaded(self, instance: Instance) -> None:
-        capacity = instance.tp_degree * instance.node.memory_bytes
-        instance.kv.allocated_bytes = max(0, capacity - instance.model.weight_bytes)
-        self._activate_instance(instance)
-
-    def _reclaim_exclusive(self, instance: Instance) -> None:
-        instance.state = InstanceState.UNLOADED
-        for partner in self._exclusive_partners.pop(instance.inst_id, []):
-            self._reserved_nodes.discard(partner.node_id)
-            self.metrics.node_unloaded(partner.node_id, self.sim.now)
-        self._detach(instance)
-        self._capacity_changed()
+        return self.policies.placement._is_exclusive_deployment(deployment)  # type: ignore[attr-defined]

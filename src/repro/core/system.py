@@ -1,0 +1,440 @@
+"""The composable serving-system core.
+
+Every serving scheme drives the same event-driven loop: requests
+arrive, are placed onto instances (or queued and eventually dropped
+when their queuing delay exceeds the TTFT SLO, §IX-B), executors run
+prefill/decode iterations one at a time, idle instances are reclaimed
+after the keep-alive threshold.
+
+What *varies* between schemes is expressed as a
+:class:`~repro.policies.base.PolicyBundle` — placement, reclaim,
+admission, and work-selection policies — instead of subclass hook
+overrides.  The core owns the simulator, the queue/drop/retry
+machinery, the executor loop, and request lifecycle bookkeeping; it
+publishes typed events (:mod:`repro.policies.events`) at each lifecycle
+point, and everything that merely observes a run (metrics, overhead
+accounting, memory sampling) attaches as a bus subscriber.
+
+Queue bookkeeping is O(1) per request: the deque holds
+``(request, entry_serial)`` pairs and a ``req_id → serial`` map decides
+liveness, so drops and successful retries just retire the map entry and
+leave a tombstone that compaction sweeps later — no mid-deque removal.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time as _wallclock
+from collections import deque
+from typing import Optional, Sequence, Union
+
+from repro.compute.scheduler import WorkItem
+from repro.core.config import SystemConfig
+from repro.engine.executor import Executor
+from repro.engine.instance import Instance, InstanceState
+from repro.engine.request import Request, RequestState
+from repro.hardware.cluster import Cluster
+from repro.hardware.node import Node
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import RunReport
+from repro.perf.database import PerfDatabase
+from repro.policies.base import PolicyBundle
+from repro.policies.events import (
+    Event,
+    EventBus,
+    InstanceLoaded,
+    InstanceUnloaded,
+    IterationFinished,
+    OverheadMeasured,
+    RequestArrived,
+    RequestCompleted,
+    RequestDropped,
+    RequestQueued,
+)
+from repro.policies.observers import Observer, default_observers
+from repro.sim.simulator import EventHandle, Simulator
+from repro.slo import DEFAULT_SLO, SloPolicy
+from repro.workloads.spec import Deployment, Workload
+
+#: tombstone compaction threshold: sweep once stale entries dominate
+_QUEUE_COMPACT_MIN = 8
+
+
+class ServingSystem:
+    """Event-driven serving loop composed from a policy bundle."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        policies: Union[PolicyBundle, str],
+        slo: SloPolicy = DEFAULT_SLO,
+        config: Optional[SystemConfig] = None,
+        observers: Optional[Sequence[Observer]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(policies, str):
+            from repro.policies.registry import build_bundle
+
+            policies = build_bundle(policies)
+        self.policies = policies
+        self.name = name if name is not None else policies.name
+        self.cluster = cluster
+        self.slo = slo
+        if config is None:
+            config = policies.default_config() if policies.default_config else SystemConfig()
+        self.config = config
+        self.sim = Simulator()
+        self.bus = EventBus()
+        self.perf = PerfDatabase(jitter_sigma=self.config.jitter_sigma, seed=self.config.seed)
+        self.metrics = MetricsCollector()
+        self.observers: list[Observer] = (
+            list(observers) if observers is not None else default_observers()
+        )
+        for observer in self.observers:
+            observer.attach(self)
+        # Admission queue: (request, entry_serial) pairs; an entry is live
+        # iff the serial matches the request's latest one in ``_queued``.
+        self.queue: deque[tuple[Request, int]] = deque()
+        self._queued: dict[int, int] = {}
+        self._entry_seq = itertools.count()
+        self._queue_timers: dict[int, EventHandle] = {}
+        self._inst_seq = itertools.count()
+        self._req_seq = itertools.count()
+        self.deployments: dict[str, Deployment] = {}
+        self.executors: list[Executor] = []
+        self._executor_of: dict[int, Executor] = {}  # instance id -> executor
+        self._instances_by_deployment: dict[str, list[Instance]] = {}
+        self.placing_request: Optional[Request] = None
+        self._retrying = False
+        self._last_retry_at = -1.0
+        self._retry_dirty = True
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self, workload: Workload, until: Optional[float] = None) -> RunReport:
+        """Serve a workload to completion and return the measured report."""
+        start = _wallclock.perf_counter()
+        self.deployments = dict(workload.deployments)
+        self.policies.prepare(self, workload)
+        for spec in workload.requests:
+            self.sim.schedule_at(spec.arrival, self._arrive, spec)
+        for observer in self.observers:
+            observer.on_run_start(self, workload)
+        horizon = until if until is not None else workload.duration + self.config.drain_timeout
+        self.sim.run(until=horizon)
+        report = self.metrics.finalize(self.sim.now, workload.duration, self.name)
+        report.wall_seconds = _wallclock.perf_counter() - start
+        report.events_processed = self.sim.events_processed
+        return report
+
+    # ------------------------------------------------------------------
+    # Event/observability surface
+    # ------------------------------------------------------------------
+    def publish(self, event: Event) -> None:
+        self.bus.publish(event)
+
+    def record_overhead(self, name: str, seconds: float) -> None:
+        """Report one wall-clock scheduling-overhead sample (Fig. 33)."""
+        self.bus.publish(OverheadMeasured(name, seconds))
+
+    @property
+    def retrying(self) -> bool:
+        """True while the queue-retry sweep re-attempts placements.
+
+        Placement policies use this to skip expensive arrival-only
+        machinery (e.g. preemption planning) during retries.
+        """
+        return self._retrying
+
+    # ------------------------------------------------------------------
+    # Arrivals, queue, drops
+    # ------------------------------------------------------------------
+    def _arrive(self, spec) -> None:
+        request = Request(
+            req_id=next(self._req_seq),
+            deployment=spec.deployment,
+            arrival=self.sim.now,
+            input_len=spec.input_len,
+            output_len=spec.output_len,
+            ttft_slo=self.slo.ttft(spec.input_len),
+            tpot_slo=self.slo.tpot,
+        )
+        self.bus.publish(RequestArrived(request, self.sim.now))
+        if not self.try_place(request):
+            self.enqueue(request)
+
+    def try_place(self, request: Request) -> bool:
+        """One timed placement attempt through the placement policy."""
+        previous = self.placing_request
+        self.placing_request = request
+        try:
+            if not self.config.measure_overheads:
+                return self.policies.placement.try_place(self, request)
+            start = _wallclock.perf_counter()
+            placed = self.policies.placement.try_place(self, request)
+            self.record_overhead("placement", _wallclock.perf_counter() - start)
+            return placed
+        finally:
+            self.placing_request = previous
+
+    def enqueue(self, request: Request) -> None:
+        """Park a request in the admission queue until capacity frees."""
+        request.state = RequestState.QUEUED
+        serial = next(self._entry_seq)
+        self._queued[request.req_id] = serial
+        self.queue.append((request, serial))
+        self.bus.publish(RequestQueued(request, self.sim.now))
+        deadline = request.next_token_deadline
+        if deadline > self.sim.now:
+            handle = self.sim.schedule_at(deadline, self._queue_timeout, request)
+            self._queue_timers[request.req_id] = handle
+        else:
+            self._queue_timeout(request)
+
+    def queued_requests(self) -> list[Request]:
+        """The live queue contents, FIFO (skipping retired tombstones)."""
+        return [
+            request
+            for request, serial in self.queue
+            if self._queued.get(request.req_id) == serial
+        ]
+
+    def _dequeue(self, request: Request) -> None:
+        """Retire the request's live queue entry (O(1); tombstone remains)."""
+        self._queued.pop(request.req_id, None)
+
+    def _compact_queue(self) -> None:
+        if len(self.queue) > _QUEUE_COMPACT_MIN and len(self.queue) > 2 * len(self._queued):
+            self.queue = deque(
+                (request, serial)
+                for request, serial in self.queue
+                if self._queued.get(request.req_id) == serial
+            )
+
+    def _queue_timeout(self, request: Request) -> None:
+        """Drop a request whose queuing delay exceeded its TTFT SLO (§IX-B)."""
+        self._queue_timers.pop(request.req_id, None)
+        if request.state in (RequestState.QUEUED, RequestState.MIGRATING):
+            self._dequeue(request)
+            request.drop(self.sim.now)
+            self.bus.publish(RequestDropped(request, self.sim.now))
+            self._compact_queue()
+
+    def capacity_changed(self) -> None:
+        """Capacity was freed (completion/unload/scale): retry the queue."""
+        self._retry_dirty = True
+        self._retry_queue()
+
+    def _retry_queue(self) -> None:
+        """Re-attempt placement for queued requests (FIFO, bounded work).
+
+        A failed attempt for a deployment skips the rest of that
+        deployment's queue — the outcome would be identical — and retries
+        are coalesced per simulation instant.  ``retrying`` is visible to
+        placement policies so expensive arrival-only machinery (e.g.
+        preemption planning) is not re-run for every queued request on
+        every completion event.
+        """
+        if self._last_retry_at == self.sim.now and not self._retry_dirty:
+            return
+        self._last_retry_at = self.sim.now
+        self._retry_dirty = False
+        attempts = 0
+        failed_deployments: set[str] = set()
+        self._retrying = True
+        try:
+            for request, serial in list(self.queue):
+                if attempts >= self.config.max_queue_retries:
+                    break
+                if self._queued.get(request.req_id) != serial:
+                    continue  # tombstone: dropped, placed, or re-enqueued
+                if request.state not in (RequestState.QUEUED, RequestState.MIGRATING):
+                    self._dequeue(request)
+                    continue
+                if request.deployment in failed_deployments:
+                    continue
+                attempts += 1
+                if self.try_place(request):
+                    self._dequeue(request)
+                    timer = self._queue_timers.pop(request.req_id, None)
+                    if timer is not None:
+                        timer.cancel()
+                else:
+                    failed_deployments.add(request.deployment)
+        finally:
+            self._retrying = False
+            self._compact_queue()
+
+    # ------------------------------------------------------------------
+    # Instances
+    # ------------------------------------------------------------------
+    def make_instance(
+        self,
+        deployment: Deployment,
+        node: Node,
+        fraction: float = 1.0,
+        exclusive: bool = False,
+    ) -> Instance:
+        instance = Instance(
+            inst_id=next(self._inst_seq),
+            deployment=deployment.name,
+            model=deployment.model,
+            node=node,
+            fraction=fraction,
+            tp_degree=deployment.tp_degree,
+            created_at=self.sim.now,
+            exclusive=exclusive,
+        )
+        self.policies.admission.on_instance_created(self, instance)
+        return instance
+
+    def attach(self, instance: Instance, executor: Executor) -> None:
+        executor.add_instance(instance)
+        self._executor_of[instance.inst_id] = executor
+        instance.node.instances.append(instance)
+        self._instances_by_deployment.setdefault(instance.deployment, []).append(instance)
+        self.bus.publish(InstanceLoaded(instance, self.sim.now))
+
+    def detach(self, instance: Instance) -> None:
+        executor = self._executor_of.pop(instance.inst_id)
+        executor.remove_instance(instance)
+        instance.node.instances.remove(instance)
+        self._instances_by_deployment[instance.deployment].remove(instance)
+        self.bus.publish(InstanceUnloaded(instance, self.sim.now))
+
+    def executor_for(self, instance: Instance) -> Executor:
+        return self._executor_of[instance.inst_id]
+
+    def instances_of(self, deployment: str) -> list[Instance]:
+        return [
+            inst
+            for inst in self._instances_by_deployment.get(deployment, [])
+            if inst.state is not InstanceState.UNLOADED
+        ]
+
+    def activate_instance(self, instance: Instance) -> None:
+        """Cold start finished: the instance may serve."""
+        instance.state = InstanceState.ACTIVE
+        if instance.request_count == 0:
+            self._instance_went_idle(instance)
+        self._kick(self.executor_for(instance))
+        self.capacity_changed()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, request: Request, instance: Instance) -> None:
+        """Hand a (new or migrating) request to an instance."""
+        request.state = RequestState.PENDING_PREFILL
+        instance.enqueue(request)
+        if instance.state is InstanceState.LOADING:
+            cold_delay = max(0.0, instance.load_ready_at - request.arrival)
+            request.grace = max(request.grace, cold_delay)
+            request.cold_started = True
+        if instance.keepalive_handle is not None:
+            instance.keepalive_handle.cancel()
+            instance.keepalive_handle = None
+        instance.idle_since = None
+        if instance.state is InstanceState.ACTIVE:
+            self._kick(self.executor_for(instance))
+
+    # ------------------------------------------------------------------
+    # Executor loop
+    # ------------------------------------------------------------------
+    def _select_work(self, executor: Executor) -> Optional[WorkItem]:
+        if not self.config.measure_overheads:
+            return self.policies.work.select(self, executor)
+        start = _wallclock.perf_counter()
+        item = self.policies.work.select(self, executor)
+        self.record_overhead("token_schedule", _wallclock.perf_counter() - start)
+        return item
+
+    def _kick(self, executor: Executor) -> None:
+        if executor.busy:
+            return
+        item = self._select_work(executor)
+        if item is None:
+            return
+        instance = item.instance
+        spec = instance.node.spec
+        if item.is_prefill:
+            duration = self.perf.execute_prefill(
+                spec, instance.model, item.request.prefill_len,
+                instance.fraction, instance.tp_degree,
+            )
+            batch_size = 0
+        else:
+            batch_size = instance.batch_size
+            duration = self.perf.execute_decode(
+                spec, instance.model, batch_size, instance.avg_context_len(),
+                instance.fraction, instance.tp_degree,
+            )
+        duration *= self.policies.work.latency_factor(self, executor, item.kind)
+        executor.busy = True
+        executor.busy_until = self.sim.now + duration
+        self.sim.schedule(duration, self._finish_iteration, executor, item, batch_size)
+
+    def _finish_iteration(self, executor: Executor, item: WorkItem, batch_size: int) -> None:
+        executor.busy = False
+        executor.iterations += 1
+        instance = item.instance
+        if instance.state is InstanceState.UNLOADED:
+            self._kick(executor)
+            return
+        instance.iterations += 1
+        if item.is_prefill:
+            self._finish_prefill(instance, item.request)
+            decode_tokens = 0
+        else:
+            decode_tokens = self._finish_decode(instance)
+        self.bus.publish(
+            IterationFinished(instance, item.kind, decode_tokens, batch_size, self.sim.now)
+        )
+        if instance.idle and instance.keepalive_handle is None:
+            self._instance_went_idle(instance)
+        self._kick(executor)
+
+    def _finish_prefill(self, instance: Instance, request: Request) -> None:
+        if request.state is not RequestState.PENDING_PREFILL or request not in instance.prefill_pending:
+            return  # dropped or migrated while the iteration ran
+        instance.prefill_pending.remove(request)
+        request.prefill_len = 0
+        request.record_tokens(self.sim.now)
+        if request.done:
+            self._complete_request(instance, request)
+            return
+        self.policies.admission.admit_after_prefill(self, instance, request)
+
+    def _finish_decode(self, instance: Instance) -> int:
+        tokens = 0
+        for request in list(instance.batch):
+            request.record_tokens(self.sim.now)
+            tokens += 1
+            if request.done:
+                instance.batch.remove(request)
+                self._complete_request(instance, request)
+        if tokens:
+            instance.decode_tokens += tokens
+        return tokens
+
+    def _complete_request(self, instance: Instance, request: Request) -> None:
+        request.complete(self.sim.now)
+        self.bus.publish(RequestCompleted(request, instance, self.sim.now))
+        self.capacity_changed()
+
+    # ------------------------------------------------------------------
+    # Keep-alive
+    # ------------------------------------------------------------------
+    def _instance_went_idle(self, instance: Instance) -> None:
+        instance.idle_since = self.sim.now
+        instance.keepalive_handle = self.sim.schedule(
+            self.policies.reclaim.keepalive_seconds(self, instance),
+            self._keepalive_expired,
+            instance,
+        )
+
+    def _keepalive_expired(self, instance: Instance) -> None:
+        instance.keepalive_handle = None
+        if instance.state is InstanceState.ACTIVE and instance.idle:
+            self.policies.reclaim.reclaim(self, instance)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.experiments.common import ExperimentScale, current_scale, make_azure_workload
 from repro.registry import system_factory
@@ -13,7 +13,6 @@ from repro.models.catalog import (
     CODELLAMA_34B,
     LLAMA2_13B,
     LLAMA2_7B,
-    LLAMA32_3B,
     ModelSpec,
 )
 from repro.perf.laws import LatencyLaw, kv_scaling_seconds

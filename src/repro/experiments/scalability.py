@@ -12,7 +12,7 @@ from repro.experiments.common import (
 )
 from repro.registry import system_factory
 from repro.hardware.cluster import Cluster
-from repro.metrics.report import OverheadStat, RunReport
+from repro.metrics.report import OverheadStat
 from repro.models.catalog import LLAMA2_7B
 
 

@@ -20,7 +20,7 @@ making the OOM interleavings of Fig. 18 impossible (property-tested in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Protocol
 
 from repro.engine.instance import Instance, InstanceState

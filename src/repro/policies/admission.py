@@ -1,0 +1,91 @@
+"""Admission policies: instance eligibility and post-prefill routing.
+
+:class:`FifoAdmission` is the default (any instance may serve any
+request; decode continues where prefill ran).  :class:`PdAdmission`
+implements prefill–decode disaggregation (§IX-G, Table III): instances
+are role-tagged at creation, requests are routed to instances matching
+their phase, and the KV hand-off is modelled as a cross-node transfer
+delay plus a 1-token "attach" iteration on the decode side.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine.request import RequestState
+from repro.policies.base import AdmissionPolicy
+from repro.policies.events import RequestCompleted
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.system import ServingSystem
+    from repro.engine.instance import Instance
+    from repro.engine.request import Request
+    from repro.workloads.spec import Workload
+
+KV_TRANSFER_BYTES_PER_S = 100e9 / 8.0  # 100 Gbps (§IX-G)
+
+PREFILL_ROLE = "prefill"
+DECODE_ROLE = "decode"
+
+
+class FifoAdmission(AdmissionPolicy):
+    """No role filtering; decode continues on the prefill instance."""
+
+
+class PdAdmission(AdmissionPolicy):
+    """Prefill–decode disaggregation with a modelled KV hand-off."""
+
+    def __init__(self) -> None:
+        self._roles: dict[int, str] = {}
+        self._phases: dict[int, str] = {}
+        self._system: "ServingSystem | None" = None
+
+    def prepare(self, system: "ServingSystem", workload: "Workload") -> None:
+        self._system = system
+        system.bus.subscribe(
+            RequestCompleted, lambda e: self._phases.pop(e.request.req_id, None)
+        )
+
+    # ------------------------------------------------------------------
+    # Role bookkeeping
+    # ------------------------------------------------------------------
+    def role_of(self, instance: "Instance") -> str:
+        return self._roles.get(instance.inst_id, PREFILL_ROLE)
+
+    def phase_of(self, request: "Request") -> str:
+        return self._phases.get(request.req_id, PREFILL_ROLE)
+
+    def on_instance_created(self, system: "ServingSystem", instance: "Instance") -> None:
+        placing = system.placing_request
+        role = self.phase_of(placing) if placing is not None else PREFILL_ROLE
+        self._roles[instance.inst_id] = role
+
+    def allow_instance(
+        self, system: "ServingSystem", instance: "Instance", request: "Request"
+    ) -> bool:
+        return self.role_of(instance) == self.phase_of(request)
+
+    # ------------------------------------------------------------------
+    # The KV hand-off
+    # ------------------------------------------------------------------
+    def admit_after_prefill(
+        self, system: "ServingSystem", instance: "Instance", request: "Request"
+    ) -> None:
+        if self.role_of(instance) != PREFILL_ROLE:
+            super().admit_after_prefill(system, instance, request)
+            return
+        self._phases[request.req_id] = DECODE_ROLE
+        request.state = RequestState.MIGRATING
+        request.prefill_len = 1  # the "attach" iteration on the decode side
+        request.output_len += 1  # the attach token is not real output
+        transfer_bytes = request.context_len * instance.model.kv_bytes_per_token
+        delay = transfer_bytes / KV_TRANSFER_BYTES_PER_S
+        system.sim.schedule(delay, self._deliver, request)
+
+    def _deliver(self, request: "Request") -> None:
+        system = self._system
+        assert system is not None
+        if request.state is not RequestState.MIGRATING:
+            return  # dropped during the transfer
+        if not system.try_place(request):
+            system.enqueue(request)

@@ -1,0 +1,211 @@
+"""Typed simulation events and the synchronous event bus.
+
+The serving-system core publishes a small vocabulary of lifecycle events
+at fixed points in its loop; everything that merely *observes* a run —
+metrics accumulation, wall-clock overhead accounting, periodic memory
+sampling — attaches as a subscriber instead of being inlined in the
+core.  Policies may subscribe too: SLINFER's watermark-driven memory
+ops, for example, ride on :class:`IterationFinished` and
+:class:`RequestCompleted`.
+
+Delivery is synchronous and deterministic: ``publish`` invokes the
+handlers subscribed to the event's exact type, in subscription order,
+before returning.  Simulation behaviour must therefore not depend on
+*whether* an observer is attached — subscribers that mutate simulation
+state (policy hooks) are attached at fixed, documented points so runs
+stay reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Callable, Type, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards, typing only
+    from repro.compute.scheduler import WorkKind
+    from repro.engine.instance import Instance
+    from repro.engine.request import Request
+    from repro.memory.operations import MemoryOp
+
+
+class Event:
+    """Base class for simulation events (exact-type dispatch)."""
+
+    __slots__ = ()
+
+
+class RequestArrived(Event):
+    """A request entered the system (before any placement attempt)."""
+
+    __slots__ = ("request", "time")
+
+    def __init__(self, request: "Request", time: float) -> None:
+        self.request = request
+        self.time = time
+
+
+class RequestQueued(Event):
+    """Placement failed; the request waits in the admission queue."""
+
+    __slots__ = ("request", "time")
+
+    def __init__(self, request: "Request", time: float) -> None:
+        self.request = request
+        self.time = time
+
+
+class RequestDropped(Event):
+    """The request's queuing delay exceeded its TTFT SLO (§IX-B)."""
+
+    __slots__ = ("request", "time")
+
+    def __init__(self, request: "Request", time: float) -> None:
+        self.request = request
+        self.time = time
+
+
+class RequestCompleted(Event):
+    """The request produced its final token on ``instance``."""
+
+    __slots__ = ("request", "instance", "time")
+
+    def __init__(self, request: "Request", instance: "Instance", time: float) -> None:
+        self.request = request
+        self.instance = instance
+        self.time = time
+
+
+class NodeLoaded(Event):
+    """A node gained its first resident footprint for some allocation.
+
+    Published for reservations that have no :class:`Instance` of their
+    own (tensor-parallel partner nodes); instance-backed loads publish
+    :class:`InstanceLoaded` instead.
+    """
+
+    __slots__ = ("node_id", "kind", "time")
+
+    def __init__(self, node_id: str, kind, time: float) -> None:
+        self.node_id = node_id
+        self.kind = kind
+        self.time = time
+
+
+class NodeUnloaded(Event):
+    """The matching release for :class:`NodeLoaded`."""
+
+    __slots__ = ("node_id", "time")
+
+    def __init__(self, node_id: str, time: float) -> None:
+        self.node_id = node_id
+        self.time = time
+
+
+class InstanceLoaded(Event):
+    """An instance was attached to a node/executor (cold start began)."""
+
+    __slots__ = ("instance", "time")
+
+    def __init__(self, instance: "Instance", time: float) -> None:
+        self.instance = instance
+        self.time = time
+
+
+class InstanceUnloaded(Event):
+    """An instance was detached from its node/executor."""
+
+    __slots__ = ("instance", "time")
+
+    def __init__(self, instance: "Instance", time: float) -> None:
+        self.instance = instance
+        self.time = time
+
+
+class IterationFinished(Event):
+    """One prefill or decode iteration completed on ``instance``.
+
+    ``decode_tokens`` is the number of tokens produced this iteration
+    (0 for prefill); ``batch_size`` is the decode batch at launch time.
+    """
+
+    __slots__ = ("instance", "kind", "decode_tokens", "batch_size", "time")
+
+    def __init__(
+        self,
+        instance: "Instance",
+        kind: "WorkKind",
+        decode_tokens: int,
+        batch_size: int,
+        time: float,
+    ) -> None:
+        self.instance = instance
+        self.kind = kind
+        self.decode_tokens = decode_tokens
+        self.batch_size = batch_size
+        self.time = time
+
+
+class MemoryOpIssued(Event):
+    """The memory subsystem executed an operation (load/unload/scale)."""
+
+    __slots__ = ("op", "duration", "time")
+
+    def __init__(self, op: "MemoryOp", duration: float, time: float) -> None:
+        self.op = op
+        self.duration = duration
+        self.time = time
+
+
+class OverheadMeasured(Event):
+    """A wall-clock timing block closed (Fig. 33 scheduling overheads)."""
+
+    __slots__ = ("name", "seconds")
+
+    def __init__(self, name: str, seconds: float) -> None:
+        self.name = name
+        self.seconds = seconds
+
+
+E = TypeVar("E", bound=Event)
+Handler = Callable[[E], None]
+
+
+class EventBus:
+    """Synchronous, deterministic publish/subscribe over typed events.
+
+    Handlers are matched by the event's exact type and invoked in
+    subscription order.  ``publish`` is a no-op for event types without
+    subscribers, so instrumentation events cost one dict probe on the
+    hot path.
+    """
+
+    __slots__ = ("_handlers",)
+
+    def __init__(self) -> None:
+        self._handlers: dict[type, list[Callable[[Event], None]]] = defaultdict(list)
+
+    def subscribe(self, event_type: Type[E], handler: Handler) -> Callable[[], None]:
+        """Attach ``handler`` to ``event_type``; returns a detach callable."""
+        if not (isinstance(event_type, type) and issubclass(event_type, Event)):
+            raise TypeError(f"not an Event type: {event_type!r}")
+        handlers = self._handlers[event_type]
+        handlers.append(handler)
+
+        def detach() -> None:
+            if handler in handlers:
+                handlers.remove(handler)
+
+        return detach
+
+    def publish(self, event: Event) -> None:
+        handlers = self._handlers.get(type(event))
+        if not handlers:
+            return
+        # Iterated directly — this runs once per simulation event, so a
+        # defensive copy would allocate on the hot path.  Handlers must
+        # not (un)subscribe to the published type mid-publish.
+        for handler in handlers:
+            handler(event)
+
+    def subscriber_count(self, event_type: Type[E]) -> int:
+        return len(self._handlers.get(event_type, ()))

@@ -1,0 +1,49 @@
+"""Reclaim policies: when idle instances are torn down.
+
+The mechanics of unloading (orchestrator-driven for SLINFER, immediate
+slot release for the sllm family) belong to the placement policy; these
+policies only decide the keep-alive horizon and whether to act on it,
+so any reclaim policy composes with any placement policy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.policies.base import ReclaimPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.system import ServingSystem
+    from repro.engine.instance import Instance
+
+
+class KeepAliveReclaim(ReclaimPolicy):
+    """Unload after the configured keep-alive threshold (the default).
+
+    ``seconds`` overrides the system config's ``keepalive`` — the Fig. 30
+    sensitivity sweep is then just ``--policy "reclaim=keepalive:5"``.
+    """
+
+    def __init__(self, seconds: Optional[float] = None) -> None:
+        if seconds is not None and seconds < 0:
+            raise ValueError("keep-alive must be non-negative")
+        self.seconds = seconds
+
+    def keepalive_seconds(self, system: "ServingSystem", instance: "Instance") -> float:
+        if self.seconds is not None:
+            return self.seconds
+        return system.config.keepalive
+
+
+class EagerReclaim(KeepAliveReclaim):
+    """Unload the moment an instance goes idle (zero keep-alive)."""
+
+    def __init__(self) -> None:
+        super().__init__(seconds=0.0)
+
+
+class NeverReclaim(ReclaimPolicy):
+    """Keep instances loaded forever (the no-reclaim ablation)."""
+
+    def reclaim(self, system: "ServingSystem", instance: "Instance") -> None:
+        pass

@@ -1,0 +1,649 @@
+"""SLINFER's full serving scheme (§V) as a composable placement policy.
+
+Request lifecycle (Fig. 13): on arrival, try existing replicas (CPU
+nodes first, reactive bin-packing order), validating each with the
+compute subsystem's shadow validation and the memory subsystem's
+Eq. 2 / watermark checks (with the §VII-D compromise to ``M_require``).
+If no replica absorbs the request, try proactive preemption (§VIII-A);
+then try launching a new instance on a best-fit node; otherwise the
+request queues and is dropped once its queuing delay exceeds the TTFT
+SLO.  Large models (weights above ``exclusive_weight_fraction`` of GPU
+memory, or tensor-parallel deployments) fall back to ServerlessLLM-style
+exclusive GPU allocation (§IX-E, §X).
+
+The watermark-driven memory mechanisms ride on the event bus: per-
+iteration underestimation recovery (§VII-D) subscribes to
+``IterationFinished``, Ō updates and lazy scale-down subscribe to
+``RequestCompleted``.  Memory-operation timings are republished as
+``MemoryOpIssued`` events.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time as _wallclock
+from typing import TYPE_CHECKING, Optional
+
+from repro.compute.shadow import (
+    ShadowInstance,
+    ShadowRequest,
+    ShadowVerdict,
+    shadow_validate,
+)
+from repro.consolidation.binpack import order_dispatch_candidates, order_nodes_best_fit
+from repro.consolidation.preemption import plan_preemption
+from repro.core.config import SlinferConfig, SystemConfig
+from repro.engine.executor import Executor
+from repro.engine.instance import Instance, InstanceState
+from repro.memory.estimator import (
+    OutputLengthEstimator,
+    initial_kv_required,
+    kv_required_bytes,
+)
+from repro.memory.operations import MemoryOp
+from repro.memory.orchestrator import MemoryOrchestrator
+from repro.memory.watermark import WatermarkPolicy
+from repro.perf.laws import kv_scaling_seconds
+from repro.policies.base import PlacementPolicy
+from repro.policies.events import (
+    IterationFinished,
+    MemoryOpIssued,
+    NodeLoaded,
+    NodeUnloaded,
+    RequestCompleted,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.system import ServingSystem
+    from repro.engine.request import Request
+    from repro.hardware.node import Node
+    from repro.models.catalog import ModelSpec
+    from repro.workloads.spec import Deployment, Workload
+
+
+def _as_slinfer_config(config: SystemConfig) -> SlinferConfig:
+    """Adopt the system's config, widening a plain SystemConfig if needed.
+
+    Sweeping SLINFER placement into a foreign bundle (whose config is a
+    plain :class:`SystemConfig`) keeps the shared knobs and takes the
+    paper's defaults for the SLINFER-specific ones.
+    """
+    if isinstance(config, SlinferConfig):
+        return config
+    shared = {f.name: getattr(config, f.name) for f in dataclasses.fields(SystemConfig)}
+    return SlinferConfig(**shared)
+
+
+class SlinferPlacement(PlacementPolicy):
+    """Elastic heterogeneous sharing with shadow-validated placement."""
+
+    def __init__(self, config: Optional[SlinferConfig] = None) -> None:
+        self._config = config
+        self.system: "ServingSystem | None" = None
+        self.cfg: SlinferConfig = config or SlinferConfig()
+        self.watermark = WatermarkPolicy(self.cfg.watermark)
+        self.estimator = OutputLengthEstimator(prior=self.cfg.output_length_prior)
+        self._orchestrators: dict[str, MemoryOrchestrator] = {}
+        self._node_executor: dict[str, Executor] = {}
+        self._reserved_nodes: set[str] = set()  # secondaries of TP instances
+        self._exclusive_partners: dict[int, list["Node"]] = {}
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def prepare(self, system: "ServingSystem", workload: "Workload") -> None:
+        self.system = system
+        self.cfg = self._config or _as_slinfer_config(system.config)
+        self.watermark = WatermarkPolicy(self.cfg.watermark)
+        self.estimator = OutputLengthEstimator(prior=self.cfg.output_length_prior)
+        for node in system.cluster.nodes:
+            executor = Executor(exec_id=f"x-{node.node_id}", node=node)
+            system.executors.append(executor)
+            self._node_executor[node.node_id] = executor
+            self._orchestrators[node.node_id] = MemoryOrchestrator(
+                sim=system.sim, node=node, listener=self, on_op_metric=self._op_metric
+            )
+        system.bus.subscribe(IterationFinished, self._after_iteration)
+        system.bus.subscribe(RequestCompleted, self._on_request_complete)
+
+    def _orch(self, instance_or_node) -> MemoryOrchestrator:
+        from repro.hardware.node import Node
+
+        node = instance_or_node if isinstance(instance_or_node, Node) else instance_or_node.node
+        return self._orchestrators[node.node_id]
+
+    # ------------------------------------------------------------------
+    # Orchestrator listener
+    # ------------------------------------------------------------------
+    def on_load_complete(self, instance: Instance) -> None:
+        assert self.system is not None
+        self.system.activate_instance(instance)
+
+    def on_unload_complete(self, instance: Instance) -> None:
+        assert self.system is not None
+        self.system.detach(instance)
+        self.system.capacity_changed()
+
+    def on_scale_complete(self, instance: Instance, op: MemoryOp) -> None:
+        assert self.system is not None
+        self.system.capacity_changed()
+
+    def _op_metric(self, op: MemoryOp, duration: float) -> None:
+        assert self.system is not None
+        self.system.publish(MemoryOpIssued(op, duration, self.system.sim.now))
+
+    def unloading(self, instance: Instance) -> bool:
+        orch = self._orch(instance)
+        if not orch.has_instance(instance):
+            return True
+        return orch._accounts[instance.inst_id].unload_issued
+
+    # ------------------------------------------------------------------
+    # Delegation surface for the preemption planner
+    # ------------------------------------------------------------------
+    def executor_for(self, instance: Instance) -> Executor:
+        assert self.system is not None
+        return self.system.executor_for(instance)
+
+    def instances_of(self, deployment: str) -> list[Instance]:
+        assert self.system is not None
+        return self.system.instances_of(deployment)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def try_place(self, system: "ServingSystem", request: "Request") -> bool:
+        deployment = system.deployments[request.deployment]
+        if self._is_exclusive_deployment(deployment):
+            return self._place_exclusive(request, deployment)
+        candidates = self._candidate_instances(deployment, request)
+        for instance in candidates[: self.cfg.max_placement_candidates]:
+            if self._validate_and_dispatch(instance, request):
+                return True
+        # Preemption planning is arrival-time machinery (§VIII-A); queued
+        # requests being retried skip it — the cluster state that failed
+        # them hasn't structurally changed, and re-planning per retry would
+        # make retries quadratic under overload.
+        if (
+            self.cfg.enable_consolidation
+            and not system.retrying
+            and self._try_preemption(request, deployment)
+        ):
+            return True
+        return self._place_new_instance(request, deployment)
+
+    def _candidate_instances(self, deployment: "Deployment", request: "Request") -> list[Instance]:
+        system = self.system
+        assert system is not None
+        admission = system.policies.admission
+        instances = [
+            inst
+            for inst in system.instances_of(deployment.name)
+            if not inst.exclusive
+            and not self.unloading(inst)
+            and admission.allow_instance(system, inst, request)
+        ]
+        instances = [
+            inst
+            for inst in instances
+            if inst.node.is_gpu or self._cpu_ok(inst.node, deployment.model, request)
+        ]
+        return order_dispatch_candidates(
+            instances,
+            prefer_cpu=self.cfg.enable_cpu,
+            bin_packing=self.cfg.enable_consolidation,
+        )
+
+    def _cpu_ok(self, node: "Node", model: "ModelSpec", request: "Request") -> bool:
+        system = self.system
+        assert system is not None
+        if not self.cfg.enable_cpu:
+            return False
+        return system.perf.cpu_can_serve(node.spec, model, request.prefill_len, system.slo)
+
+    # ------------------------------------------------------------------
+    # Admission to an existing instance
+    # ------------------------------------------------------------------
+    def _validate_and_dispatch(self, instance: Instance, request: "Request") -> bool:
+        system = self.system
+        assert system is not None
+        orch = self._orch(instance)
+        average_out = self.estimator.average(instance.deployment)
+        require = kv_required_bytes(instance, average_out, extra_requests=[request])
+        planned = orch.planned_kv_bytes(instance)
+        target: Optional[int] = None
+        if planned < require:
+            recommend = self.watermark.recommended_bytes(require)
+            if orch.can_scale_to(instance, recommend):
+                target = recommend
+            elif orch.can_scale_to(instance, require):
+                target = require  # §VII-D intra-instance compromise
+            else:
+                return False
+        if not self._shadow_ok(instance, request):
+            return False
+        if target is not None:
+            if instance.state is InstanceState.LOADING:
+                orch.retarget_load_kv(instance, target)
+            else:
+                orch.request_scale(instance, target)
+        system.dispatch(request, instance)
+        return True
+
+    # ------------------------------------------------------------------
+    # Shadow validation plumbing
+    # ------------------------------------------------------------------
+    def _shadow_request(self, request: "Request", grace: float) -> ShadowRequest:
+        return ShadowRequest(
+            deadline_base=request.arrival + request.ttft_slo + grace,
+            tpot_slo=request.tpot_slo,
+            tokens_out=request.tokens_out,
+            context_len=request.context_len,
+            prefill_len=request.prefill_len,
+            is_new=True,
+            # Mid-stream requests (migrations, PD hand-offs) are placed
+            # best-effort: only harm to other requests vetoes placement.
+            soft=request.tokens_out > 0,
+        )
+
+    def _shadow_instance(self, instance: Instance) -> ShadowInstance:
+        system = self.system
+        assert system is not None
+        perf = system.perf.quantified(
+            instance.node.spec, instance.model, instance.fraction, instance.tp_degree
+        )
+        ready_at = (
+            instance.load_ready_at if instance.state is InstanceState.LOADING else 0.0
+        )
+        shadow = ShadowInstance(perf=perf, ready_at=ready_at)
+        for pending in instance.prefill_pending:
+            shadow.prefill_queue.append(
+                ShadowRequest(
+                    deadline_base=pending.arrival + pending.ttft_slo + pending.grace,
+                    tpot_slo=pending.tpot_slo,
+                    tokens_out=pending.tokens_out,
+                    context_len=pending.context_len,
+                    prefill_len=pending.prefill_len,
+                )
+            )
+        for running in instance.batch:
+            shadow.batch.append(
+                ShadowRequest(
+                    deadline_base=running.arrival + running.ttft_slo + running.grace,
+                    tpot_slo=running.tpot_slo,
+                    tokens_out=running.tokens_out,
+                    context_len=running.context_len,
+                )
+            )
+        return shadow
+
+    def _run_shadow(
+        self,
+        executor: Executor,
+        shadows: list[ShadowInstance],
+    ) -> ShadowVerdict:
+        system = self.system
+        assert system is not None
+        busy_until = executor.busy_until if executor.busy else system.sim.now
+        if not self.cfg.measure_overheads:
+            return shadow_validate(
+                shadows,
+                now=system.sim.now,
+                busy_until=busy_until,
+                tpot_slo=system.slo.tpot,
+                overestimate=self.cfg.overestimate,
+            )
+        start = _wallclock.perf_counter()
+        verdict = shadow_validate(
+            shadows,
+            now=system.sim.now,
+            busy_until=busy_until,
+            tpot_slo=system.slo.tpot,
+            overestimate=self.cfg.overestimate,
+        )
+        system.record_overhead("shadow_validation", _wallclock.perf_counter() - start)
+        return verdict
+
+    def _shadow_precheck(
+        self,
+        executor: Executor,
+        request: "Request",
+        extra_batch: int,
+        extra_model: "ModelSpec",
+        extra_fraction: float,
+        extra_tp: int,
+        exclude: Optional[set[int]] = None,
+    ) -> bool:
+        """Cheap necessary conditions before the full shadow simulation.
+
+        Case 3 (aggregate steady-state decode) and case 1 (the new
+        request's own prefill estimate vs its headroom) can be bounded in
+        O(instances) — the full virtual execution would reach the same
+        verdict, so rejecting here only saves work.
+        """
+        system = self.system
+        assert system is not None
+        exclude = exclude or set()
+        aggregate = 0.0
+        for other in executor.active_instances():
+            if other.inst_id in exclude:
+                continue
+            batch = other.batch_size + len(other.prefill_pending)
+            if batch > 0:
+                context = other.avg_context_len() or request.context_len
+                perf = system.perf.quantified(
+                    other.node.spec, other.model, other.fraction, other.tp_degree
+                )
+                aggregate += perf.tpot_seconds(batch, context)
+        perf_new = system.perf.quantified(
+            executor.node.spec, extra_model, extra_fraction, extra_tp
+        )
+        aggregate += perf_new.tpot_seconds(extra_batch + 1, request.context_len)
+        if aggregate * self.cfg.overestimate > system.slo.tpot:
+            return False
+        if request.tokens_out > 0:
+            return True  # mid-stream: own deadline is soft
+        prefill = perf_new.ttft_seconds(request.prefill_len) * self.cfg.overestimate
+        headroom = request.headroom(system.sim.now) + request.tpot_slo
+        return prefill <= headroom + max(0.0, request.grace)
+
+    def _shadow_ok(
+        self,
+        instance: Instance,
+        request: "Request",
+        exclude: Optional[set[int]] = None,
+    ) -> bool:
+        system = self.system
+        assert system is not None
+        executor = system.executor_for(instance)
+        exclude = exclude or set()
+        if not self._shadow_precheck(
+            executor,
+            request,
+            extra_batch=instance.batch_size,
+            extra_model=instance.model,
+            extra_fraction=instance.fraction,
+            extra_tp=instance.tp_degree,
+            exclude=exclude | {instance.inst_id},
+        ):
+            return False
+        shadows = []
+        for other in executor.active_instances():
+            if other.inst_id in exclude:
+                continue
+            shadow = self._shadow_instance(other)
+            if other is instance:
+                grace = request.grace
+                if instance.state is InstanceState.LOADING:
+                    grace = max(grace, instance.load_ready_at - request.arrival)
+                shadow.prefill_queue.append(self._shadow_request(request, grace))
+            shadows.append(shadow)
+        return self._run_shadow(executor, shadows) is ShadowVerdict.PASS
+
+    # Hooks used by the preemption planner ------------------------------
+    def validate_migration(self, destination: Instance, request: "Request") -> bool:
+        """Would ``request`` (about to be evicted) meet SLOs on ``destination``?"""
+        if destination.state is InstanceState.UNLOADED or self.unloading(destination):
+            return False
+        orch = self._orch(destination)
+        average_out = self.estimator.average(destination.deployment)
+        require = kv_required_bytes(destination, average_out, extra_requests=[request])
+        if orch.planned_kv_bytes(destination) < require and not orch.can_scale_to(
+            destination, require
+        ):
+            return False
+        return self._shadow_ok(destination, request)
+
+    def validate_after_preemption(
+        self, target: Instance, request: "Request", victims: list[Instance]
+    ) -> bool:
+        """Would ``target`` absorb ``request`` once ``victims`` are gone?"""
+        orch = self._orch(target)
+        average_out = self.estimator.average(target.deployment)
+        require = kv_required_bytes(target, average_out, extra_requests=[request])
+        freed = sum(
+            victim.weight_bytes_per_node + orch.planned_kv_bytes(victim)
+            for victim in victims
+        )
+        planned = orch.planned_kv_bytes(target)
+        if planned < require:
+            if orch.optimistic_free() + freed < require - planned:
+                return False
+        return self._shadow_ok(target, request, exclude={v.inst_id for v in victims})
+
+    # ------------------------------------------------------------------
+    # Proactive preemption (§VIII-A)
+    # ------------------------------------------------------------------
+    def _try_preemption(self, request: "Request", deployment: "Deployment") -> bool:
+        system = self.system
+        assert system is not None
+        if not system.instances_of(deployment.name):
+            return False
+        if self.cfg.measure_overheads:
+            start = _wallclock.perf_counter()
+            plan = plan_preemption(self, request, deployment.name)
+            system.record_overhead("preemption_planning", _wallclock.perf_counter() - start)
+        else:
+            plan = plan_preemption(self, request, deployment.name)
+        if plan is None:
+            return False
+        system.metrics.preemptions += len(plan.victims)
+        for victim in plan.victims:
+            for victim_request in victim.requests:
+                victim.remove(victim_request)
+                victim_request.begin_migration()
+                system.metrics.migrations += 1
+            self._orch(victim).unload_instance(victim)
+        for migrated, destination in plan.migrations:
+            if not self._validate_and_dispatch(destination, migrated):
+                system.enqueue(migrated)
+        # The target should now absorb the trigger request; fall back to the
+        # normal path if runtime state shifted underneath the plan.
+        if self._validate_and_dispatch(plan.target, request):
+            return True
+        return self._place_new_instance(request, deployment)
+
+    # ------------------------------------------------------------------
+    # New instances (§V bin-packing placement)
+    # ------------------------------------------------------------------
+    def _place_new_instance(self, request: "Request", deployment: "Deployment") -> bool:
+        system = self.system
+        assert system is not None
+        model = deployment.model
+        average_out = self.estimator.average(deployment.name)
+        require = initial_kv_required(model, request, average_out)
+        recommend = self.watermark.recommended_bytes(require)
+        weights = model.weight_bytes
+
+        nodes = [
+            node
+            for node in system.cluster.nodes
+            if node.node_id not in self._reserved_nodes
+            and not any(inst.exclusive for inst in node.instances)
+        ]
+        if not self.cfg.enable_sharing:
+            nodes = [
+                node
+                for node in nodes
+                if not any(
+                    inst.state is not InstanceState.UNLOADED for inst in node.instances
+                )
+            ]
+        nodes = [
+            node
+            for node in nodes
+            if node.is_gpu or self._cpu_ok(node, model, request)
+        ]
+        ordered = order_nodes_best_fit(
+            nodes,
+            free_bytes=lambda n: self._orchestrators[n.node_id].optimistic_free(),
+            required_bytes=weights + require,
+            prefer_cpu=self.cfg.enable_cpu,
+        )
+        for node in ordered[: self.cfg.max_placement_candidates]:
+            orch = self._orchestrators[node.node_id]
+            if orch.can_admit(weights, recommend):
+                kv_target = recommend
+            elif orch.can_admit(weights, require):
+                kv_target = require
+            else:
+                continue
+            load_estimate = weights / node.spec.loader_bytes_per_s
+            load_estimate += kv_scaling_seconds(0, kv_target, 0)
+            if not self._shadow_ok_new_instance(node, deployment, request, load_estimate):
+                continue
+            instance = system.make_instance(deployment, node)
+            executor = self._node_executor[node.node_id]
+            system.attach(instance, executor)
+            duration = orch.admit_instance(instance, kv_target)
+            instance.load_ready_at = system.sim.now + duration
+            system.dispatch(request, instance)
+            return True
+        return False
+
+    def _shadow_ok_new_instance(
+        self, node: "Node", deployment: "Deployment", request: "Request", load_estimate: float
+    ) -> bool:
+        system = self.system
+        assert system is not None
+        executor = self._node_executor[node.node_id]
+        if not self._shadow_precheck(
+            executor,
+            request,
+            extra_batch=0,
+            extra_model=deployment.model,
+            extra_fraction=1.0,
+            extra_tp=deployment.tp_degree,
+        ):
+            return False
+        shadows = [self._shadow_instance(other) for other in executor.active_instances()]
+        perf = system.perf.quantified(node.spec, deployment.model, 1.0, deployment.tp_degree)
+        grace = max(request.grace, load_estimate)
+        virtual = ShadowInstance(perf=perf, ready_at=system.sim.now + load_estimate)
+        virtual.prefill_queue.append(self._shadow_request(request, grace))
+        shadows.append(virtual)
+        return self._run_shadow(executor, shadows) is ShadowVerdict.PASS
+
+    # ------------------------------------------------------------------
+    # Memory-driven behaviour during serving (event-bus subscribers)
+    # ------------------------------------------------------------------
+    def _after_iteration(self, event: IterationFinished) -> None:
+        instance = event.instance
+        if instance.exclusive or instance.state is not InstanceState.ACTIVE:
+            return
+        if self.unloading(instance):
+            return
+        orch = self._orch(instance)
+        next_live = instance.live_kv_bytes() + instance.batch_size * instance.model.kv_bytes_per_token
+        planned = orch.planned_kv_bytes(instance)
+        if next_live <= planned:
+            return
+        # Underestimation (§VII-D): try to grow again, else evict the
+        # request with the longest headroom and reschedule it.
+        average_out = self.estimator.average(instance.deployment)
+        require = max(kv_required_bytes(instance, average_out), next_live)
+        if orch.request_scale(instance, require):
+            return
+        self._evict_longest_headroom(instance)
+
+    def _evict_longest_headroom(self, instance: Instance) -> None:
+        system = self.system
+        assert system is not None
+        if not instance.batch:
+            return
+        victim = max(instance.batch, key=lambda r: r.headroom(system.sim.now))
+        instance.batch.remove(victim)
+        victim.begin_migration()
+        system.metrics.migrations += 1
+        system.metrics.evictions += 1
+        if not system.try_place(victim):
+            system.enqueue(victim)
+
+    def _on_request_complete(self, event: RequestCompleted) -> None:
+        instance, request = event.instance, event.request
+        self.estimator.observe(request.deployment, max(1, request.tokens_out))
+        if instance.exclusive or instance.state is InstanceState.UNLOADED:
+            return
+        if self.unloading(instance):
+            return
+        orch = self._orch(instance)
+        average_out = self.estimator.average(instance.deployment)
+        require = kv_required_bytes(instance, average_out)
+        planned = orch.planned_kv_bytes(instance)
+        if self.watermark.should_scale_down(planned, require):
+            orch.request_scale(instance, self.watermark.scale_down_target(require))
+
+    # ------------------------------------------------------------------
+    # Reclaim mechanics (invoked by the reclaim policy)
+    # ------------------------------------------------------------------
+    def unload(self, system: "ServingSystem", instance: Instance) -> None:
+        if instance.exclusive:
+            self._reclaim_exclusive(instance)
+            return
+        self._orch(instance).unload_instance(instance)
+
+    # ------------------------------------------------------------------
+    # Exclusive fallback for large models (§IX-E, §X)
+    # ------------------------------------------------------------------
+    def _is_exclusive_deployment(self, deployment: "Deployment") -> bool:
+        system = self.system
+        assert system is not None
+        if deployment.tp_degree > 1:
+            return True
+        gpu_nodes = system.cluster.gpu_nodes
+        if not gpu_nodes:
+            return False
+        threshold = self.cfg.exclusive_weight_fraction * gpu_nodes[0].memory_bytes
+        return deployment.model.weight_bytes > threshold
+
+    def _place_exclusive(self, request: "Request", deployment: "Deployment") -> bool:
+        from repro.perf.limits import baseline_concurrency_limit
+
+        system = self.system
+        assert system is not None
+        for instance in system.instances_of(deployment.name):
+            limit = baseline_concurrency_limit(
+                instance.node.spec, instance.model, shared=False, tp_degree=instance.tp_degree
+            )
+            if instance.request_count < max(1, limit):
+                system.dispatch(request, instance)
+                return True
+        tp = deployment.tp_degree
+        free = [
+            node
+            for node in system.cluster.gpu_nodes
+            if not node.instances and node.node_id not in self._reserved_nodes
+        ]
+        if len(free) < tp:
+            return False
+        primary, partners = free[0], free[1:tp]
+        instance = system.make_instance(deployment, primary, exclusive=True)
+        executor = self._node_executor[primary.node_id]
+        system.attach(instance, executor)
+        for partner in partners:
+            self._reserved_nodes.add(partner.node_id)
+            system.publish(NodeLoaded(partner.node_id, partner.kind, system.sim.now))
+        self._exclusive_partners[instance.inst_id] = partners
+        shard_bytes = deployment.model.weight_bytes / tp
+        duration = shard_bytes / primary.spec.loader_bytes_per_s
+        instance.load_ready_at = system.sim.now + duration
+        system.sim.schedule(duration, self._exclusive_loaded, instance)
+        system.dispatch(request, instance)
+        return True
+
+    def _exclusive_loaded(self, instance: Instance) -> None:
+        system = self.system
+        assert system is not None
+        capacity = instance.tp_degree * instance.node.memory_bytes
+        instance.kv.allocated_bytes = max(0, capacity - instance.model.weight_bytes)
+        system.activate_instance(instance)
+
+    def _reclaim_exclusive(self, instance: Instance) -> None:
+        system = self.system
+        assert system is not None
+        instance.state = InstanceState.UNLOADED
+        for partner in self._exclusive_partners.pop(instance.inst_id, []):
+            self._reserved_nodes.discard(partner.node_id)
+            system.publish(NodeUnloaded(partner.node_id, system.sim.now))
+        system.detach(instance)
+        system.capacity_changed()

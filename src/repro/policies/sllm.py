@@ -1,0 +1,191 @@
+"""ServerlessLLM-family placement (§IX-A) as a composable policy.
+
+Event-driven exclusive allocation: a request goes to an existing
+instance of its model if one has room under the (conservatively
+tailored) fixed concurrency limit; otherwise a new instance is launched
+on an available node (CPU-first for the ``+c`` variants); otherwise the
+request queues.  Under ``+s`` static sharing an instance occupies half
+a node (13B-sized models on CPUs keep a full node because half a CPU
+misses the TPOT SLO even at batch 1).  Each instance statically
+allocates its entire slot's remaining memory as KV-cache — the
+over-provisioning Figs. 5 and 25 expose.
+
+``limit_scale`` raises the concurrency limit (NEO's CPU-resident KV
+extension); pair it with the ``cpu-assist`` work policy for NEO+.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.engine.executor import Executor
+from repro.engine.instance import Instance, InstanceState
+from repro.perf.laws import kv_scaling_seconds
+from repro.perf.limits import baseline_concurrency_limit
+from repro.policies.base import PlacementPolicy
+from repro.policies.events import NodeLoaded, NodeUnloaded
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.system import ServingSystem
+    from repro.engine.request import Request
+    from repro.hardware.node import Node
+    from repro.models.catalog import ModelSpec
+    from repro.workloads.spec import Deployment, Workload
+
+_EPS = 1e-9
+
+
+class SllmPlacement(PlacementPolicy):
+    """Fixed-concurrency exclusive (or statically halved) slots."""
+
+    def __init__(
+        self,
+        use_cpu: bool = False,
+        static_share: bool = False,
+        limit_scale: float = 1.0,
+    ) -> None:
+        self.use_cpu = use_cpu
+        self.static_share = static_share
+        self.limit_scale = limit_scale
+        self.system: "ServingSystem | None" = None
+        self._free_fraction: dict[str, float] = {}
+        self._partners_of: dict[int, list["Node"]] = {}
+
+    def prepare(self, system: "ServingSystem", workload: "Workload") -> None:
+        self.system = system
+        self._free_fraction = {node.node_id: 1.0 for node in system.cluster.nodes}
+
+    # ------------------------------------------------------------------
+    # Slots and limits
+    # ------------------------------------------------------------------
+    def slot_fraction(self, node: "Node", model: "ModelSpec") -> float:
+        """Fraction of the node an instance occupies."""
+        if not self.static_share:
+            return 1.0
+        if node.is_cpu:
+            # 13B-sized (and larger) models keep a full CPU node (§IX-A):
+            # half a node misses the TPOT SLO even at batch 1.
+            system = self.system
+            assert system is not None
+            law = system.perf.law(node.spec, model, fraction=0.5)
+            probe = min(4096, model.max_context)
+            if law.decode_seconds(1, probe) > system.slo.tpot:
+                return 1.0
+        return 0.5
+
+    def limit(self, instance: Instance) -> int:
+        base = baseline_concurrency_limit(
+            instance.node.spec,
+            instance.model,
+            shared=self.static_share,
+            tp_degree=instance.tp_degree,
+        )
+        if self.limit_scale != 1.0:
+            base = int(base * self.limit_scale)
+        return max(1, base)
+
+    def _cpu_ok(self, system: "ServingSystem", node: "Node", model: "ModelSpec", request: "Request") -> bool:
+        if not self.use_cpu:
+            return False
+        return system.perf.cpu_can_serve(node.spec, model, request.prefill_len, system.slo)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def try_place(self, system: "ServingSystem", request: "Request") -> bool:
+        deployment = system.deployments[request.deployment]
+        candidates = sorted(
+            system.instances_of(deployment.name),
+            key=lambda inst: (0 if inst.node.is_cpu else 1, inst.inst_id),
+        )
+        admission = system.policies.admission
+        for instance in candidates:
+            if not admission.allow_instance(system, instance, request):
+                continue
+            if instance.node.is_cpu and not self._cpu_ok(
+                system, instance.node, instance.model, request
+            ):
+                continue
+            if instance.request_count < self.limit(instance):
+                system.dispatch(request, instance)
+                return True
+        return self._scale_out(system, request, deployment)
+
+    def _scale_out(self, system: "ServingSystem", request: "Request", deployment: "Deployment") -> bool:
+        model = deployment.model
+        if deployment.tp_degree > 1:
+            return self._scale_out_tp(system, request, deployment)
+        nodes = list(system.cluster.cpu_nodes) + list(system.cluster.gpu_nodes)
+        for node in nodes:
+            if node.is_cpu and not self._cpu_ok(system, node, model, request):
+                continue
+            if node.is_gpu and node.memory_bytes < model.weight_bytes:
+                continue
+            fraction = self.slot_fraction(node, model)
+            if self._free_fraction[node.node_id] + _EPS < fraction:
+                continue
+            instance = self._launch(system, deployment, node, fraction)
+            system.dispatch(request, instance)
+            return True
+        return False
+
+    def _scale_out_tp(self, system: "ServingSystem", request: "Request", deployment: "Deployment") -> bool:
+        tp = deployment.tp_degree
+        free = [
+            node
+            for node in system.cluster.gpu_nodes
+            if self._free_fraction[node.node_id] >= 1.0 - _EPS
+        ]
+        if len(free) < tp:
+            return False
+        primary, partners = free[0], free[1:tp]
+        instance = self._launch(system, deployment, primary, 1.0, partners=partners)
+        system.dispatch(request, instance)
+        return True
+
+    # ------------------------------------------------------------------
+    # Instance lifecycle
+    # ------------------------------------------------------------------
+    def _launch(
+        self,
+        system: "ServingSystem",
+        deployment: "Deployment",
+        node: "Node",
+        fraction: float,
+        partners: Optional[list["Node"]] = None,
+    ) -> Instance:
+        instance = system.make_instance(deployment, node, fraction=fraction)
+        executor = Executor(
+            exec_id=f"x-{node.node_id}-i{instance.inst_id}", node=node, fraction=fraction
+        )
+        system.executors.append(executor)
+        system.attach(instance, executor)
+        self._free_fraction[node.node_id] -= fraction
+        for partner in partners or []:
+            self._free_fraction[partner.node_id] -= 1.0
+            system.publish(NodeLoaded(partner.node_id, partner.kind, system.sim.now))
+        if partners:
+            self._partners_of[instance.inst_id] = partners
+        slot_bytes = int(node.memory_bytes * fraction)
+        kv_capacity = max(0, slot_bytes * instance.tp_degree - instance.model.weight_bytes)
+        load_seconds = instance.model.weight_bytes / instance.tp_degree / node.spec.loader_bytes_per_s
+        load_seconds += kv_scaling_seconds(0, kv_capacity, 0)
+        instance.load_ready_at = system.sim.now + load_seconds
+        system.sim.schedule(load_seconds, self._finish_launch, instance, kv_capacity)
+        return instance
+
+    def _finish_launch(self, instance: Instance, kv_capacity: int) -> None:
+        system = self.system
+        assert system is not None
+        instance.kv.allocated_bytes = kv_capacity
+        system.activate_instance(instance)
+
+    def unload(self, system: "ServingSystem", instance: Instance) -> None:
+        instance.state = InstanceState.UNLOADED
+        instance.kv.allocated_bytes = 0
+        self._free_fraction[instance.node.node_id] += instance.fraction
+        for partner in self._partners_of.pop(instance.inst_id, []):
+            self._free_fraction[partner.node_id] += 1.0
+            system.publish(NodeUnloaded(partner.node_id, system.sim.now))
+        system.detach(instance)
+        system.capacity_changed()

@@ -1,0 +1,44 @@
+"""Work-selection policies: what an executor runs next, and how fast."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.compute.scheduler import WorkKind
+from repro.policies.base import WorkSelectionPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.system import ServingSystem
+    from repro.engine.executor import Executor
+
+_FULL_CORES = 32
+_MAX_DECODE_GAIN = 0.25
+
+
+class DefaultWorkSelection(WorkSelectionPolicy):
+    """Uniform iteration-level scheduling (Fig. 14) at nominal speed."""
+
+
+class CpuAssistWork(WorkSelectionPolicy):
+    """NEO-style CPU-assisted decode (§IX-I3).
+
+    Harvested host-CPU cores absorb attention compute during decode on
+    GPU nodes; a full 32-core complement cuts decode latency by ~25 %.
+    """
+
+    def __init__(self, harvested_cores_per_gpu: int = 0) -> None:
+        if harvested_cores_per_gpu < 0:
+            raise ValueError("harvested cores must be non-negative")
+        self.harvested_cores_per_gpu = harvested_cores_per_gpu
+
+    @property
+    def assist(self) -> float:
+        """0..1 fraction of the full CPU-assist benefit available."""
+        return min(1.0, self.harvested_cores_per_gpu / _FULL_CORES)
+
+    def latency_factor(
+        self, system: "ServingSystem", executor: "Executor", kind: WorkKind
+    ) -> float:
+        if kind is WorkKind.DECODE and executor.node.is_gpu:
+            return 1.0 - _MAX_DECODE_GAIN * self.assist
+        return 1.0

@@ -1,0 +1,78 @@
+"""The generic named-factory registry.
+
+:mod:`repro.registry` instantiates the system/cluster/scenario tables;
+:mod:`repro.policies.registry` instantiates the per-kind policy tables.
+Both import the machinery from here so neither depends on the other.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class RegistryError(KeyError):
+    """Unknown name or duplicate registration in a registry."""
+
+    def __str__(self) -> str:  # KeyError repr-quotes its message; undo that
+        return self.args[0] if self.args else ""
+
+
+class Registry(Generic[T]):
+    """A named table of factories with decorator registration."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, T] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, obj: T | None = None) -> Callable[[T], T] | T:
+        """Register ``obj`` under ``name``.
+
+        Usable as a decorator (``@REG.register("name")``) or directly
+        (``REG.register("name", factory)``).  Duplicate names are an
+        error: registries are single-source-of-truth tables.
+        """
+
+        def _add(value: T) -> T:
+            if name in self._entries:
+                raise RegistryError(
+                    f"{self.kind} {name!r} is already registered; "
+                    f"pick a distinct name or remove the duplicate"
+                )
+            self._entries[name] = value
+            return value
+
+        if obj is not None:
+            return _add(obj)
+        return _add
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> T:
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(self.names())
+            raise RegistryError(
+                f"unknown {self.kind} {name!r} (known: {known})"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def items(self) -> list[tuple[str, T]]:
+        return sorted(self._entries.items())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)

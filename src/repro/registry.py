@@ -4,7 +4,8 @@ Every entry point (the CLI, the experiment runners, the benchmark
 harness, the sweep executor) resolves serving systems, cluster shapes,
 and workload scenarios by name through the registries defined here —
 there is exactly one table of each, instead of per-driver hand-rolled
-dicts.
+dicts.  (Policies and policy bundles have their own tables in
+:mod:`repro.policies.registry`.)
 
 Usage::
 
@@ -19,9 +20,11 @@ Usage::
 
 Contracts:
 
-* **system** — ``factory(cluster, **kwargs) -> BaseServingSystem``; extra
-  keyword arguments (``config=``, ``slo=``, system-specific knobs) pass
-  through to the underlying constructor.
+* **system** — ``factory(cluster, *, slo=..., config=...,
+  policy_overrides=..., **bundle_kwargs) -> ServingSystem``.
+  ``policy_overrides`` maps policy kinds to registered policy specs
+  (e.g. ``{"reclaim": "never"}``) and is how sweeps ablate one
+  mechanism of a system without writing a new class.
 * **cluster** — ``factory() -> Cluster``.  :func:`build_cluster`
   additionally accepts ad-hoc ``cpu{N}-gpu{M}`` names (e.g.
   ``cpu2-gpu6``) so sweeps can vary node counts without registering
@@ -33,95 +36,43 @@ Contracts:
 from __future__ import annotations
 
 import re
-from typing import Callable, Generic, Iterator, TypeVar
+from typing import Callable, Iterable, Mapping, Optional
 
-from repro.baselines import NeoSystem, PdSlinfer, PdSllmSystem, make_sllm, make_sllm_c, make_sllm_cs
-from repro.core import Slinfer
+from repro.core.config import SystemConfig
+from repro.core.system import ServingSystem
 from repro.hardware.cluster import Cluster, paper_testbed
+from repro.policies.observers import Observer
+from repro.policies.registry import BUNDLES, build_bundle
+from repro.registries import Registry, RegistryError
+from repro.slo import DEFAULT_SLO, SloPolicy
 
-T = TypeVar("T")
-
-
-class RegistryError(KeyError):
-    """Unknown name or duplicate registration in a registry."""
-
-    def __str__(self) -> str:  # KeyError repr-quotes its message; undo that
-        return self.args[0] if self.args else ""
-
-
-class Registry(Generic[T]):
-    """A named table of factories with decorator registration."""
-
-    def __init__(self, kind: str) -> None:
-        self.kind = kind
-        self._entries: dict[str, T] = {}
-
-    # ------------------------------------------------------------------
-    # Registration
-    # ------------------------------------------------------------------
-    def register(self, name: str, obj: T | None = None) -> Callable[[T], T] | T:
-        """Register ``obj`` under ``name``.
-
-        Usable as a decorator (``@REG.register("name")``) or directly
-        (``REG.register("name", factory)``).  Duplicate names are an
-        error: registries are single-source-of-truth tables.
-        """
-
-        def _add(value: T) -> T:
-            if name in self._entries:
-                raise RegistryError(
-                    f"{self.kind} {name!r} is already registered; "
-                    f"pick a distinct name or remove the duplicate"
-                )
-            self._entries[name] = value
-            return value
-
-        if obj is not None:
-            return _add(obj)
-        return _add
-
-    # ------------------------------------------------------------------
-    # Lookup
-    # ------------------------------------------------------------------
-    def get(self, name: str) -> T:
-        try:
-            return self._entries[name]
-        except KeyError:
-            known = ", ".join(self.names())
-            raise RegistryError(
-                f"unknown {self.kind} {name!r} (known: {known})"
-            ) from None
-
-    def names(self) -> list[str]:
-        return sorted(self._entries)
-
-    def items(self) -> list[tuple[str, T]]:
-        return sorted(self._entries.items())
-
-    def __contains__(self, name: str) -> bool:
-        return name in self._entries
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(self.names())
-
-    def __len__(self) -> int:
-        return len(self._entries)
+__all__ = [
+    "CLUSTERS",
+    "Registry",
+    "RegistryError",
+    "SCENARIOS",
+    "STANDARD_SYSTEMS",
+    "SYSTEMS",
+    "build_cluster",
+    "system_factory",
+    "systems_named",
+]
 
 
 # ----------------------------------------------------------------------
 # The three registries
 # ----------------------------------------------------------------------
-SYSTEMS: Registry[Callable[..., object]] = Registry("system")
+SYSTEMS: Registry[Callable[..., ServingSystem]] = Registry("system")
 CLUSTERS: Registry[Callable[[], Cluster]] = Registry("cluster")
 SCENARIOS: Registry[Callable[..., object]] = Registry("scenario")
 
 
-def system_factory(name: str) -> Callable[..., object]:
+def system_factory(name: str) -> Callable[..., ServingSystem]:
     """Resolve a serving-system factory by registered name."""
     return SYSTEMS.get(name)
 
 
-def systems_named(*names: str) -> list[tuple[str, Callable[..., object]]]:
+def systems_named(*names: str) -> list[tuple[str, Callable[..., ServingSystem]]]:
     """``(name, factory)`` pairs for the given registered systems."""
     return [(name, SYSTEMS.get(name)) for name in names]
 
@@ -143,16 +94,29 @@ def build_cluster(name: str) -> Cluster:
 
 
 # ----------------------------------------------------------------------
-# Built-in systems (§IX-A): the four headline systems plus the NEO+ and
-# prefill/decode-disaggregated variants used by Fig. 29 and Table III.
+# Built-in systems (§IX-A): every registered policy bundle is a system.
 # ----------------------------------------------------------------------
-SYSTEMS.register("sllm", make_sllm)
-SYSTEMS.register("sllm+c", make_sllm_c)
-SYSTEMS.register("sllm+c+s", make_sllm_cs)
-SYSTEMS.register("slinfer", Slinfer)
-SYSTEMS.register("neo+", NeoSystem)
-SYSTEMS.register("pd-sllm", PdSllmSystem)
-SYSTEMS.register("pd-slinfer", PdSlinfer)
+def _bundle_system_factory(bundle_name: str) -> Callable[..., ServingSystem]:
+    def factory(
+        cluster: Cluster,
+        slo: SloPolicy = DEFAULT_SLO,
+        config: Optional[SystemConfig] = None,
+        policy_overrides: Mapping[str, str] | Iterable[tuple[str, str]] | None = None,
+        observers: Optional[list[Observer]] = None,
+        **bundle_kwargs,
+    ) -> ServingSystem:
+        bundle = build_bundle(bundle_name, overrides=policy_overrides, **bundle_kwargs)
+        return ServingSystem(
+            cluster, policies=bundle, slo=slo, config=config, observers=observers
+        )
+
+    factory.__name__ = f"make_{bundle_name}"
+    factory.__doc__ = f"Build the {bundle_name!r} system from its policy bundle."
+    return factory
+
+
+for _name in BUNDLES.names():
+    SYSTEMS.register(_name, _bundle_system_factory(_name))
 
 # The §IX-B end-to-end comparison set, in the paper's presentation order.
 STANDARD_SYSTEMS: tuple[str, ...] = ("sllm", "sllm+c", "sllm+c+s", "slinfer")

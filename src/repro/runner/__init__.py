@@ -26,7 +26,13 @@ from repro.runner.scale import (
     current_scale,
     get_scale,
 )
-from repro.runner.spec import RunResult, RunSpec, build_workload, expand_grid
+from repro.runner.spec import (
+    RunResult,
+    RunSpec,
+    build_workload,
+    expand_grid,
+    expand_policy_grid,
+)
 
 __all__ = [
     "ExperimentScale",
@@ -44,5 +50,6 @@ __all__ = [
     "default_workers",
     "execute_spec",
     "expand_grid",
+    "expand_policy_grid",
     "get_scale",
 ]

@@ -40,6 +40,8 @@ def execute_spec(spec: RunSpec, workload=None, **system_kwargs: Any) -> RunResul
     """
     if workload is None:
         workload = build_workload(spec)
+    if spec.policy_overrides:
+        system_kwargs.setdefault("policy_overrides", dict(spec.policy_overrides))
     system = system_factory(spec.system)(build_cluster(spec.cluster), **system_kwargs)
     report = system.run(workload)
     return RunResult(

@@ -45,6 +45,14 @@ def _freeze_params(params: Any) -> tuple[tuple[str, Any], ...]:
     return tuple(frozen)
 
 
+def _freeze_overrides(overrides: Any) -> tuple[tuple[str, str], ...]:
+    """Normalize policy overrides to sorted ``(kind, spec)`` string pairs."""
+    if not overrides:
+        return ()
+    items = overrides.items() if isinstance(overrides, dict) else tuple(overrides)
+    return tuple(sorted((str(kind), str(spec)) for kind, spec in items))
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One fully-specified simulation run."""
@@ -58,9 +66,14 @@ class RunSpec:
     scale: str = "quick"
     duration: float | None = None  # explicit override of the scale's window
     scenario_params: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+    # Policy ablations: (kind, spec) pairs replacing one mechanism of the
+    # system's bundle, e.g. (("reclaim", "never"),).  Folded into the
+    # fingerprint, so every policy combination caches separately.
+    policy_overrides: tuple[tuple[str, str], ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "scenario_params", _freeze_params(self.scenario_params))
+        object.__setattr__(self, "policy_overrides", _freeze_overrides(self.policy_overrides))
 
     # ------------------------------------------------------------------
     # Resolution
@@ -79,7 +92,7 @@ class RunSpec:
     # Identity
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "system": self.system,
             "scenario": self.scenario,
             "model": self.model,
@@ -90,6 +103,11 @@ class RunSpec:
             "duration": self.duration,
             "scenario_params": self.params_dict(),
         }
+        # Omitted when empty so pre-policy fingerprints (and cached
+        # results) stay valid for un-overridden specs.
+        if self.policy_overrides:
+            payload["policy_overrides"] = dict(self.policy_overrides)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "RunSpec":
@@ -103,6 +121,7 @@ class RunSpec:
             scale=payload.get("scale", "quick"),
             duration=payload.get("duration"),
             scenario_params=payload.get("scenario_params"),
+            policy_overrides=payload.get("policy_overrides") or (),
         )
 
     def fingerprint(self) -> str:
@@ -115,9 +134,12 @@ class RunSpec:
         params = ""
         if self.scenario_params:
             params = "{" + ",".join(f"{k}={v}" for k, v in self.scenario_params) + "}"
+        system = self.system
+        if self.policy_overrides:
+            system += "[" + ",".join(f"{k}={v}" for k, v in self.policy_overrides) + "]"
         return (
             f"{self.scenario}{params}/{self.model} x{self.n_models} "
-            f"@{window} on {self.cluster} seed={self.seed} -> {self.system}"
+            f"@{window} on {self.cluster} seed={self.seed} -> {system}"
         )
 
 
@@ -134,6 +156,26 @@ def build_workload(spec: RunSpec) -> Workload:
     )
 
 
+def expand_policy_grid(
+    policies: dict[str, Sequence[str]] | None,
+) -> list[tuple[tuple[str, str], ...]]:
+    """The cross-product of per-kind policy specs, in deterministic order.
+
+    ``{"placement": ["slinfer", "sllm"], "reclaim": ["keepalive", "never"]}``
+    yields the four (placement, reclaim) override combinations — a
+    mechanism ablation matrix from one dict.  ``None``/empty means one
+    combination: no overrides.
+    """
+    if not policies:
+        return [()]
+    kinds = sorted(policies)
+    combos: list[tuple[tuple[str, str], ...]] = [()]
+    for kind in kinds:
+        specs = list(policies[kind])
+        combos = [prior + ((kind, spec),) for prior in combos for spec in specs]
+    return combos
+
+
 def expand_grid(
     systems: Iterable[str],
     *,
@@ -145,12 +187,17 @@ def expand_grid(
     scale: str = "quick",
     duration: float | None = None,
     scenario_params: dict[str, Any] | None = None,
+    policies: dict[str, Sequence[str]] | None = None,
 ) -> list[RunSpec]:
     """The cross-product of the given axes, in deterministic order.
 
     Workload axes vary outermost and systems innermost, so consecutive
-    specs compare systems on the same workload.
+    specs compare systems on the same workload.  ``policies`` adds a
+    policy cross-product *inside* each system (see
+    :func:`expand_policy_grid`), turning every mechanism ablation into
+    a one-line sweep.
     """
+    policy_combos = expand_policy_grid(policies)
     specs = []
     for scenario in scenarios:
         for model in models:
@@ -158,19 +205,21 @@ def expand_grid(
                 for cluster in clusters:
                     for seed in seeds:
                         for system in systems:
-                            specs.append(
-                                RunSpec(
-                                    system=system,
-                                    scenario=scenario,
-                                    model=model,
-                                    n_models=count,
-                                    cluster=cluster,
-                                    seed=seed,
-                                    scale=scale,
-                                    duration=duration,
-                                    scenario_params=scenario_params,
+                            for overrides in policy_combos:
+                                specs.append(
+                                    RunSpec(
+                                        system=system,
+                                        scenario=scenario,
+                                        model=model,
+                                        n_models=count,
+                                        cluster=cluster,
+                                        seed=seed,
+                                        scale=scale,
+                                        duration=duration,
+                                        scenario_params=scenario_params,
+                                        policy_overrides=overrides,
+                                    )
                                 )
-                            )
     return specs
 
 

@@ -94,12 +94,21 @@ class Simulator:
         self._drop_cancelled()
         if not self._heap:
             return False
+        self._fire_next()
+        return True
+
+    def _fire_next(self) -> None:
+        """Pop and fire the head event.
+
+        The caller must have just purged cancelled heads (``peek_time``
+        or an explicit ``_drop_cancelled``), so the head is pending —
+        this avoids re-scanning the heap a second time per event.
+        """
         time, _seq, handle = heapq.heappop(self._heap)
         self.now = time
         handle.fired = True
         self._events_processed += 1
         handle.callback(*handle.args)
-        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run until the queue drains, the clock passes ``until``, or
@@ -115,7 +124,7 @@ class Simulator:
             if until is not None and next_time > until:
                 self.now = until
                 break
-            self.step()
+            self._fire_next()
             fired += 1
         if until is not None and self.now < until and self.peek_time() is None:
             self.now = until

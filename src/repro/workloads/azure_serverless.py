@@ -19,7 +19,7 @@ clustered bursts whose size scales with the model's popularity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -4,8 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.hardware import A100_80GB, Cluster, XEON_GEN4_32C
-from repro.models import LLAMA2_7B, LLAMA2_13B, LLAMA32_3B
+from repro.hardware import Cluster
 from repro.perf import PerfDatabase
 from repro.sim import Simulator
 

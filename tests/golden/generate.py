@@ -1,0 +1,54 @@
+"""Regenerate the golden canonical reports used by the policy-parity tests.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/generate.py
+
+The fixtures pin the behaviour of the serving systems on a smoke-scale
+azure scenario.  They were first generated from the pre-policy-redesign
+subclass implementations, so the parity tests prove the policy bundles
+reproduce the original systems byte-for-byte.  Regenerate them only for
+an intentional, reviewed behaviour change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.registry import SYSTEMS
+from repro.runner import RunSpec, execute_spec
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+# One smoke-scale spec per system: small cluster, few models, fixed seed.
+GOLDEN_AXES = dict(
+    scenario="azure",
+    model="llama-2-7b",
+    n_models=6,
+    cluster="small",
+    seed=3,
+    scale="smoke",
+)
+
+
+def golden_path(system: str) -> Path:
+    safe = system.replace("+", "_plus_").replace("-", "_")
+    return GOLDEN_DIR / f"{safe}.json"
+
+
+def main() -> None:
+    for system in SYSTEMS.names():
+        spec = RunSpec(system=system, **GOLDEN_AXES)
+        result = execute_spec(spec)
+        payload = result.canonical_report_dict()
+        path = golden_path(system)
+        path.write_text(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n",
+            encoding="utf-8",
+        )
+        print(f"{system:12s} -> {path.name}  ({result.report.summary_line().strip()})")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,7 +8,7 @@ Fig. 18 guarantee)."""
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine.instance import Instance, InstanceState
+from repro.engine.instance import Instance
 from repro.hardware import A100_80GB
 from repro.hardware.node import Node
 from repro.memory import MemoryOrchestrator

@@ -1,0 +1,58 @@
+"""Golden-report parity: policy bundles vs the pre-redesign subclasses.
+
+The fixtures under ``tests/golden/`` were generated from the
+inheritance-based system implementations *before* the policy redesign
+(see ``tests/golden/generate.py``).  Each bundle-composed system must
+reproduce its pre-redesign canonical report byte-for-byte on the
+smoke-scale azure scenario — the redesign is a pure refactoring of the
+extension API, not a behaviour change.
+"""
+
+import json
+
+import pytest
+
+from repro.registry import SYSTEMS
+from repro.runner import RunSpec, execute_spec
+
+from tests.golden.generate import GOLDEN_AXES, golden_path
+
+
+@pytest.mark.parametrize("system", SYSTEMS.names())
+def test_bundle_reproduces_pre_redesign_report_bytes(system):
+    fixture = golden_path(system)
+    assert fixture.exists(), f"golden fixture missing for {system!r}; run tests/golden/generate.py"
+    result = execute_spec(RunSpec(system=system, **GOLDEN_AXES))
+    got = json.dumps(
+        result.canonical_report_dict(), sort_keys=True, separators=(",", ":")
+    ) + "\n"
+    assert got == fixture.read_text(encoding="utf-8")
+
+
+def _shim_factories():
+    from repro.baselines import NeoSystem, PdSlinfer, PdSllmSystem, make_sllm_cs
+    from repro.core import Slinfer
+
+    return [
+        ("slinfer", Slinfer),
+        ("sllm+c+s", make_sllm_cs),
+        ("neo+", NeoSystem),
+        ("pd-sllm", PdSllmSystem),
+        ("pd-slinfer", PdSlinfer),
+    ]
+
+
+@pytest.mark.parametrize("system,shim", _shim_factories())
+def test_deprecated_shims_match_bundles(system, shim):
+    """The one-release compat classes produce the same reports as bundles."""
+    from repro.hardware import Cluster
+    from repro.runner.spec import build_workload
+
+    spec = RunSpec(system=system, **GOLDEN_AXES)
+    workload = build_workload(spec)
+    with pytest.deprecated_call():
+        shim_report = shim(Cluster.build(2, 2)).run(workload)
+    bundle_report = execute_spec(spec, workload=build_workload(spec)).report
+    assert shim_report.to_dict(include_volatile=False) == bundle_report.to_dict(
+        include_volatile=False
+    )

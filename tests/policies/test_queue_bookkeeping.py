@@ -1,0 +1,74 @@
+"""O(1) admission-queue bookkeeping: tombstones, liveness, compaction."""
+
+from repro.core import ServingSystem
+from repro.engine.request import Request, RequestState
+from repro.hardware import Cluster
+
+from tests.systems.helpers import tiny_workload
+
+
+def _request(i: int, deployment: str = "m0") -> Request:
+    return Request(
+        req_id=i,
+        deployment=deployment,
+        arrival=0.0,
+        input_len=128,
+        output_len=8,
+        ttft_slo=10.0,
+        tpot_slo=0.2,
+    )
+
+
+def _fresh_system() -> ServingSystem:
+    return ServingSystem(Cluster.build(0, 1), policies="sllm")
+
+
+def test_queue_is_fifo_and_dequeue_is_tombstoned():
+    system = _fresh_system()
+    requests = [_request(i) for i in range(20)]
+    for request in requests:
+        system.enqueue(request)
+    assert system.queued_requests() == requests
+    # Retiring entries (drop or successful retry) is O(1): the deque
+    # keeps tombstones, only the liveness map shrinks.
+    for request in requests[:15]:
+        system._dequeue(request)
+    assert system.queued_requests() == requests[15:]
+    assert len(system.queue) == 20  # tombstones still present
+
+
+def test_compaction_sweeps_tombstones_preserving_order():
+    system = _fresh_system()
+    requests = [_request(i) for i in range(20)]
+    for request in requests:
+        system.enqueue(request)
+    for request in requests[:15]:
+        system._dequeue(request)
+    system._compact_queue()
+    assert len(system.queue) == 5
+    assert system.queued_requests() == requests[15:]
+
+
+def test_reenqueue_moves_request_to_the_back():
+    system = _fresh_system()
+    requests = [_request(i) for i in range(4)]
+    for request in requests:
+        system.enqueue(request)
+    # A request that leaves the queue (placed, then e.g. evicted) and
+    # re-enters queues at the back; its stale entry must not resurrect
+    # its old position.
+    system._dequeue(requests[0])
+    system.enqueue(requests[0])
+    assert system.queued_requests() == requests[1:] + [requests[0]]
+
+
+def test_overload_run_leaves_no_live_queue_state():
+    arrivals = [(f"m{i}", 1.0 + 0.01 * i, 2048, 200) for i in range(12)]
+    system = _fresh_system()
+    report = system.run(tiny_workload(arrivals, duration=240.0))
+    assert report.dropped_count > 0
+    assert system.queued_requests() == []
+    assert system._queued == {}
+    assert len(system.queue) <= 8  # compaction bounds leftover tombstones
+    for request in report.requests:
+        assert request.state in (RequestState.COMPLETED, RequestState.DROPPED)

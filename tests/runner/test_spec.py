@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.runner import RunSpec, build_workload, expand_grid, get_scale
+from repro.runner import (
+    RunSpec,
+    build_workload,
+    expand_grid,
+    expand_policy_grid,
+    get_scale,
+)
 
 
 def test_fingerprint_stable_and_sensitive():
@@ -81,3 +87,73 @@ def test_build_workload_respects_spec():
 def test_build_workload_unknown_scenario():
     with pytest.raises(KeyError):
         build_workload(RunSpec(system="sllm", scenario="no-such-trace"))
+
+
+# ----------------------------------------------------------------------
+# Policy overrides
+# ----------------------------------------------------------------------
+def test_policy_overrides_fold_into_fingerprint():
+    plain = RunSpec(system="slinfer")
+    ablated = RunSpec(system="slinfer", policy_overrides={"reclaim": "never"})
+    other = RunSpec(system="slinfer", policy_overrides={"reclaim": "eager"})
+    assert plain.fingerprint() != ablated.fingerprint()
+    assert ablated.fingerprint() != other.fingerprint()
+
+
+def test_empty_overrides_keep_pre_policy_fingerprints():
+    # Specs without overrides serialize exactly as before the policy
+    # redesign, so cached results stay addressable.
+    spec = RunSpec(system="sllm", seed=1)
+    assert "policy_overrides" not in spec.to_dict()
+    assert spec == RunSpec(system="sllm", seed=1, policy_overrides=())
+
+
+def test_policy_overrides_normalized_and_round_tripped():
+    a = RunSpec(system="slinfer", policy_overrides={"work": "cpu-assist:16", "reclaim": "never"})
+    b = RunSpec(
+        system="slinfer",
+        policy_overrides=(("reclaim", "never"), ("work", "cpu-assist:16")),
+    )
+    assert a == b
+    assert RunSpec.from_dict(a.to_dict()) == a
+    assert "[reclaim=never,work=cpu-assist:16]" in a.label()
+
+
+def test_expand_policy_grid_cross_product():
+    combos = expand_policy_grid(
+        {"placement": ["slinfer", "sllm"], "reclaim": ["keepalive", "never"]}
+    )
+    assert len(combos) == 4
+    assert combos[0] == (("placement", "slinfer"), ("reclaim", "keepalive"))
+    assert combos[-1] == (("placement", "sllm"), ("reclaim", "never"))
+    assert expand_policy_grid(None) == [()]
+
+
+def test_expand_grid_with_policy_axis():
+    specs = expand_grid(
+        ["slinfer"],
+        seeds=[1, 2],
+        scale="smoke",
+        policies={"reclaim": ["keepalive", "never"]},
+    )
+    assert len(specs) == 4
+    assert [s.policy_overrides for s in specs[:2]] == [
+        (("reclaim", "keepalive"),),
+        (("reclaim", "never"),),
+    ]
+    assert len({s.fingerprint() for s in specs}) == 4
+
+
+def test_execute_spec_applies_policy_overrides():
+    from repro.runner import execute_spec
+
+    spec = RunSpec(
+        system="sllm",
+        n_models=2,
+        cluster="cpu0-gpu1",
+        seed=1,
+        duration=30.0,
+        policy_overrides={"reclaim": "never"},
+    )
+    result = execute_spec(spec)
+    assert result.report.system == "sllm[reclaim=never]"

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import SimulationError, Simulator
+from repro.sim import SimulationError
 
 
 def test_events_fire_in_time_order(sim):

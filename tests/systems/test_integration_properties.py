@@ -8,7 +8,7 @@ from repro.baselines import make_sllm, make_sllm_c, make_sllm_cs
 from repro.core import Slinfer, SlinferConfig
 from repro.engine.request import RequestState
 from repro.hardware import Cluster
-from repro.models import LLAMA2_7B, LLAMA32_3B
+from repro.models import LLAMA32_3B
 from repro.workloads import AzureServerlessConfig, synthesize_azure_trace
 from repro.workloads.azure_serverless import replica_models
 

@@ -5,7 +5,7 @@ import pytest
 from repro.core import Slinfer, SlinferConfig
 from repro.engine.request import RequestState
 from repro.hardware import Cluster
-from repro.models import CODELLAMA_34B, CODESTRAL_22B, LLAMA2_13B, LLAMA2_7B
+from repro.models import CODELLAMA_34B, CODESTRAL_22B
 
 from tests.systems.helpers import steady_stream, tiny_workload
 

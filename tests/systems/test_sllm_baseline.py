@@ -1,7 +1,5 @@
 """Behavioural tests for the ServerlessLLM baseline family."""
 
-import pytest
-
 from repro.baselines import make_sllm, make_sllm_c, make_sllm_cs
 from repro.engine.request import RequestState
 from repro.hardware import Cluster

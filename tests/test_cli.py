@@ -84,6 +84,39 @@ def test_sweep_command_uses_cache(tmp_path, capsys):
     assert "1 from cache" in out
 
 
+def test_list_policies_shows_kinds_and_bundles(capsys):
+    assert main(["list", "policies"]) == 0
+    out = capsys.readouterr().out
+    for expected in ("placement:", "reclaim:", "admission:", "work:", "bundles"):
+        assert expected in out
+    assert "placement=slinfer" in out
+    assert "systems:" not in out  # scoped listing
+
+
+def test_sweep_policy_cross_product(capsys):
+    code = main(
+        [
+            "sweep",
+            "--systems", "slinfer",
+            "--models", "2",
+            "--duration", "60",
+            "--no-cache",
+            "--policy", "placement=slinfer,sllm+c",
+            "--policy", "reclaim=keepalive,never",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "4 spec(s)" in out
+    assert "slinfer[placement=sllm+c,reclaim=never]" in out
+
+
+def test_sweep_rejects_unknown_policy(capsys):
+    assert main(["sweep", "--policy", "reclaim=no-such"]) == 2
+    assert "unknown reclaim policy" in capsys.readouterr().err
+    assert main(["sweep", "--policy", "badflag"]) == 2
+
+
 def test_parser_rejects_unknown_experiment():
     parser = build_parser()
     with pytest.raises(SystemExit):
