@@ -4,20 +4,22 @@ Not a paper figure — this guards the orchestration layer every other
 benchmark rides on: a (system × seed) grid run across worker processes
 must produce byte-identical per-spec reports to a sequential run, and a
 second pass must come entirely from the result cache.
+
+Scale comes from the bench harness configuration
+(:class:`repro.bench.BenchConfig`), not from local env parsing.
 """
 
-from conftest import grid
-
+from repro.bench import BenchConfig
 from repro.runner import SweepExecutor, expand_grid
 
 
-def _grid():
-    duration = grid(600.0, 90.0)
+def _grid(config: BenchConfig):
+    duration = 600.0 if config.scale == "full" else 90.0
     return expand_grid(["sllm", "slinfer"], seeds=[1, 2], n_models=[4], duration=duration)
 
 
-def test_parallel_sweep_matches_sequential(run_once, sweep):
-    specs = _grid()
+def test_parallel_sweep_matches_sequential(run_once, sweep, bench_config):
+    specs = _grid(bench_config)
     parallel = run_once(sweep.run, specs)
     assert all(not r.from_cache for r in parallel)
     sequential = SweepExecutor(workers=1).run(specs)

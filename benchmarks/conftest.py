@@ -5,7 +5,9 @@ the corresponding rows/series (absolute numbers come from the calibrated
 simulator; the assertions check the paper's *shape*: who wins, by roughly
 what factor, where crossovers fall).
 
-Scale control rides the run-orchestration layer (``repro.runner``):
+Scale and worker settings come from the bench harness's single
+configuration seam (:class:`repro.bench.BenchConfig`), which resolves
+``REPRO_SCALE`` / ``REPRO_WORKERS`` through the runner exactly once:
 ``REPRO_SCALE=full`` replays the paper's 30-minute traces; the default
 ``quick`` replays rate-preserving 10-minute slices.  ``REPRO_WORKERS``
 sets the worker-pool size for the ``sweep`` fixture.
@@ -15,11 +17,18 @@ from __future__ import annotations
 
 import pytest
 
-from repro.runner import ResultCache, SweepExecutor, current_scale
+from repro.bench import BenchConfig
+from repro.runner import ResultCache, SweepExecutor
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> BenchConfig:
+    """The environment-resolved bench configuration for this session."""
+    return BenchConfig.from_env()
 
 
 def at_full_scale() -> bool:
-    return current_scale().label == "full"
+    return BenchConfig.from_env().scale == "full"
 
 
 def grid(full, quick):
@@ -38,11 +47,13 @@ def run_once(benchmark):
 
 
 @pytest.fixture
-def sweep(tmp_path):
+def sweep(tmp_path, bench_config):
     """A SweepExecutor with a per-test result cache.
 
     Benchmarks that fan a RunSpec grid out (instead of calling an
     experiment runner directly) use this to pick up ``REPRO_WORKERS``
     parallelism for free:  ``results = sweep.run(expand_grid(...))``.
     """
-    return SweepExecutor(cache=ResultCache(tmp_path / "repro-cache"))
+    return SweepExecutor(
+        workers=bench_config.workers, cache=ResultCache(tmp_path / "repro-cache")
+    )

@@ -1,0 +1,188 @@
+"""The curated benchmark suite.
+
+Two suites, written to two trajectory files:
+
+* **core** (``BENCH_core.json``) — the primitives every experiment rides
+  on: the raw discrete-event loop, event-bus publishing, the end-to-end
+  serving loop (the acceptance case: ``core-loop``), an overload run
+  that churns the admission queue, a policy-matrix sweep, and workload
+  synthesis throughput.
+* **scenarios** (``BENCH_scenarios.json``) — every registered workload
+  scenario executed end-to-end at the configured scale, so opening a new
+  workload automatically extends the measured trajectory.
+
+Every case is deterministic (fixed seeds, fixed event counts), returns
+its event count, and scales its problem size with the configured
+trace scale so ``full`` measurements stay meaningful while ``smoke``
+stays CI-fast.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.config import BenchConfig
+from repro.bench.timers import Measurement, measure
+from repro.policies.events import Event, EventBus, IterationFinished, RequestArrived
+from repro.registry import SCENARIOS
+from repro.runner import RunSpec, SweepExecutor, build_workload, execute_spec, expand_grid
+from repro.sim.simulator import Simulator
+
+#: per-scale multiplier for synthetic (non-trace) case sizes
+_SCALE_FACTOR = {"smoke": 1, "quick": 3, "full": 10}
+
+
+def _factor(config: BenchConfig) -> int:
+    return _SCALE_FACTOR.get(config.scale, 1)
+
+
+# ----------------------------------------------------------------------
+# Core primitives
+# ----------------------------------------------------------------------
+def _sim_event_loop(config: BenchConfig) -> int:
+    """Raw simulator throughput: schedule/fire/cancel with no serving logic."""
+    total = 50_000 * _factor(config)
+    sim = Simulator()
+    fired = 0
+
+    def tick() -> None:
+        nonlocal fired
+        fired += 1
+        if fired < total:
+            handle = sim.schedule(1.0, tick)
+            if fired % 7 == 0:  # exercise the lazy-cancellation path
+                handle.cancel()
+                sim.schedule(1.0, tick)
+
+    sim.schedule(1.0, tick)
+    sim.run()
+    return fired
+
+
+def _event_bus_publish(config: BenchConfig) -> int:
+    """Publish throughput with concrete-type and base-type subscribers."""
+    total = 200_000 * _factor(config)
+    bus = EventBus()
+    seen = [0, 0]
+    bus.subscribe(IterationFinished, lambda e: seen.__setitem__(0, seen[0] + 1))
+    bus.subscribe(Event, lambda e: seen.__setitem__(1, seen[1] + 1))
+    bus.subscribe(RequestArrived, lambda e: None)  # never published below
+    event = IterationFinished(None, None, 1, 1, 0.0)
+    publish = bus.publish
+    for _ in range(total):
+        publish(event)
+    assert seen[0] == seen[1] == total
+    return total
+
+
+def _core_loop(config: BenchConfig) -> int:
+    """The acceptance case: SLINFER end-to-end on the azure trace."""
+    spec = RunSpec(
+        system="slinfer",
+        scenario="azure",
+        n_models=16,
+        cluster="cpu2-gpu2",
+        seed=1,
+        scale=config.scale,
+    )
+    return execute_spec(spec).report.events_processed
+
+
+def _queue_churn(config: BenchConfig) -> int:
+    """Overloaded single GPU: queue/retry/drop bookkeeping under pressure."""
+    spec = RunSpec(
+        system="sllm",
+        scenario="azure",
+        n_models=12,
+        cluster="cpu0-gpu1",
+        seed=2,
+        scale=config.scale,
+    )
+    return execute_spec(spec).report.events_processed
+
+
+def _policy_matrix(config: BenchConfig) -> int:
+    """The 2x2 placement x reclaim ablation sweep (uncached)."""
+    specs = expand_grid(
+        ["slinfer"],
+        n_models=(8,),
+        clusters=("cpu2-gpu2",),
+        scale=config.scale,
+        policies={"placement": ["slinfer", "sllm"], "reclaim": ["keepalive", "never"]},
+    )
+    executor = SweepExecutor(workers=config.workers, cache=None)
+    results = executor.run(specs)
+    return sum(result.report.events_processed for result in results)
+
+
+def _workload_synthesis(config: BenchConfig) -> int:
+    """Trace-generation throughput (batched RNG draws), in requests."""
+    spec = RunSpec(system="slinfer", scenario="azure", n_models=64, seed=3, scale=config.scale)
+    return len(build_workload(spec).requests)
+
+
+CORE_CASES: dict[str, Callable[[BenchConfig], int]] = {
+    "sim-event-loop": _sim_event_loop,
+    "event-bus-publish": _event_bus_publish,
+    "core-loop": _core_loop,
+    "queue-churn": _queue_churn,
+    "policy-matrix": _policy_matrix,
+    "workload-synthesis": _workload_synthesis,
+}
+
+
+def run_core_suite(
+    config: BenchConfig, only: set[str] | None = None
+) -> list[Measurement]:
+    measurements = []
+    for name, case in CORE_CASES.items():
+        if only is not None and name not in only:
+            continue
+        measurements.append(
+            measure(
+                lambda case=case: case(config),
+                name=name,
+                repeats=config.repeats,
+                warmup=config.warmup,
+            )
+        )
+    return measurements
+
+
+# ----------------------------------------------------------------------
+# Scenario suite
+# ----------------------------------------------------------------------
+def run_scenario_suite(
+    config: BenchConfig, only: set[str] | None = None
+) -> list[Measurement]:
+    """Every registered scenario, executed end-to-end on SLINFER."""
+    measurements = []
+    for scenario in SCENARIOS.names():
+        if only is not None and scenario not in only:
+            continue
+        spec = RunSpec(
+            system="slinfer",
+            scenario=scenario,
+            n_models=8,
+            cluster="cpu2-gpu2",
+            seed=1,
+            scale=config.scale,
+        )
+        # The trace is synthesized once, outside the timed region: these
+        # cases measure the serving loop (the dedicated
+        # workload-synthesis case measures generation).
+        workload = build_workload(spec)
+
+        def case(spec: RunSpec = spec, workload=workload) -> int:
+            return execute_spec(spec, workload=workload).report.events_processed
+
+        measurements.append(
+            measure(
+                case,
+                name=f"scenario-{scenario}",
+                repeats=config.repeats,
+                warmup=config.warmup,
+                meta={"requests": workload.total_requests, "system": "slinfer"},
+            )
+        )
+    return measurements

@@ -1,0 +1,66 @@
+"""Benchmark-harness configuration: one seam for scale/workers/protocol.
+
+Every consumer of bench settings — the ``repro bench`` CLI, the pytest
+benchmarks under ``benchmarks/``, CI — goes through :class:`BenchConfig`
+instead of parsing environment variables itself.  Scale and worker
+resolution delegate to :mod:`repro.runner` (``REPRO_SCALE`` /
+``REPRO_WORKERS``), so there is exactly one interpretation of each
+variable in the codebase; the measurement-protocol knobs
+(``REPRO_BENCH_REPEATS`` / ``REPRO_BENCH_WARMUP``) live here.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from repro.runner import current_scale, default_workers, get_scale
+
+#: measurement protocol defaults: warm once, keep the best of three
+DEFAULT_REPEATS = 3
+DEFAULT_WARMUP = 1
+
+
+def _env_int(name: str, default: int, minimum: int = 0) -> int:
+    try:
+        return max(minimum, int(os.environ.get(name, default)))
+    except ValueError:
+        return default
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Settings of one benchmark invocation."""
+
+    scale: str = "smoke"
+    workers: int = 1
+    repeats: int = DEFAULT_REPEATS
+    warmup: int = DEFAULT_WARMUP
+
+    def __post_init__(self) -> None:
+        get_scale(self.scale)  # unknown scales fail fast, not mid-suite
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+
+    @property
+    def duration(self) -> float:
+        """Trace window (seconds) of the configured scale."""
+        return get_scale(self.scale).duration
+
+    @classmethod
+    def from_env(cls, **overrides) -> "BenchConfig":
+        """Resolve from the environment, with explicit overrides on top.
+
+        ``REPRO_SCALE`` / ``REPRO_WORKERS`` keep their runner semantics;
+        ``None`` overrides mean "use the environment".
+        """
+        config = cls(
+            scale=current_scale().label,
+            workers=default_workers(),
+            repeats=_env_int("REPRO_BENCH_REPEATS", DEFAULT_REPEATS, minimum=1),
+            warmup=_env_int("REPRO_BENCH_WARMUP", DEFAULT_WARMUP),
+        )
+        filtered = {key: value for key, value in overrides.items() if value is not None}
+        return replace(config, **filtered) if filtered else config

@@ -1,0 +1,124 @@
+"""Timing primitives: the warmup/repeat protocol and its measurements.
+
+One benchmark case is a callable that performs a deterministic amount of
+work and reports how many *events* (work units) it processed.
+:func:`measure` runs it ``warmup`` times untimed (JIT-warm caches,
+imports, allocator state), then ``repeats`` timed rounds, and keeps the
+full wall-clock vector.  Headline numbers use the **minimum** wall time:
+on a shared machine, the fastest round is the one least disturbed by
+noise, so it is the most reproducible estimator of the code's cost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class Timer:
+    """Context-manager stopwatch over ``time.perf_counter``."""
+
+    __slots__ = ("seconds", "_start")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+@dataclass
+class Measurement:
+    """One benchmarked case: event counts plus the wall-clock vector."""
+
+    name: str
+    events: int
+    wall_all: list[float]
+    repeats: int
+    warmup: int
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Best (minimum) timed round — the headline number."""
+        return min(self.wall_all)
+
+    @property
+    def wall_mean(self) -> float:
+        return sum(self.wall_all) / len(self.wall_all)
+
+    @property
+    def events_per_sec(self) -> float:
+        wall = self.wall_seconds
+        return self.events / wall if wall > 0 else float("inf")
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "events": self.events,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "wall_seconds_mean": round(self.wall_mean, 6),
+            "wall_seconds_all": [round(w, 6) for w in self.wall_all],
+            "events_per_sec": round(self.events_per_sec, 2),
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+        }
+        if self.meta:
+            payload["meta"] = self.meta
+        return payload
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.name:28s} {self.events:>9d} events  "
+            f"{self.wall_seconds:8.3f}s  {self.events_per_sec:>12,.0f} ev/s"
+        )
+
+
+def measure(
+    case: Callable[[], int],
+    *,
+    name: str,
+    repeats: int,
+    warmup: int,
+    meta: dict[str, Any] | None = None,
+) -> Measurement:
+    """Apply the warmup/repeat protocol to one case.
+
+    ``case`` must be deterministic: every round processes the same
+    events.  The returned event count is taken from the last round and
+    cross-checked against the first, so a case whose work drifts between
+    rounds (an accidental cache, leaked state) fails loudly instead of
+    reporting a meaningless rate.
+    """
+    for _ in range(warmup):
+        case()
+    walls: list[float] = []
+    events = first_events = None
+    for _ in range(repeats):
+        with Timer() as timer:
+            events = case()
+        if not isinstance(events, int):
+            raise TypeError(f"bench case {name!r} must return its event count (int)")
+        walls.append(timer.seconds)
+        if first_events is None:
+            first_events = events
+        elif events != first_events:
+            raise RuntimeError(
+                f"bench case {name!r} is not deterministic: "
+                f"{first_events} events, then {events}"
+            )
+    assert events is not None
+    return Measurement(
+        name=name,
+        events=events,
+        wall_all=walls,
+        repeats=repeats,
+        warmup=warmup,
+        meta=dict(meta or {}),
+    )

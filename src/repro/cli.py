@@ -15,6 +15,9 @@ Commands:
   ``table1``, ``table2``, ``watermark``, ``keepalive``, ``pd``, ``quant``).
 * ``calibration`` — print the calibrated latency laws against the paper's
   published anchors.
+* ``bench`` — run the curated benchmark suite and write the
+  ``BENCH_core.json`` / ``BENCH_scenarios.json`` performance trajectory;
+  with ``--baseline`` it becomes the CI perf gate (exit 3 on regression).
 
 Workload and system tables are never hand-rolled here: every lookup goes
 through :mod:`repro.registry`, and runs execute through
@@ -204,6 +207,31 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import BenchConfig, run_bench
+
+    try:
+        config = BenchConfig.from_env(
+            scale=args.scale, repeats=args.repeats, warmup=args.warmup, workers=args.workers
+        )
+        outcome = run_bench(
+            config,
+            out_dir=args.out,
+            only=set(_csv(args.only)) if args.only else None,
+            include_scenarios=not args.skip_scenarios,
+            baseline=args.baseline,
+            max_regression=args.max_regression,
+            echo=print,
+        )
+    except (ValueError, OSError) as error:
+        # Bad case names, scale-mismatched/missing/unreadable baselines,
+        # filtered-out gates: usage errors, reported like registry
+        # errors (exit 2), distinct from a genuine gate failure (exit 3).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0 if outcome.gate_passed else 3
+
+
 def cmd_calibration(_args: argparse.Namespace) -> int:
     from repro.experiments import run_table1, run_table2
 
@@ -301,6 +329,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--size", default="7B", choices=["3B", "7B", "13B"])
     experiment.set_defaults(func=cmd_experiment)
+
+    bench = sub.add_parser(
+        "bench", help="run the benchmark suite and write BENCH_*.json"
+    )
+    bench.add_argument(
+        "--scale", default=None, choices=["full", "quick", "smoke"],
+        help="suite scale (default: REPRO_SCALE, falling back to quick)",
+    )
+    bench.add_argument("--repeats", type=int, default=None, help="timed rounds per case")
+    bench.add_argument("--warmup", type=int, default=None, help="untimed warmup rounds")
+    bench.add_argument("--workers", type=int, default=None, help="sweep-case worker processes")
+    bench.add_argument("--out", default=".", help="directory for BENCH_*.json (default: .)")
+    bench.add_argument("--only", default="", help="comma list of case names to run")
+    bench.add_argument(
+        "--skip-scenarios", action="store_true", help="core suite only, no BENCH_scenarios.json"
+    )
+    bench.add_argument(
+        "--baseline", default=None,
+        help="committed BENCH_core.json to gate against (exit 3 on regression)",
+    )
+    bench.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="tolerated fractional events/sec drop vs the baseline (default 0.25)",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     calibration = sub.add_parser("calibration", help="print calibration anchors")
     calibration.set_defaults(func=cmd_calibration)

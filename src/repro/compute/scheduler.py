@@ -37,7 +37,13 @@ class WorkItem:
 
 
 def instance_work_items(instance: Instance, now: float) -> list[WorkItem]:
-    """The (at most two) schedulable iterations of one instance."""
+    """The (at most two) schedulable iterations of one instance.
+
+    This is the *reference enumeration*: :func:`select_next_work`
+    compresses it into a single scan that materializes only the winning
+    item.  The two must agree — pinned by
+    ``test_select_next_work_matches_reference_enumeration``.
+    """
     items: list[WorkItem] = []
     head = instance.next_prefill()
     if head is not None:
@@ -57,11 +63,49 @@ def instance_work_items(instance: Instance, now: float) -> list[WorkItem]:
     return items
 
 
-def select_next_work(executor: Executor, now: float) -> Optional[WorkItem]:
-    """Pick the most urgent iteration across all runnable instances."""
-    best: Optional[WorkItem] = None
-    for instance in executor.runnable_instances():
-        for item in instance_work_items(instance, now):
-            if best is None or item.urgency < best.urgency:
-                best = item
-    return best
+def select_next_work(
+    executor: Executor,
+    now: float,
+    instances: Optional[list[Instance]] = None,
+) -> Optional[WorkItem]:
+    """Pick the most urgent iteration across all runnable instances.
+
+    ``instances`` short-circuits the executor scan when the caller
+    maintains the runnable set incrementally (the serving system's
+    O(active) hint); it must equal ``executor.runnable_instances()``.
+
+    Candidates are compared in scan order (per instance: prefill first,
+    then decode) with a strict ``<``, so ties keep the first-seen item —
+    identical to materializing every work item and min-ing.  Only the
+    winning :class:`WorkItem` is constructed.
+    """
+    if instances is None:
+        instances = executor.runnable_instances()
+    best_urgency = float("inf")
+    best_instance: Optional[Instance] = None
+    best_request: Optional[Request] = None
+    found = False
+    for instance in instances:
+        pending = instance.prefill_pending
+        if pending:
+            head = pending[0]
+            urgency = head.next_token_deadline - now
+            if not found or urgency < best_urgency:
+                best_urgency = urgency
+                best_instance = instance
+                best_request = head
+                found = True
+        batch = instance.batch
+        if batch:
+            urgency = min(request.next_token_deadline for request in batch) - now
+            if not found or urgency < best_urgency:
+                best_urgency = urgency
+                best_instance = instance
+                best_request = None
+                found = True
+    if best_instance is None:
+        return None
+    kind = WorkKind.PREFILL if best_request is not None else WorkKind.DECODE
+    return WorkItem(
+        instance=best_instance, kind=kind, request=best_request, urgency=best_urgency
+    )

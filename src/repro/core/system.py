@@ -24,6 +24,7 @@ leave a tombstone that compaction sweeps later — no mid-deque removal.
 from __future__ import annotations
 
 import itertools
+import operator
 import time as _wallclock
 from collections import deque
 from typing import Optional, Sequence, Union
@@ -58,6 +59,9 @@ from repro.workloads.spec import Deployment, Workload
 
 #: tombstone compaction threshold: sweep once stale entries dominate
 _QUEUE_COMPACT_MIN = 8
+
+#: sort key restoring executor attach order for the runnable-work hint
+_attach_order = operator.attrgetter("attach_order")
 
 
 class ServingSystem:
@@ -104,6 +108,13 @@ class ServingSystem:
         self.executors: list[Executor] = []
         self._executor_of: dict[int, Executor] = {}  # instance id -> executor
         self._instances_by_deployment: dict[str, list[Instance]] = {}
+        # Incremental work hint: executor id -> {inst_id: instance} for
+        # every instance that *may* have runnable work.  Maintained at
+        # the points where an instance can gain work (dispatch /
+        # activation) and pruned lazily during selection, so the
+        # per-iteration scan is O(active) instead of O(loaded).
+        self._work_hints: dict[str, dict[int, Instance]] = {}
+        self._attach_seq = itertools.count()
         self.placing_request: Optional[Request] = None
         self._retrying = False
         self._last_retry_at = -1.0
@@ -290,6 +301,7 @@ class ServingSystem:
         return instance
 
     def attach(self, instance: Instance, executor: Executor) -> None:
+        instance.attach_order = next(self._attach_seq)
         executor.add_instance(instance)
         self._executor_of[instance.inst_id] = executor
         instance.node.instances.append(instance)
@@ -299,6 +311,9 @@ class ServingSystem:
     def detach(self, instance: Instance) -> None:
         executor = self._executor_of.pop(instance.inst_id)
         executor.remove_instance(instance)
+        hint = self._work_hints.get(executor.exec_id)
+        if hint is not None:
+            hint.pop(instance.inst_id, None)
         instance.node.instances.remove(instance)
         self._instances_by_deployment[instance.deployment].remove(instance)
         self.bus.publish(InstanceUnloaded(instance, self.sim.now))
@@ -316,10 +331,46 @@ class ServingSystem:
     def activate_instance(self, instance: Instance) -> None:
         """Cold start finished: the instance may serve."""
         instance.state = InstanceState.ACTIVE
+        self._mark_maybe_runnable(instance)
         if instance.request_count == 0:
             self._instance_went_idle(instance)
         self._kick(self.executor_for(instance))
         self.capacity_changed()
+
+    # ------------------------------------------------------------------
+    # Runnable-work hint (O(active) work selection)
+    # ------------------------------------------------------------------
+    def _mark_maybe_runnable(self, instance: Instance) -> None:
+        """Record that ``instance`` may now have schedulable work.
+
+        Called at every transition that can give an instance work: a
+        request dispatch and cold-start activation.  All request
+        hand-offs (arrivals, queue retries, migrations, PD transfers)
+        funnel through :meth:`dispatch`, so the hint set is a superset
+        of the instances ``Executor.runnable_instances`` would find.
+        """
+        executor = self._executor_of.get(instance.inst_id)
+        if executor is not None:
+            self._work_hints.setdefault(executor.exec_id, {})[instance.inst_id] = instance
+
+    def runnable_instances(self, executor: Executor) -> list[Instance]:
+        """Instances of ``executor`` with schedulable work, attach-ordered.
+
+        Equals ``executor.runnable_instances()`` (same contents, same
+        order) but costs O(active): instances that turned out workless —
+        gone idle, still loading, drained by migration — are pruned from
+        the hint here and re-marked when work next reaches them.
+        """
+        hint = self._work_hints.get(executor.exec_id)
+        if not hint:
+            return []
+        runnable = [instance for instance in hint.values() if instance.has_work]
+        if len(runnable) != len(hint):
+            self._work_hints[executor.exec_id] = {
+                instance.inst_id: instance for instance in runnable
+            }
+        runnable.sort(key=_attach_order)
+        return runnable
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -328,6 +379,7 @@ class ServingSystem:
         """Hand a (new or migrating) request to an instance."""
         request.state = RequestState.PENDING_PREFILL
         instance.enqueue(request)
+        self._mark_maybe_runnable(instance)
         if instance.state is InstanceState.LOADING:
             cold_delay = max(0.0, instance.load_ready_at - request.arrival)
             request.grace = max(request.grace, cold_delay)

@@ -14,7 +14,7 @@ from repro.engine.instance import Instance
 from repro.hardware.node import Node
 
 
-@dataclass
+@dataclass(slots=True)
 class Executor:
     """A serialized compute context on (a fraction of) one node."""
 

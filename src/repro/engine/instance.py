@@ -25,7 +25,7 @@ class InstanceState(Enum):
     UNLOADED = "unloaded"
 
 
-@dataclass
+@dataclass(slots=True)
 class Instance:
     """One running copy of a deployed model on (a fraction of) a node."""
 
@@ -47,6 +47,10 @@ class Instance:
     keepalive_handle: object = None  # EventHandle, owned by the system
     iterations: int = 0
     decode_tokens: int = 0
+    #: executor-attachment order, assigned by ``ServingSystem.attach``;
+    #: orders the serving system's incremental runnable set identically
+    #: to the executor's attach-ordered instance list.
+    attach_order: int = field(default=-1, repr=False)
 
     def __post_init__(self) -> None:
         self.kv = KVCache(model=self.model)
@@ -86,7 +90,16 @@ class Instance:
 
     def live_kv_bytes(self) -> int:
         """Bytes of KV-cache currently holding live context."""
-        return sum(self.kv.used_bytes(request.context_len) for request in self.requests)
+        # Summed in ``requests`` order (batch, then pending prefills)
+        # without materializing the concatenated list — this runs once
+        # per iteration in the watermark check.
+        kv = self.kv
+        total = 0
+        for request in self.batch:
+            total += kv.used_bytes(request.input_len + request.tokens_out)
+        for request in self.prefill_pending:
+            total += kv.used_bytes(request.input_len + request.tokens_out)
+        return total
 
     def min_headroom(self, now: float) -> float:
         """Urgency of this instance: smallest request headroom (Eq. 1)."""

@@ -16,7 +16,7 @@ from repro.perf.laws import kv_scaling_seconds
 BLOCK_TOKENS = 16
 
 
-@dataclass
+@dataclass(slots=True)
 class KVCache:
     """KV-cache state of one instance."""
 
@@ -24,10 +24,14 @@ class KVCache:
     allocated_bytes: int = 0
     # Target of an in-flight resize (None when stable).
     scaling_target_bytes: int | None = field(default=None, repr=False)
+    # Per-token and per-block byte sizes, fixed by the model; precomputed
+    # because KV accounting runs once per iteration of the serving loop.
+    token_bytes: int = field(init=False, repr=False)
+    block_bytes: int = field(init=False, repr=False)
 
-    @property
-    def block_bytes(self) -> int:
-        return BLOCK_TOKENS * self.model.kv_bytes_per_token
+    def __post_init__(self) -> None:
+        self.token_bytes = self.model.kv_bytes_per_token
+        self.block_bytes = BLOCK_TOKENS * self.token_bytes
 
     def round_to_blocks(self, size_bytes: float) -> int:
         """Round a byte size up to whole cache blocks."""
@@ -37,13 +41,13 @@ class KVCache:
         return blocks * self.block_bytes
 
     def tokens_capacity(self) -> int:
-        return self.allocated_bytes // self.model.kv_bytes_per_token
+        return self.allocated_bytes // self.token_bytes
 
     def used_bytes(self, context_tokens: int) -> int:
         """Bytes held by ``context_tokens`` tokens of live cache."""
         if context_tokens < 0:
             raise ValueError("context_tokens must be non-negative")
-        return self.round_to_blocks(context_tokens * self.model.kv_bytes_per_token)
+        return self.round_to_blocks(context_tokens * self.token_bytes)
 
     @property
     def scaling(self) -> bool:

@@ -27,9 +27,13 @@ class RequestState(Enum):
     DROPPED = "dropped"
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
-    """One user request to a specific deployed model."""
+    """One user request to a specific deployed model.
+
+    ``slots=True``: tens of thousands of these live on the hot path of
+    every run; slotted attribute access avoids a per-object ``__dict__``.
+    """
 
     req_id: int
     deployment: str  # deployed model ("function") identifier

@@ -13,7 +13,7 @@ concurrency limits (see ``repro.perf.limits``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from enum import Enum
 
 GIB = 1024**3
@@ -53,11 +53,21 @@ class ModelSpec:
     quantization: Quantization = Quantization.FP16
     kv_dtype_bytes: int = 2  # KV-cache stays fp16 even for quantized weights
 
+    # Derived constants, precomputed in __post_init__: kv_bytes_per_token
+    # is read on every KV-accounting step of the serving loop, so it is a
+    # plain attribute rather than a recomputing property.
+    kv_bytes_per_token: int = field(init=False, repr=False, compare=False)
+
     def __post_init__(self) -> None:
         if self.params <= 0:
             raise ValueError(f"{self.name}: params must be positive")
         if self.n_kv_heads > self.n_heads:
             raise ValueError(f"{self.name}: more KV heads than attention heads")
+        object.__setattr__(
+            self,
+            "kv_bytes_per_token",
+            2 * self.n_layers * self.n_kv_heads * self.head_dim * self.kv_dtype_bytes,
+        )
 
     # ------------------------------------------------------------------
     # Memory
@@ -65,10 +75,6 @@ class ModelSpec:
     @property
     def weight_bytes(self) -> int:
         return int(self.params * self.quantization.bytes_per_param)
-
-    @property
-    def kv_bytes_per_token(self) -> int:
-        return 2 * self.n_layers * self.n_kv_heads * self.head_dim * self.kv_dtype_bytes
 
     # ------------------------------------------------------------------
     # Compute

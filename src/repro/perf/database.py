@@ -27,6 +27,10 @@ from repro.slo import SloPolicy
 
 _Key = tuple[str, str, float, int]
 
+#: jitter draws per refill of the batched buffer (one draw per executed
+#: iteration; a run consumes tens of thousands)
+_JITTER_CHUNK = 1024
+
 
 @dataclass
 class PerfDatabase:
@@ -37,9 +41,13 @@ class PerfDatabase:
     _laws: dict[_Key, LatencyLaw] = field(default_factory=dict, repr=False)
     _quantified: dict[_Key, QuantifiedPerf] = field(default_factory=dict, repr=False)
     _rng: np.random.Generator = field(init=False, repr=False)
+    _jitter_buf: list[float] = field(init=False, repr=False)
+    _jitter_pos: int = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._rng = make_rng(self.seed, "perf-jitter")
+        self._jitter_buf = []
+        self._jitter_pos = 0
 
     # ------------------------------------------------------------------
     # Lookup
@@ -100,9 +108,21 @@ class PerfDatabase:
     # Ground-truth executions (law × jitter)
     # ------------------------------------------------------------------
     def _jitter(self) -> float:
+        # Draws are batched: ``Generator.normal(size=n)`` consumes the
+        # bit stream exactly like n scalar draws (pinned by
+        # tests/sim/test_rng_batching.py), so refilling a chunk at a time
+        # is byte-identical to the per-call draw it replaced while
+        # avoiding one numpy Generator call per simulated iteration.
         if self.jitter_sigma <= 0:
             return 1.0
-        return float(np.exp(self._rng.normal(0.0, self.jitter_sigma)))
+        pos = self._jitter_pos
+        buf = self._jitter_buf
+        if pos >= len(buf):
+            buf = np.exp(self._rng.normal(0.0, self.jitter_sigma, size=_JITTER_CHUNK)).tolist()
+            self._jitter_buf = buf
+            pos = 0
+        self._jitter_pos = pos + 1
+        return buf[pos]
 
     def execute_prefill(
         self,

@@ -112,7 +112,9 @@ class WorkSelectionPolicy(Policy):
     kind = "work"
 
     def select(self, system: "ServingSystem", executor: "Executor") -> Optional[WorkItem]:
-        return select_next_work(executor, system.sim.now)
+        return select_next_work(
+            executor, system.sim.now, instances=system.runnable_instances(executor)
+        )
 
     def latency_factor(
         self, system: "ServingSystem", executor: "Executor", kind: WorkKind

@@ -9,7 +9,8 @@ ops, for example, ride on :class:`IterationFinished` and
 :class:`RequestCompleted`.
 
 Delivery is synchronous and deterministic: ``publish`` invokes the
-handlers subscribed to the event's exact type, in subscription order,
+handlers subscribed to the event's type (and its :class:`Event` base
+classes, most-derived first), in subscription order within each class,
 before returning.  Simulation behaviour must therefore not depend on
 *whether* an observer is attached — subscribers that mutate simulation
 state (policy hooks) are attached at fixed, documented points so runs
@@ -18,7 +19,6 @@ stay reproducible.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import TYPE_CHECKING, Callable, Type, TypeVar
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards, typing only
@@ -29,7 +29,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards, typing only
 
 
 class Event:
-    """Base class for simulation events (exact-type dispatch)."""
+    """Base class for simulation events.
+
+    Subscribing to a base class (including this root) observes every
+    subclass event; see :class:`EventBus` for the delivery rules.
+    """
 
     __slots__ = ()
 
@@ -173,39 +177,64 @@ Handler = Callable[[E], None]
 class EventBus:
     """Synchronous, deterministic publish/subscribe over typed events.
 
-    Handlers are matched by the event's exact type and invoked in
-    subscription order.  ``publish`` is a no-op for event types without
-    subscribers, so instrumentation events cost one dict probe on the
-    hot path.
+    A handler subscribed to a type receives that type and every subclass
+    of it (so subscribing to :class:`Event` observes the whole stream).
+    Delivery order is most-derived class first, subscription order
+    within each class.
+
+    The per-concrete-type handler chain is precomputed: the MRO walk
+    happens once per (bus, event type) and is cached as a flat tuple, so
+    ``publish`` costs one dict probe on the hot path — no isinstance
+    walks, and a no-subscriber publish touches nothing else.  The cache
+    is invalidated on subscribe/detach, which also makes (un)subscribing
+    from inside a handler safe: the change takes effect at the next
+    publish, the in-flight chain is an immutable snapshot.
     """
 
-    __slots__ = ("_handlers",)
+    __slots__ = ("_subscribers", "_chains")
 
     def __init__(self) -> None:
-        self._handlers: dict[type, list[Callable[[Event], None]]] = defaultdict(list)
+        self._subscribers: dict[type, list[Callable[[Event], None]]] = {}
+        #: concrete event type -> flattened handler chain (lazily built)
+        self._chains: dict[type, tuple[Callable[[Event], None], ...]] = {}
 
     def subscribe(self, event_type: Type[E], handler: Handler) -> Callable[[], None]:
         """Attach ``handler`` to ``event_type``; returns a detach callable."""
         if not (isinstance(event_type, type) and issubclass(event_type, Event)):
             raise TypeError(f"not an Event type: {event_type!r}")
-        handlers = self._handlers[event_type]
-        handlers.append(handler)
+        self._subscribers.setdefault(event_type, []).append(handler)
+        self._chains.clear()
 
         def detach() -> None:
-            if handler in handlers:
+            handlers = self._subscribers.get(event_type)
+            if handlers is not None and handler in handlers:
                 handlers.remove(handler)
+                self._chains.clear()
 
         return detach
 
     def publish(self, event: Event) -> None:
-        handlers = self._handlers.get(type(event))
-        if not handlers:
-            return
-        # Iterated directly — this runs once per simulation event, so a
-        # defensive copy would allocate on the hot path.  Handlers must
-        # not (un)subscribe to the published type mid-publish.
-        for handler in handlers:
+        cls = type(event)
+        try:
+            chain = self._chains[cls]
+        except KeyError:
+            chain = self._build_chain(cls)
+        for handler in chain:
             handler(event)
 
+    def _build_chain(self, cls: type) -> tuple[Callable[[Event], None], ...]:
+        subscribers = self._subscribers
+        handlers: list[Callable[[Event], None]] = []
+        for base in cls.__mro__:
+            if base is object:
+                continue
+            direct = subscribers.get(base)
+            if direct:
+                handlers.extend(direct)
+        chain = tuple(handlers)
+        self._chains[cls] = chain
+        return chain
+
     def subscriber_count(self, event_type: Type[E]) -> int:
-        return len(self._handlers.get(event_type, ()))
+        """Handlers subscribed directly to ``event_type`` (exact, no bases)."""
+        return len(self._subscribers.get(event_type, ()))

@@ -55,22 +55,27 @@ class MetricsObserver(Observer):
         )
         bus.subscribe(NodeLoaded, lambda e: metrics.node_loaded(e.node_id, e.kind, e.time))
         bus.subscribe(NodeUnloaded, lambda e: metrics.node_unloaded(e.node_id, e.time))
-        bus.subscribe(IterationFinished, lambda e: self._iteration(system, e))
+
+        # Per-iteration and per-overhead handlers fire once per simulated
+        # iteration — closures over ``metrics``, no extra dispatch layer.
+        def on_iteration(event: IterationFinished, metrics=metrics) -> None:
+            if event.decode_tokens:
+                metrics.add_decode_tokens(event.instance.node.kind, event.decode_tokens)
+            if event.batch_size:
+                metrics.sample_batch_size(event.batch_size, event.instance.node.kind)
+
+        def on_overhead(event: OverheadMeasured, metrics=metrics) -> None:
+            metrics.add_overhead(event.name, event.seconds)
+
+        bus.subscribe(IterationFinished, on_iteration)
         bus.subscribe(MemoryOpIssued, lambda e: self._memory_op(system, e))
-        bus.subscribe(OverheadMeasured, lambda e: metrics.add_overhead(e.name, e.seconds))
+        bus.subscribe(OverheadMeasured, on_overhead)
 
     @staticmethod
     def _loaded(system: "ServingSystem", event: InstanceLoaded) -> None:
         node = event.instance.node
         system.metrics.node_loaded(node.node_id, node.kind, event.time)
         system.metrics.cold_starts += 1
-
-    @staticmethod
-    def _iteration(system: "ServingSystem", event: IterationFinished) -> None:
-        if event.decode_tokens:
-            system.metrics.add_decode_tokens(event.instance.node.kind, event.decode_tokens)
-        if event.batch_size:
-            system.metrics.sample_batch_size(event.batch_size, event.instance.node.kind)
 
     @staticmethod
     def _memory_op(system: "ServingSystem", event: MemoryOpIssued) -> None:

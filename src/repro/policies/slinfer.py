@@ -35,6 +35,7 @@ from repro.consolidation.preemption import plan_preemption
 from repro.core.config import SlinferConfig, SystemConfig
 from repro.engine.executor import Executor
 from repro.engine.instance import Instance, InstanceState
+from repro.hardware.node import Node as _Node
 from repro.memory.estimator import (
     OutputLengthEstimator,
     initial_kv_required,
@@ -107,9 +108,7 @@ class SlinferPlacement(PlacementPolicy):
         system.bus.subscribe(RequestCompleted, self._on_request_complete)
 
     def _orch(self, instance_or_node) -> MemoryOrchestrator:
-        from repro.hardware.node import Node
-
-        node = instance_or_node if isinstance(instance_or_node, Node) else instance_or_node.node
+        node = instance_or_node if isinstance(instance_or_node, _Node) else instance_or_node.node
         return self._orchestrators[node.node_id]
 
     # ------------------------------------------------------------------

@@ -67,8 +67,18 @@ def clamp_input_len(input_len: int, output_len: int, max_context: int) -> int:
     return max(1, min(input_len, max_context - output_len - 1))
 
 
+def clamp_input_lens(input_lens: np.ndarray, output_lens: np.ndarray, max_context: int) -> np.ndarray:
+    """Vectorized :func:`clamp_input_len` over paired length arrays."""
+    return np.maximum(1, np.minimum(input_lens, max_context - output_lens - 1))
+
+
 def _burst_sizes(total: int, popularity: float, max_size: int, rng: np.random.Generator) -> list[int]:
-    """Split ``total`` burst requests into clusters; hot models burst bigger."""
+    """Split ``total`` burst requests into clusters; hot models burst bigger.
+
+    Draws stay scalar here on purpose: the number of geometric draws is
+    determined by the values drawn, so any batched over-draw would
+    advance the shared arrival stream and change every later arrival.
+    """
     sizes: list[int] = []
     remaining = total
     # Popular models produce bursts around ~1/3 of their per-minute peak.
@@ -121,20 +131,26 @@ def synthesize_azure_trace(
         burst_count = int(count * config.burst_fraction) if expected > 30 else 0
         single_count = count - burst_count
 
-        times: list[float] = list(
-            arrival_rng.uniform(0.0, config.duration, size=single_count)
-        )
+        times: list[float] = arrival_rng.uniform(
+            0.0, config.duration, size=single_count
+        ).tolist()
         for size in _burst_sizes(burst_count, weight, config.max_burst_size, arrival_rng):
             start = float(arrival_rng.uniform(0.0, config.duration))
             gaps = arrival_rng.exponential(config.burst_mean_gap, size=size)
             burst_times = start + np.cumsum(gaps)
-            times.extend(float(t) for t in burst_times if t < config.duration)
+            times.extend(t for t in burst_times.tolist() if t < config.duration)
 
-        pairs = length_distribution.sample_pairs(length_rng, len(times))
-        max_context = models[name].max_context
-        for time, (input_len, output_len) in zip(times, pairs):
-            input_len = clamp_input_len(input_len, output_len, max_context)
-            requests.append(RequestSpec(name, time, input_len, output_len))
+        # Lengths are drawn and clamped as whole arrays (inputs first,
+        # then outputs — the same stream order as per-request sampling).
+        input_lens = length_distribution.sample_input_lens(length_rng, len(times))
+        output_lens = length_distribution.sample_output_lens(length_rng, len(times))
+        input_lens = clamp_input_lens(input_lens, output_lens, models[name].max_context)
+        requests.extend(
+            RequestSpec(name, time, input_len, output_len)
+            for time, input_len, output_len in zip(
+                times, input_lens.tolist(), output_lens.tolist()
+            )
+        )
 
     tp_degrees = tp_degrees or {}
     deployments = {

@@ -34,7 +34,7 @@ from repro.sim.rng import make_rng
 from repro.workloads.azure_serverless import (
     AzureServerlessConfig,
     _zipf_weights,
-    clamp_input_len,
+    clamp_input_lens,
     mixed_models,
     replica_models,
     synthesize_azure_trace,
@@ -60,11 +60,20 @@ def _emit(
     model: ModelSpec,
     out: list[RequestSpec],
 ) -> None:
-    """Append one request per arrival time, with context-clamped lengths."""
-    pairs = lengths.sample_pairs(length_rng, len(times))
-    for time, (input_len, output_len) in zip(times, pairs):
-        input_len = clamp_input_len(input_len, output_len, model.max_context)
-        out.append(RequestSpec(name, time, input_len, output_len))
+    """Append one request per arrival time, with context-clamped lengths.
+
+    Lengths are drawn and clamped as whole arrays (inputs first, then
+    outputs — the same stream order as per-request sampling).
+    """
+    input_lens = lengths.sample_input_lens(length_rng, len(times))
+    output_lens = lengths.sample_output_lens(length_rng, len(times))
+    input_lens = clamp_input_lens(input_lens, output_lens, model.max_context)
+    out.extend(
+        RequestSpec(name, time, input_len, output_len)
+        for time, input_len, output_len in zip(
+            times, input_lens.tolist(), output_lens.tolist()
+        )
+    )
 
 
 # ----------------------------------------------------------------------
@@ -166,7 +175,7 @@ def diurnal(
         if count == 0:
             continue
         uniforms = arrival_rng.uniform(0.0, 1.0, size=count)
-        times = [float(t) for t in np.interp(uniforms, cdf, grid)]
+        times = np.interp(uniforms, cdf, grid).tolist()
         _emit(name, times, length_rng, _length_distribution(dataset), model, requests)
 
     deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
@@ -225,13 +234,10 @@ def bursty_spike(
     requests: list[RequestSpec] = []
     for index, (name, weight) in enumerate(zip(names, weights)):
         base_count = int(arrival_rng.poisson(total_target * weight))
-        times = [float(t) for t in arrival_rng.uniform(0.0, duration, size=base_count)]
+        times = arrival_rng.uniform(0.0, duration, size=base_count).tolist()
         if index in hot:
             surge = int(arrival_rng.poisson(spike_factor * total_target * weight))
-            times += [
-                float(t)
-                for t in arrival_rng.uniform(window_start, window_end, size=surge)
-            ]
+            times += arrival_rng.uniform(window_start, window_end, size=surge).tolist()
         if times:
             _emit(name, times, length_rng, lengths, model, requests)
 

@@ -1,0 +1,53 @@
+"""BenchConfig: the single env seam for scale/workers/protocol."""
+
+import pytest
+
+from repro.bench import BenchConfig
+
+
+def test_env_resolution_single_seam(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "full")
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    monkeypatch.setenv("REPRO_BENCH_REPEATS", "7")
+    monkeypatch.setenv("REPRO_BENCH_WARMUP", "2")
+    config = BenchConfig.from_env()
+    assert (config.scale, config.workers, config.repeats, config.warmup) == ("full", 4, 7, 2)
+
+
+def test_env_defaults_are_lenient(monkeypatch):
+    for name in ("REPRO_SCALE", "REPRO_WORKERS", "REPRO_BENCH_REPEATS", "REPRO_BENCH_WARMUP"):
+        monkeypatch.delenv(name, raising=False)
+    config = BenchConfig.from_env()
+    assert config.scale == "quick"  # runner's REPRO_SCALE default
+    assert config.workers == 1
+    assert config.repeats >= 1
+
+
+def test_explicit_overrides_beat_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "full")
+    config = BenchConfig.from_env(scale="smoke", repeats=1, warmup=0)
+    assert config.scale == "smoke"
+    assert config.repeats == 1
+    assert config.warmup == 0
+
+
+def test_none_override_means_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+    assert BenchConfig.from_env(scale=None).scale == "smoke"
+
+
+def test_unknown_scale_fails_fast():
+    with pytest.raises(KeyError):
+        BenchConfig(scale="warp10")
+
+
+def test_invalid_protocol_rejected():
+    with pytest.raises(ValueError):
+        BenchConfig(repeats=0)
+    with pytest.raises(ValueError):
+        BenchConfig(warmup=-1)
+
+
+def test_duration_follows_scale():
+    assert BenchConfig(scale="smoke").duration == 180.0
+    assert BenchConfig(scale="full").duration == 1800.0

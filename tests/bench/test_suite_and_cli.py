@@ -1,0 +1,202 @@
+"""End-to-end: run_bench writes the trajectory; the CLI gates on it."""
+
+import json
+
+from repro.bench import BenchConfig, load_report, run_bench
+from repro.cli import main
+
+_FAST = {"workload-synthesis"}  # cheapest core case: trace synthesis only
+
+
+def _fast_config():
+    return BenchConfig(scale="smoke", repeats=1, warmup=0)
+
+
+def test_run_bench_writes_core_report(tmp_path):
+    outcome = run_bench(_fast_config(), out_dir=tmp_path, only=_FAST)
+    assert outcome.gate_passed
+    report = load_report(tmp_path / "BENCH_core.json")
+    assert report["suite"] == "core"
+    assert [case["name"] for case in report["cases"]] == ["workload-synthesis"]
+    # --only with no scenario-* names skips the scenarios report
+    assert not (tmp_path / "BENCH_scenarios.json").exists()
+
+
+def test_run_bench_scenario_filter(tmp_path):
+    outcome = run_bench(
+        _fast_config(), out_dir=tmp_path, only={"scenario-azure"}
+    )
+    report = outcome.reports["BENCH_scenarios.json"]
+    assert [case["name"] for case in report["cases"]] == ["scenario-azure"]
+    assert report["cases"][0]["meta"]["requests"] > 0
+    # A scenario-only run must not write (and overwrite!) the core report.
+    assert "BENCH_core.json" not in outcome.reports
+    assert not (tmp_path / "BENCH_core.json").exists()
+
+
+def test_filtered_gate_ignores_deliberately_skipped_cases(tmp_path):
+    """--only core-loop --baseline <full baseline> must not fail on the
+    five cases the filter skipped — only the cases that ran are gated."""
+    full_baseline = {
+        "schema_version": 1,
+        "suite": "core",
+        "scale": "smoke",
+        "cases": [
+            {"name": "workload-synthesis", "events_per_sec": 1.0},  # trivially met
+            {"name": "core-loop", "events_per_sec": 1e15},  # skipped by the filter
+            {"name": "queue-churn", "events_per_sec": 1e15},  # skipped by the filter
+        ],
+    }
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps(full_baseline))
+    outcome = run_bench(
+        _fast_config(), out_dir=tmp_path, only=_FAST, baseline=baseline_path
+    )
+    assert outcome.gate_passed
+
+
+def test_gate_passes_against_own_output(tmp_path):
+    run_bench(_fast_config(), out_dir=tmp_path, only=_FAST)
+    outcome = run_bench(
+        _fast_config(),
+        out_dir=tmp_path / "second",
+        only=_FAST,
+        baseline=tmp_path / "BENCH_core.json",
+        max_regression=0.25,
+    )
+    assert outcome.gate_passed
+
+
+def test_gate_fails_against_impossible_baseline(tmp_path):
+    run_bench(_fast_config(), out_dir=tmp_path, only=_FAST)
+    baseline_path = tmp_path / "BENCH_core.json"
+    baseline = json.loads(baseline_path.read_text())
+    baseline["cases"][0]["events_per_sec"] = 1e15  # unreachable
+    baseline_path.write_text(json.dumps(baseline))
+    outcome = run_bench(
+        _fast_config(),
+        out_dir=tmp_path / "second",
+        only=_FAST,
+        baseline=baseline_path,
+        max_regression=0.25,
+    )
+    assert not outcome.gate_passed
+    assert outcome.regressions[0].name == "workload-synthesis"
+
+
+def test_cli_bench_writes_reports_and_exits_zero(tmp_path, capsys):
+    code = main(
+        [
+            "bench",
+            "--scale", "smoke",
+            "--repeats", "1",
+            "--warmup", "0",
+            "--only", "workload-synthesis",
+            "--out", str(tmp_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "workload-synthesis" in out
+    assert (tmp_path / "BENCH_core.json").exists()
+
+
+def test_cli_bench_gate_exit_code(tmp_path):
+    assert (
+        main(
+            [
+                "bench", "--scale", "smoke", "--repeats", "1", "--warmup", "0",
+                "--only", "workload-synthesis", "--out", str(tmp_path),
+            ]
+        )
+        == 0
+    )
+    baseline_path = tmp_path / "BENCH_core.json"
+    baseline = json.loads(baseline_path.read_text())
+    baseline["cases"][0]["events_per_sec"] = 1e15
+    baseline_path.write_text(json.dumps(baseline))
+    code = main(
+        [
+            "bench", "--scale", "smoke", "--repeats", "1", "--warmup", "0",
+            "--only", "workload-synthesis", "--out", str(tmp_path / "second"),
+            "--baseline", str(baseline_path),
+        ]
+    )
+    assert code == 3
+
+
+def test_unknown_only_case_fails_fast(tmp_path):
+    import pytest
+
+    with pytest.raises(ValueError, match="unknown bench case"):
+        run_bench(_fast_config(), out_dir=tmp_path, only={"core-lop"})  # typo
+    assert not (tmp_path / "BENCH_core.json").exists()
+
+
+def test_cli_unknown_only_case_exits_two(tmp_path, capsys):
+    code = main(
+        ["bench", "--scale", "smoke", "--only", "core-lop", "--out", str(tmp_path)]
+    )
+    assert code == 2
+    assert "unknown bench case" in capsys.readouterr().err
+
+
+def test_baseline_with_scenario_only_filter_is_an_error(tmp_path):
+    import pytest
+
+    run_bench(_fast_config(), out_dir=tmp_path, only=_FAST)
+    with pytest.raises(ValueError, match="filtered every core case"):
+        run_bench(
+            _fast_config(),
+            out_dir=tmp_path / "second",
+            only={"scenario-azure"},
+            baseline=tmp_path / "BENCH_core.json",
+        )
+
+
+def test_scale_mismatched_baseline_is_an_error(tmp_path):
+    import pytest
+
+    run_bench(_fast_config(), out_dir=tmp_path, only=_FAST)
+    baseline_path = tmp_path / "BENCH_core.json"
+    baseline = json.loads(baseline_path.read_text())
+    baseline["scale"] = "quick"
+    baseline_path.write_text(json.dumps(baseline))
+    with pytest.raises(ValueError, match="scale mismatch"):
+        run_bench(
+            _fast_config(),
+            out_dir=tmp_path / "second",
+            only=_FAST,
+            baseline=baseline_path,
+        )
+
+
+def test_scenario_only_with_skip_scenarios_is_an_error(tmp_path, capsys):
+    code = main(
+        [
+            "bench", "--scale", "smoke", "--only", "scenario-azure",
+            "--skip-scenarios", "--out", str(tmp_path),
+        ]
+    )
+    assert code == 2
+    assert "nothing to run" in capsys.readouterr().err
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_cli_missing_baseline_file_exits_two(tmp_path, capsys):
+    code = main(
+        [
+            "bench", "--scale", "smoke", "--repeats", "1", "--warmup", "0",
+            "--only", "workload-synthesis", "--out", str(tmp_path),
+            "--baseline", str(tmp_path / "does-not-exist.json"),
+        ]
+    )
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_core_suite_covers_the_acceptance_cases():
+    from repro.bench import CORE_CASES
+
+    assert len(CORE_CASES) >= 5
+    assert "core-loop" in CORE_CASES

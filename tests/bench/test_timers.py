@@ -1,0 +1,60 @@
+"""The warmup/repeat measurement protocol."""
+
+import pytest
+
+from repro.bench import Measurement, Timer, measure
+
+
+def test_timer_measures_elapsed_time():
+    with Timer() as timer:
+        pass
+    assert timer.seconds >= 0.0
+
+
+def test_measure_applies_warmup_and_repeats():
+    calls = []
+
+    def case():
+        calls.append(1)
+        return 42
+
+    measurement = measure(case, name="toy", repeats=3, warmup=2)
+    assert len(calls) == 5  # 2 warmup + 3 timed
+    assert measurement.events == 42
+    assert len(measurement.wall_all) == 3
+    assert measurement.repeats == 3 and measurement.warmup == 2
+
+
+def test_headline_numbers_use_the_best_round():
+    measurement = Measurement(
+        name="toy", events=100, wall_all=[0.5, 0.2, 0.4], repeats=3, warmup=0
+    )
+    assert measurement.wall_seconds == 0.2
+    assert measurement.events_per_sec == pytest.approx(500.0)
+    assert measurement.wall_mean == pytest.approx((0.5 + 0.2 + 0.4) / 3)
+
+
+def test_nondeterministic_case_fails_loudly():
+    counter = iter(range(100))
+
+    def drifting():
+        return next(counter)
+
+    with pytest.raises(RuntimeError, match="not deterministic"):
+        measure(drifting, name="drift", repeats=2, warmup=0)
+
+
+def test_case_must_return_event_count():
+    with pytest.raises(TypeError, match="event count"):
+        measure(lambda: None, name="bad", repeats=1, warmup=0)
+
+
+def test_to_dict_schema_fields():
+    measurement = measure(lambda: 7, name="toy", repeats=2, warmup=0, meta={"k": "v"})
+    payload = measurement.to_dict()
+    for key in (
+        "name", "events", "wall_seconds", "wall_seconds_mean",
+        "wall_seconds_all", "events_per_sec", "repeats", "warmup", "meta",
+    ):
+        assert key in payload
+    assert payload["meta"] == {"k": "v"}

@@ -96,3 +96,43 @@ def test_decode_urgency_is_min_over_batch():
     instance.admit_to_batch(b)
     (item,) = instance_work_items(instance, now=1.0)
     assert item.urgency == min(a.headroom(1.0), b.headroom(1.0))
+
+
+def test_select_next_work_matches_reference_enumeration():
+    """The optimized single-scan selection must equal "materialize every
+    work item via instance_work_items and take the first strict min" —
+    the reference semantics the production path compresses."""
+    node, executor = make_env()
+    req_id = iter(range(100))
+    for inst_id, (batch_outs, pending_arrivals) in enumerate(
+        [
+            ([20], [9.8]),        # decode + prefill
+            ([0, 8], []),         # decode only, two requests
+            ([], [0.0, 5.0]),     # prefills only
+            ([], []),             # idle
+            ([0], [9.8]),         # tie candidates vs instance 0
+        ]
+    ):
+        instance = make_instance(node, inst_id)
+        for tokens_out in batch_outs:
+            instance.admit_to_batch(
+                make_request(next(req_id), arrival=0.0, tokens_out=tokens_out)
+            )
+        for arrival in pending_arrivals:
+            instance.enqueue(make_request(next(req_id), arrival=arrival))
+        executor.add_instance(instance)
+
+    for now in (0.0, 5.0, 10.0, 30.0):
+        reference = None
+        for instance in executor.runnable_instances():
+            for item in instance_work_items(instance, now):
+                if reference is None or item.urgency < reference.urgency:
+                    reference = item
+        got = select_next_work(executor, now=now)
+        assert got is not None and reference is not None
+        assert (got.instance, got.kind, got.request, got.urgency) == (
+            reference.instance,
+            reference.kind,
+            reference.request,
+            reference.urgency,
+        )

@@ -1,0 +1,132 @@
+"""EventBus subscribe/unsubscribe/detach semantics (precomputed chains).
+
+The bus precomputes a flat handler chain per concrete event type (the
+MRO walk happens once, not per publish).  These tests pin the visible
+contract: hierarchy delivery, delivery order, detach behaviour, and
+cache invalidation when the subscriber set changes between publishes.
+"""
+
+from repro.policies.events import Event, EventBus
+
+
+class _Base(Event):
+    __slots__ = ("value",)
+
+    def __init__(self, value=0):
+        self.value = value
+
+
+class _Derived(_Base):
+    __slots__ = ()
+
+
+class _Other(Event):
+    __slots__ = ()
+
+
+def test_base_class_subscription_receives_subclass_events():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(_Base, lambda e: seen.append(("base", e.value)))
+    bus.subscribe(Event, lambda e: seen.append(("root", getattr(e, "value", None))))
+    bus.publish(_Derived(7))
+    # Most-derived class first: _Derived has no direct subscribers, then
+    # _Base, then Event.
+    assert seen == [("base", 7), ("root", 7)]
+    seen.clear()
+    bus.publish(_Other())
+    assert [tag for tag, _ in seen] == ["root"]
+
+
+def test_delivery_order_is_mro_then_subscription_order():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(Event, lambda e: seen.append("root-1"))
+    bus.subscribe(_Derived, lambda e: seen.append("derived-1"))
+    bus.subscribe(_Base, lambda e: seen.append("base-1"))
+    bus.subscribe(_Derived, lambda e: seen.append("derived-2"))
+    bus.publish(_Derived())
+    assert seen == ["derived-1", "derived-2", "base-1", "root-1"]
+
+
+def test_detach_is_idempotent():
+    bus = EventBus()
+    seen = []
+    detach = bus.subscribe(_Base, lambda e: seen.append(e.value))
+    detach()
+    detach()  # second call is a no-op, not an error
+    bus.publish(_Base(1))
+    assert seen == []
+    assert bus.subscriber_count(_Base) == 0
+
+
+def test_detach_removes_only_its_own_subscription():
+    bus = EventBus()
+    seen = []
+
+    def handler(event):
+        seen.append(event.value)
+
+    first = bus.subscribe(_Base, handler)
+    bus.subscribe(_Base, handler)  # same handler subscribed twice
+    assert bus.subscriber_count(_Base) == 2
+    first()
+    assert bus.subscriber_count(_Base) == 1
+    bus.publish(_Base(3))
+    assert seen == [3]
+
+
+def test_subscribe_after_publish_invalidates_the_chain_cache():
+    bus = EventBus()
+    seen = []
+    bus.publish(_Base(1))  # caches the empty chain for _Base
+    bus.subscribe(_Base, lambda e: seen.append(e.value))
+    bus.publish(_Base(2))
+    assert seen == [2]
+
+
+def test_detach_during_publish_takes_effect_next_publish():
+    bus = EventBus()
+    seen = []
+    detachers = {}
+
+    def self_removing(event):
+        seen.append("first")
+        detachers["second"]()
+
+    def second(event):
+        seen.append("second")
+
+    detachers["first"] = bus.subscribe(_Base, self_removing)
+    detachers["second"] = bus.subscribe(_Base, second)
+    # The in-flight chain is an immutable snapshot: "second" still runs
+    # this publish, and is gone from the next one.
+    bus.publish(_Base())
+    assert seen == ["first", "second"]
+    bus.publish(_Base())
+    assert seen == ["first", "second", "first"]
+
+
+def test_subscribe_during_publish_takes_effect_next_publish():
+    bus = EventBus()
+    seen = []
+
+    def subscriber(event):
+        seen.append("outer")
+        if len(seen) == 1:
+            bus.subscribe(_Base, lambda e: seen.append("inner"))
+
+    bus.subscribe(_Base, subscriber)
+    bus.publish(_Base())
+    assert seen == ["outer"]
+    bus.publish(_Base())
+    assert seen == ["outer", "outer", "inner"]
+
+
+def test_subscriber_count_is_exact_type_only():
+    bus = EventBus()
+    bus.subscribe(_Base, lambda e: None)
+    bus.subscribe(Event, lambda e: None)
+    assert bus.subscriber_count(_Base) == 1
+    assert bus.subscriber_count(_Derived) == 0
+    assert bus.subscriber_count(Event) == 1

@@ -1,0 +1,77 @@
+"""Determinism of batched vs per-draw RNG consumption.
+
+The hot-path optimizations (the PerfDatabase jitter buffer, array-drawn
+workload lengths) rely on a numpy ``Generator`` contract: drawing
+``size=n`` consumes the bit stream exactly like n scalar draws of the
+same distribution and parameters.  These tests pin that contract for
+every distribution the codebase batches, and pin the jitter buffer
+end-to-end against a reference per-call implementation — golden parity
+(tests/golden/) depends on it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perf.database import PerfDatabase
+from repro.sim.rng import make_rng
+
+_N = 4096
+
+
+@pytest.mark.parametrize(
+    "draw",
+    [
+        lambda rng, size: rng.normal(0.0, 0.02, size=size),
+        lambda rng, size: rng.lognormal(3.0, 0.7, size=size),
+        lambda rng, size: rng.geometric(0.02, size=size),
+        lambda rng, size: rng.exponential(0.35, size=size),
+        lambda rng, size: rng.uniform(0.0, 180.0, size=size),
+        lambda rng, size: rng.poisson(7.3, size=size),
+    ],
+    ids=["normal", "lognormal", "geometric", "exponential", "uniform", "poisson"],
+)
+def test_batched_draw_equals_sequential_scalar_draws(draw):
+    batched = draw(make_rng(11, "stream"), _N)
+    scalar_rng = make_rng(11, "stream")
+    sequential = np.array([draw(scalar_rng, None) for _ in range(_N)])
+    assert np.array_equal(batched, sequential)
+
+
+def test_batched_draws_chunking_is_stream_transparent():
+    """Two chunks of n/2 consume the stream exactly like one chunk of n."""
+    rng_one = make_rng(5, "chunk")
+    rng_two = make_rng(5, "chunk")
+    whole = rng_one.normal(0.0, 1.0, size=_N)
+    halves = np.concatenate(
+        [rng_two.normal(0.0, 1.0, size=_N // 2), rng_two.normal(0.0, 1.0, size=_N // 2)]
+    )
+    assert np.array_equal(whole, halves)
+
+
+class _ReferenceJitterDb(PerfDatabase):
+    """The pre-buffering implementation: one scalar draw per execution."""
+
+    def _jitter(self) -> float:
+        if self.jitter_sigma <= 0:
+            return 1.0
+        return float(np.exp(self._rng.normal(0.0, self.jitter_sigma)))
+
+
+def test_jitter_buffer_matches_per_call_draws():
+    """Golden parity hinges on this: buffered jitter is byte-identical."""
+    from repro.hardware.specs import A100_80GB
+    from repro.models.catalog import LLAMA2_7B
+
+    buffered = PerfDatabase(jitter_sigma=0.02, seed=3)
+    reference = _ReferenceJitterDb(jitter_sigma=0.02, seed=3)
+    for step in range(3000):  # crosses several buffer refills
+        batch = 1 + step % 7
+        got = buffered.execute_decode(A100_80GB, LLAMA2_7B, batch, 512.0)
+        want = reference.execute_decode(A100_80GB, LLAMA2_7B, batch, 512.0)
+        assert got == want, f"divergence at draw {step}"
+
+
+def test_zero_sigma_skips_the_buffer():
+    db = PerfDatabase(jitter_sigma=0.0, seed=1)
+    assert db._jitter() == 1.0
+    assert db._jitter_buf == []

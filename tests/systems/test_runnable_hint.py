@@ -1,0 +1,64 @@
+"""The O(active) runnable-instance hint vs the executor's full scan.
+
+``ServingSystem.runnable_instances`` must return exactly what
+``Executor.runnable_instances`` (an O(loaded) scan of the attach-ordered
+instance list) would — same contents, same order — at every work
+selection of a run.  A checking work policy asserts the equivalence at
+every single selection point across full end-to-end runs of both a
+shared-executor system (slinfer: many instances per node executor) and a
+slot-per-instance system (sllm).
+"""
+
+import pytest
+
+from repro.core import ServingSystem
+from repro.hardware import Cluster
+from repro.policies import build_bundle
+from repro.policies.base import WorkSelectionPolicy
+
+from tests.systems.helpers import steady_stream, tiny_workload
+
+
+class _CheckedWork(WorkSelectionPolicy):
+    """Delegates to the default selection after checking hint == scan."""
+
+    def __init__(self):
+        self.checks = 0
+
+    def select(self, system, executor):
+        hinted = system.runnable_instances(executor)
+        scanned = executor.runnable_instances()
+        assert hinted == scanned, (
+            f"hint diverged on {executor.exec_id}: "
+            f"{[i.inst_id for i in hinted]} != {[i.inst_id for i in scanned]}"
+        )
+        self.checks += 1
+        return super().select(system, executor)
+
+
+@pytest.mark.parametrize("bundle_name", ["slinfer", "sllm", "sllm+c+s"])
+def test_hint_matches_full_scan_at_every_selection(bundle_name):
+    checker = _CheckedWork()
+    bundle = build_bundle(bundle_name).with_policies(work=checker)
+    arrivals = []
+    for m in range(6):
+        arrivals += steady_stream(f"m{m}", count=5, start=0.5 + 0.3 * m)
+    system = ServingSystem(Cluster.build(1, 2), policies=bundle)
+    report = system.run(tiny_workload(arrivals))
+    assert checker.checks > 0
+    assert report.total_requests == 30
+
+
+def test_hint_trajectory_equals_unchecked_run():
+    """The checking policy observes — it must not change the outcome."""
+    arrivals = steady_stream(count=8) + steady_stream("m1", count=8)
+    checked = ServingSystem(
+        Cluster.build(1, 1), policies=build_bundle("slinfer").with_policies(work=_CheckedWork())
+    )
+    checked_report = checked.run(tiny_workload(arrivals))
+    plain = ServingSystem(Cluster.build(1, 1), policies="slinfer")
+    plain_report = plain.run(tiny_workload(arrivals))
+    assert checked.sim.events_processed == plain.sim.events_processed
+    assert checked_report.to_dict(include_volatile=False) == plain_report.to_dict(
+        include_volatile=False
+    )
