@@ -25,8 +25,7 @@ def main() -> None:
     for watermark in (0.0, 0.10, 0.25, 0.50, 1.00):
         config = SlinferConfig(watermark=watermark, seed=5)
         report = ServingSystem(paper_testbed(), policies="slinfer", config=config).run(workload)
-        samples = report.kv_utilization_samples
-        kv_util = sum(samples) / len(samples) if samples else 0.0
+        kv_util = report.mean_kv_utilization
         print(
             f"   {watermark:5.0%}  |  {kv_util:5.2f}  |    {100 * report.scaling_time_fraction:5.2f}%    "
             f"|   {report.migrations:4d}    | {100 * report.slo_rate:5.1f}%"

@@ -5,8 +5,10 @@ Two suites, written to two trajectory files:
 * **core** (``BENCH_core.json``) — the primitives every experiment rides
   on: the raw discrete-event loop, event-bus publishing, the end-to-end
   serving loop (the acceptance case: ``core-loop``), an overload run
-  that churns the admission queue, a policy-matrix sweep, and workload
-  synthesis throughput.
+  that churns the admission queue, a policy-matrix sweep, workload
+  synthesis throughput, and the streaming-metrics pipeline (the
+  ``core-loop`` spec under bounded-memory collection plus raw sketch
+  ingest — ``metrics-streaming`` / ``metrics-sketch-insert``).
 * **scenarios** (``BENCH_scenarios.json``) — every registered workload
   scenario executed end-to-end at the configured scale, so opening a new
   workload automatically extends the measured trajectory.
@@ -121,6 +123,62 @@ def _workload_synthesis(config: BenchConfig) -> int:
     return len(build_workload(spec).requests)
 
 
+def _metrics_streaming(config: BenchConfig) -> int:
+    """The core-loop spec under streaming (bounded-memory) metrics.
+
+    Identical simulation work to ``core-loop`` — the events/sec delta
+    between the two entries *is* the measured throughput cost of
+    sketch-based collection (gated to stay small; target <5 %)."""
+    spec = RunSpec(
+        system="slinfer",
+        scenario="azure",
+        n_models=16,
+        cluster="cpu2-gpu2",
+        seed=1,
+        scale=config.scale,
+        metrics="streaming",
+    )
+    return execute_spec(spec).report.events_processed
+
+
+def _metrics_sketch_insert(config: BenchConfig) -> int:
+    """Raw quantile-sketch ingest + query throughput (samples/sec)."""
+    from repro.metrics.streaming import QuantileSketch
+
+    total = 200_000 * _factor(config)
+    sketch = QuantileSketch()
+    add = sketch.add
+    # A deterministic value stream spanning several orders of magnitude
+    # (the TTFT-like regime), no RNG on the timed path.
+    for i in range(total):
+        add(0.001 + (i % 9973) * 0.01)
+    assert len(sketch) == total
+    for q in (50.0, 90.0, 99.0):
+        sketch.percentile(q)
+    return total
+
+
+def _streaming_footprint_meta(config: BenchConfig) -> dict[str, int]:
+    """Bounded-footprint evidence recorded next to the timing numbers.
+
+    Serialized-report sizes for the same run in both modes: the exact
+    payload grows with the request count, the streaming payload is
+    pinned by the sketch bucket caps."""
+    import json
+
+    axes = dict(
+        system="slinfer", scenario="azure", n_models=16,
+        cluster="cpu2-gpu2", seed=1, scale=config.scale,
+    )
+    exact = execute_spec(RunSpec(**axes)).report
+    streaming = execute_spec(RunSpec(**axes, metrics="streaming")).report
+    return {
+        "payload_bytes_exact": len(json.dumps(exact.to_dict(include_volatile=False))),
+        "payload_bytes_streaming": len(json.dumps(streaming.to_dict(include_volatile=False))),
+        "ttft_sketch_bins": streaming.ttft_cdf().bin_count,
+    }
+
+
 CORE_CASES: dict[str, Callable[[BenchConfig], int]] = {
     "sim-event-loop": _sim_event_loop,
     "event-bus-publish": _event_bus_publish,
@@ -128,6 +186,13 @@ CORE_CASES: dict[str, Callable[[BenchConfig], int]] = {
     "queue-churn": _queue_churn,
     "policy-matrix": _policy_matrix,
     "workload-synthesis": _workload_synthesis,
+    "metrics-streaming": _metrics_streaming,
+    "metrics-sketch-insert": _metrics_sketch_insert,
+}
+
+#: untimed per-case annotations attached to the written report
+_CASE_META: dict[str, Callable[[BenchConfig], dict]] = {
+    "metrics-streaming": _streaming_footprint_meta,
 }
 
 
@@ -138,12 +203,14 @@ def run_core_suite(
     for name, case in CORE_CASES.items():
         if only is not None and name not in only:
             continue
+        meta_fn = _CASE_META.get(name)
         measurements.append(
             measure(
                 lambda case=case: case(config),
                 name=name,
                 repeats=config.repeats,
                 warmup=config.warmup,
+                meta=meta_fn(config) if meta_fn is not None else None,
             )
         )
     return measurements
@@ -152,6 +219,11 @@ def run_core_suite(
 # ----------------------------------------------------------------------
 # Scenario suite
 # ----------------------------------------------------------------------
+#: long-horizon scenarios benched (and CI-exercised) under streaming
+#: metrics — the mode they exist to make feasible
+_STREAMING_SCENARIOS = frozenset({"diurnal-week", "million-burst"})
+
+
 def run_scenario_suite(
     config: BenchConfig, only: set[str] | None = None
 ) -> list[Measurement]:
@@ -167,6 +239,7 @@ def run_scenario_suite(
             cluster="cpu2-gpu2",
             seed=1,
             scale=config.scale,
+            metrics="streaming" if scenario in _STREAMING_SCENARIOS else "exact",
         )
         # The trace is synthesized once, outside the timed region: these
         # cases measure the serving loop (the dedicated
@@ -182,7 +255,11 @@ def run_scenario_suite(
                 name=f"scenario-{scenario}",
                 repeats=config.repeats,
                 warmup=config.warmup,
-                meta={"requests": workload.total_requests, "system": "slinfer"},
+                meta={
+                    "requests": workload.total_requests,
+                    "system": "slinfer",
+                    "metrics": spec.metrics,
+                },
             )
         )
     return measurements

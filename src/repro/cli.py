@@ -146,6 +146,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         scale=args.scale,
         duration=args.duration,
         policies=_parse_policy_axes(args.policy or []),
+        metrics=args.metrics,
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     executor = SweepExecutor(workers=args.workers, cache=cache)
@@ -301,6 +302,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KIND=SPEC[,SPEC...]",
         help="policy override axis (repeatable); e.g. --policy placement=slinfer,sllm "
         "--policy reclaim=keepalive,never sweeps the 2x2 mechanism matrix",
+    )
+    sweep.add_argument(
+        "--metrics", default="exact", choices=["exact", "streaming"],
+        help="metrics mode: exact keeps every sample; streaming uses "
+        "bounded-memory sketches (required for long-horizon runs)",
     )
     sweep.add_argument(
         "--workers", type=int, default=default_workers(),

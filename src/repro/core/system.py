@@ -75,6 +75,7 @@ class ServingSystem:
         config: Optional[SystemConfig] = None,
         observers: Optional[Sequence[Observer]] = None,
         name: Optional[str] = None,
+        metrics: str = "exact",
     ) -> None:
         if isinstance(policies, str):
             from repro.policies.registry import build_bundle
@@ -90,7 +91,12 @@ class ServingSystem:
         self.sim = Simulator()
         self.bus = EventBus()
         self.perf = PerfDatabase(jitter_sigma=self.config.jitter_sigma, seed=self.config.seed)
-        self.metrics = MetricsCollector()
+        # Metrics accumulation mode: "exact" retains every request and
+        # sample; "streaming" folds into bounded sketches (long-horizon
+        # runs).  Must be set before observers attach — the metrics
+        # observer wires outcome-folding subscriptions only in
+        # streaming mode.
+        self.metrics = MetricsCollector(mode=metrics)
         self.observers: list[Observer] = (
             list(observers) if observers is not None else default_observers()
         )

@@ -53,6 +53,41 @@ def render_reports(reports: Iterable[RunReport]) -> str:
     return markdown_table(REPORT_HEADERS, (report_row(r) for r in reports))
 
 
+PERCENTILE_HEADERS = ["distribution", "p50", "p90", "p99", "mean", "samples"]
+
+
+def percentile_row(
+    name: str, distribution, qs: Sequence[float] = (50.0, 90.0, 99.0)
+) -> list[object]:
+    """One row of percentile stats from any Cdf-like distribution.
+
+    Works with both the exact :class:`~repro.metrics.cdf.Cdf` and the
+    streaming :class:`~repro.metrics.streaming.QuantileSketch` — they
+    share the percentile/mean/len read API — so figure tables render
+    identically whichever metrics mode produced the report.
+    """
+    if distribution.empty:
+        return [name] + ["-"] * (len(qs) + 1) + [0]
+    return (
+        [name]
+        + [distribution.percentile(q) for q in qs]
+        + [distribution.mean, len(distribution)]
+    )
+
+
+def render_percentiles(named: Iterable[tuple[str, object]]) -> str:
+    """Markdown percentile table over (name, distribution) pairs.
+
+    The standard consumer for report CDFs (``ttft_cdf()``,
+    ``memory_utilization_cdf()``, ``kv_utilization_cdf()``) in either
+    metrics mode.
+    """
+    return markdown_table(
+        PERCENTILE_HEADERS,
+        (percentile_row(name, dist) for name, dist in named),
+    )
+
+
 def render_fig22(cells) -> str:
     """Markdown for `run_fig22` output, grouped by model count."""
     headers = ["size", "models"] + REPORT_HEADERS

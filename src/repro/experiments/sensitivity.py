@@ -113,8 +113,7 @@ def run_watermark_sweep(
     for watermark in watermarks:
         config = SlinferConfig(watermark=watermark)
         report = system_factory("slinfer")(paper_testbed(), config=config).run(workload)
-        kv_samples = report.kv_utilization_samples
-        kv_util = sum(kv_samples) / len(kv_samples) if kv_samples else 0.0
+        kv_util = report.mean_kv_utilization
         # §IX-I5 reports the *underestimation*-driven migration rate.
         migration_rate = report.evictions / max(1, report.total_requests)
         points.append(

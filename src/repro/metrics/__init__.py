@@ -3,10 +3,25 @@
 Captures exactly the quantities the paper's evaluation plots: SLO-met
 request counts, TTFT CDFs, per-node decode speed, average nodes used,
 GPU memory-utilization CDFs, batch-size distributions, and scheduling
-overheads (Figs. 22, 25, 33)."""
+overheads (Figs. 22, 25, 33).
+
+Two accumulation modes: ``exact`` (per-request retention, lossless and
+golden-parity serializable) and ``streaming`` (bounded-memory counters
+plus mergeable quantile sketches for long-horizon runs) — see
+:mod:`repro.metrics.streaming`."""
 
 from repro.metrics.cdf import Cdf
-from repro.metrics.collector import MetricsCollector
-from repro.metrics.report import RunReport
+from repro.metrics.collector import METRICS_MODES, MetricsCollector
+from repro.metrics.report import RunReport, merge_run_reports
+from repro.metrics.streaming import QuantileSketch, RequestAggregate, StreamingStat
 
-__all__ = ["Cdf", "MetricsCollector", "RunReport"]
+__all__ = [
+    "Cdf",
+    "METRICS_MODES",
+    "MetricsCollector",
+    "QuantileSketch",
+    "RequestAggregate",
+    "RunReport",
+    "StreamingStat",
+    "merge_run_reports",
+]

@@ -1,4 +1,12 @@
-"""Empirical CDF helper used for TTFT / memory-utilization / batch figures."""
+"""Empirical CDF helper used for TTFT / memory-utilization / batch figures.
+
+Empty-CDF contract: every statistic (``fraction_below`` / ``percentile``
+/ ``median`` / ``mean``) raises ``ValueError`` on an empty CDF — callers
+must check :attr:`Cdf.empty` first.  Only :meth:`Cdf.curve` is lenient
+(an empty plot is just an empty list of points).  The streaming
+:class:`~repro.metrics.streaming.QuantileSketch` follows the same
+contract, so report consumers behave identically in either metrics mode.
+"""
 
 from __future__ import annotations
 
@@ -24,16 +32,18 @@ class Cdf:
     def empty(self) -> bool:
         return len(self.samples) == 0
 
+    def _require_samples(self, what: str) -> None:
+        if self.empty:
+            raise ValueError(f"{what} of an empty CDF")
+
     def fraction_below(self, threshold: float) -> float:
         """P(X ≤ threshold)."""
-        if self.empty:
-            return 0.0
+        self._require_samples("fraction_below")
         return float(np.searchsorted(self.samples, threshold, side="right") / len(self.samples))
 
     def percentile(self, q: float) -> float:
         """The q-th percentile (0-100)."""
-        if self.empty:
-            raise ValueError("percentile of an empty CDF")
+        self._require_samples("percentile")
         return float(np.percentile(self.samples, q))
 
     @property
@@ -42,8 +52,7 @@ class Cdf:
 
     @property
     def mean(self) -> float:
-        if self.empty:
-            raise ValueError("mean of an empty CDF")
+        self._require_samples("mean")
         return float(self.samples.mean())
 
     def curve(self, points: int = 100) -> list[tuple[float, float]]:
@@ -51,4 +60,5 @@ class Cdf:
         if self.empty:
             return []
         qs = np.linspace(0.0, 100.0, points)
-        return [(float(np.percentile(self.samples, q)), q / 100.0) for q in qs]
+        values = np.percentile(self.samples, qs)
+        return [(float(value), float(q) / 100.0) for value, q in zip(values, qs)]

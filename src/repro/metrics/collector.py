@@ -5,6 +5,23 @@ outcomes, instance load/unload transitions (for the nodes-used integral),
 decode tokens (for per-node decode speed), periodic memory-utilization
 samples, batch sizes at each decode iteration, and wall-clock scheduling
 overheads (Fig. 33 measures the real cost of our scheduler code).
+
+Two accumulation modes:
+
+* ``exact`` (default) — per-request objects and per-sample lists are
+  retained, so reports serialize losslessly and byte-identically to the
+  golden fixtures.  Memory is O(requests).
+* ``streaming`` — request outcomes fold into
+  :class:`~repro.metrics.streaming.RequestAggregate` counters the moment
+  a request finishes, and memory/KV samples feed bounded
+  :class:`~repro.metrics.streaming.QuantileSketch` instances.  Memory is
+  O(in-flight requests + sketch buckets), independent of trace horizon —
+  the regime the long-horizon scenarios need.
+
+Either way, scheduling overheads accumulate as running count/sum/min/max
+(:class:`~repro.metrics.streaming.StreamingStat`): the report only ever
+derived count/total/mean from them, so keeping the raw per-call list was
+pure O(iterations) overhead.
 """
 
 from __future__ import annotations
@@ -15,11 +32,21 @@ from dataclasses import dataclass, field
 from repro.engine.request import Request
 from repro.hardware.specs import HardwareKind
 from repro.metrics.report import OverheadStat, RunReport
+from repro.metrics.streaming import QuantileSketch, RequestAggregate, StreamingStat
+
+#: recognised collector modes
+METRICS_MODES = ("exact", "streaming")
 
 
 @dataclass
 class _NodeActivity:
-    """Tracks the time-intervals during which a node has ≥1 loaded instance."""
+    """Tracks the time-intervals during which a node has ≥1 loaded instance.
+
+    Reading the busy integral never mutates state (the open interval, if
+    any, is clipped on the fly), so finalizing a run twice yields
+    byte-identical reports and the activity keeps accepting load/unload
+    events afterwards.
+    """
 
     kind: HardwareKind
     loaded_instances: int = 0
@@ -39,23 +66,22 @@ class _NodeActivity:
             self.intervals.append((self.busy_since, now))
             self.busy_since = None
 
-    def close(self, now: float) -> None:
-        if self.busy_since is not None:
-            self.intervals.append((self.busy_since, now))
-            self.busy_since = None
-            self.loaded_instances = 0
-
-    def busy_seconds(self, horizon: float) -> float:
+    def busy_seconds(self, horizon: float, now: float) -> float:
         """Busy time clipped to the trace window [0, horizon] so the
         nodes-used average is comparable across systems (drain-period work
-        caused by late arrivals is not double-counted)."""
-        return sum(max(0.0, min(end, horizon) - min(start, horizon)) for start, end in self.intervals)
+        caused by late arrivals is not double-counted).  The still-open
+        interval (if any) is counted up to ``now`` without closing it."""
+        intervals = self.intervals
+        if self.busy_since is not None:
+            intervals = intervals + [(self.busy_since, now)]
+        return sum(max(0.0, min(end, horizon) - min(start, horizon)) for start, end in intervals)
 
 
 @dataclass
 class MetricsCollector:
     """Accumulates everything a RunReport needs."""
 
+    mode: str = "exact"
     requests: list[Request] = field(default_factory=list)
     _nodes: dict[str, _NodeActivity] = field(default_factory=dict)
     decode_tokens: dict[HardwareKind, int] = field(
@@ -67,19 +93,58 @@ class MetricsCollector:
         default_factory=lambda: defaultdict(list)
     )
     kv_utilization_samples: list[float] = field(default_factory=list)
-    overheads: dict[str, list[float]] = field(default_factory=lambda: defaultdict(list))
+    overheads: dict[str, StreamingStat] = field(
+        default_factory=lambda: defaultdict(StreamingStat)
+    )
     scaling_busy_seconds: float = 0.0
     scaling_ops: int = 0
     migrations: int = 0
     evictions: int = 0  # §VII-D underestimation evictions only
     preemptions: int = 0
     cold_starts: int = 0
+    # Streaming-mode state (unused in exact mode).
+    _pending: dict[int, Request] = field(default_factory=dict, repr=False)
+    _aggregate: RequestAggregate | None = field(default=None, repr=False)
+    _memory_sketches: dict[HardwareKind, QuantileSketch] | None = field(
+        default=None, repr=False
+    )
+    _kv_sketch: QuantileSketch | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in METRICS_MODES:
+            raise ValueError(
+                f"unknown metrics mode {self.mode!r} (known: {', '.join(METRICS_MODES)})"
+            )
+        if self.streaming:
+            self._aggregate = RequestAggregate()
+            self._memory_sketches = defaultdict(QuantileSketch)
+            self._kv_sketch = QuantileSketch()
+
+    @property
+    def streaming(self) -> bool:
+        return self.mode == "streaming"
 
     # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------
     def register_request(self, request: Request) -> None:
-        self.requests.append(request)
+        if not self.streaming:
+            self.requests.append(request)
+            return
+        self._aggregate.arrivals += 1
+        self._pending[request.req_id] = request
+
+    def request_finished(self, request: Request) -> None:
+        """Streaming mode: fold a finished request's outcome and release it.
+
+        A no-op in exact mode (the retained object carries its outcome)
+        and for requests already folded — the fold happens exactly once.
+        """
+        if not self.streaming:
+            return
+        if self._pending.pop(request.req_id, None) is None:
+            return
+        self._aggregate.fold(request)
 
     # ------------------------------------------------------------------
     # Node activity
@@ -90,7 +155,10 @@ class MetricsCollector:
         self._nodes[node_id].on_load(now)
 
     def node_unloaded(self, node_id: str, now: float) -> None:
-        self._nodes[node_id].on_unload(now)
+        activity = self._nodes.get(node_id)
+        if activity is None:
+            raise RuntimeError(f"unload of node {node_id!r} that was never loaded")
+        activity.on_unload(now)
 
     # ------------------------------------------------------------------
     # Throughput / memory / overheads
@@ -104,13 +172,19 @@ class MetricsCollector:
             self.gpu_batch_histogram[batch_size] += 1
 
     def sample_memory_utilization(self, kind: HardwareKind, utilization: float) -> None:
-        self.memory_samples[kind].append(utilization)
+        if self.streaming:
+            self._memory_sketches[kind].add(utilization)
+        else:
+            self.memory_samples[kind].append(utilization)
 
     def sample_kv_utilization(self, utilization: float) -> None:
-        self.kv_utilization_samples.append(utilization)
+        if self.streaming:
+            self._kv_sketch.add(utilization)
+        else:
+            self.kv_utilization_samples.append(utilization)
 
     def add_overhead(self, name: str, seconds: float) -> None:
-        self.overheads[name].append(seconds)
+        self.overheads[name].add(seconds)
 
     def add_scaling_op(self, duration: float) -> None:
         self.scaling_ops += 1
@@ -120,25 +194,41 @@ class MetricsCollector:
     # Finalization
     # ------------------------------------------------------------------
     def finalize(self, now: float, duration: float, system: str) -> RunReport:
+        """Assemble the report.  Idempotent: nothing here mutates collector
+        state, so calling finalize twice yields identical reports."""
+        # Tolerate hardware kinds beyond the CPU/GPU pair the report
+        # itemizes: unknown kinds accumulate without a KeyError (their
+        # busy time is simply not attributed to either column yet).
+        node_seconds: dict[HardwareKind, float] = defaultdict(float)
         for activity in self._nodes.values():
-            activity.close(now)
-        node_seconds = {HardwareKind.CPU: 0.0, HardwareKind.GPU: 0.0}
-        for activity in self._nodes.values():
-            node_seconds[activity.kind] += activity.busy_seconds(duration)
+            node_seconds[activity.kind] += activity.busy_seconds(duration, now)
         overhead_stats = {
             name: OverheadStat(
-                count=len(samples),
-                total_seconds=sum(samples),
-                mean_seconds=sum(samples) / len(samples) if samples else 0.0,
+                count=stat.count,
+                total_seconds=stat.total,
+                mean_seconds=stat.total / stat.count if stat.count else 0.0,
             )
-            for name, samples in self.overheads.items()
+            for name, stat in self.overheads.items()
         }
+        if self.streaming:
+            # Requests still in flight at the horizon carry their final
+            # observed state (queued/decoding => not completed, TTFT if a
+            # first token appeared) — the same set exact mode reports.
+            aggregate = RequestAggregate(
+                arrivals=self._aggregate.arrivals,
+                completed=self._aggregate.completed,
+                dropped=self._aggregate.dropped,
+                slo_met=self._aggregate.slo_met,
+                ttft=QuantileSketch.from_dict(self._aggregate.ttft.to_dict()),
+            )
+            for request in self._pending.values():
+                aggregate.fold(request)
         return RunReport(
             system=system,
             duration=duration,
             requests=list(self.requests),
-            node_seconds_cpu=node_seconds[HardwareKind.CPU],
-            node_seconds_gpu=node_seconds[HardwareKind.GPU],
+            node_seconds_cpu=node_seconds.get(HardwareKind.CPU, 0.0),
+            node_seconds_gpu=node_seconds.get(HardwareKind.GPU, 0.0),
             decode_tokens_cpu=self.decode_tokens[HardwareKind.CPU],
             decode_tokens_gpu=self.decode_tokens[HardwareKind.GPU],
             batch_histogram=dict(self.batch_histogram),
@@ -152,4 +242,14 @@ class MetricsCollector:
             evictions=self.evictions,
             preemptions=self.preemptions,
             cold_starts=self.cold_starts,
+            metrics_mode=self.mode,
+            request_aggregate=aggregate if self.streaming else None,
+            memory_sketches=(
+                {k: QuantileSketch.from_dict(v.to_dict()) for k, v in self._memory_sketches.items()}
+                if self.streaming
+                else {}
+            ),
+            kv_utilization_sketch=(
+                QuantileSketch.from_dict(self._kv_sketch.to_dict()) if self.streaming else None
+            ),
         )

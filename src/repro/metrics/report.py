@@ -2,16 +2,29 @@
 
 A ``RunReport`` holds the finalized requests plus aggregate counters and
 derives every metric the paper plots.
+
+Reports come in two metrics modes (see
+:mod:`repro.metrics.collector`): ``exact`` retains every request and
+sample, ``streaming`` carries bounded counters and quantile sketches
+instead.  The derived accessors (counts, rates, ``*_cdf()``) are
+mode-agnostic — a streaming ``ttft_cdf()`` returns a
+:class:`~repro.metrics.streaming.QuantileSketch`, which answers the same
+percentile/mean/fraction_below/curve API as :class:`Cdf`.  Only the raw
+per-request views (``requests`` / ``completed``) are exact-only.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable, Union
 
 from repro.engine.request import Request, RequestState
 from repro.hardware.specs import HardwareKind
 from repro.metrics.cdf import Cdf
+from repro.metrics.streaming import QuantileSketch, RequestAggregate
+
+#: anything exposing the shared Cdf read API (percentile/mean/curve/...)
+Distribution = Union[Cdf, QuantileSketch]
 
 
 @dataclass(frozen=True)
@@ -93,38 +106,67 @@ class RunReport:
     # Run-cost accounting (set by BaseServingSystem.run).
     wall_seconds: float = 0.0
     events_processed: int = 0
+    # Streaming-mode payload (None/empty in exact mode).
+    metrics_mode: str = "exact"
+    request_aggregate: RequestAggregate | None = None
+    memory_sketches: dict[HardwareKind, QuantileSketch] = field(default_factory=dict)
+    kv_utilization_sketch: QuantileSketch | None = None
 
     # ------------------------------------------------------------------
     # Request outcomes
     # ------------------------------------------------------------------
     @property
     def total_requests(self) -> int:
+        if self.request_aggregate is not None:
+            return self.request_aggregate.arrivals
         return len(self.requests)
 
     @property
     def completed(self) -> list[Request]:
+        self._require_exact("completed")
         return [r for r in self.requests if r.state is RequestState.COMPLETED]
+
+    def _require_exact(self, what: str) -> None:
+        if self.request_aggregate is not None:
+            raise RuntimeError(
+                f"RunReport.{what} needs per-request data, which streaming "
+                f"metrics mode does not retain; use the aggregate accessors "
+                f"(counts, rates, *_cdf()) or rerun with metrics='exact'"
+            )
+
+    @property
+    def completed_count(self) -> int:
+        if self.request_aggregate is not None:
+            return self.request_aggregate.completed
+        return sum(1 for r in self.requests if r.state is RequestState.COMPLETED)
 
     @property
     def dropped_count(self) -> int:
+        if self.request_aggregate is not None:
+            return self.request_aggregate.dropped
         return sum(1 for r in self.requests if r.state is RequestState.DROPPED)
 
     @property
     def slo_met_count(self) -> int:
+        if self.request_aggregate is not None:
+            return self.request_aggregate.slo_met
         return sum(1 for r in self.requests if r.slo_met)
 
     @property
     def slo_rate(self) -> float:
-        if not self.requests:
+        total = self.total_requests
+        if not total:
             return 0.0
-        return self.slo_met_count / len(self.requests)
+        return self.slo_met_count / total
 
     @property
     def slo_miss_rate(self) -> float:
         return 1.0 - self.slo_rate
 
-    def ttft_cdf(self) -> Cdf:
+    def ttft_cdf(self) -> Distribution:
         """TTFT of requests that produced a first token (Fig. 22 left)."""
+        if self.request_aggregate is not None:
+            return self.request_aggregate.ttft
         values = [r.ttft for r in self.requests if r.ttft is not None]
         return Cdf.from_values(values)
 
@@ -155,8 +197,21 @@ class RunReport:
     # ------------------------------------------------------------------
     # Efficiency (Fig. 25)
     # ------------------------------------------------------------------
-    def memory_utilization_cdf(self, kind: HardwareKind = HardwareKind.GPU) -> Cdf:
+    def memory_utilization_cdf(self, kind: HardwareKind = HardwareKind.GPU) -> Distribution:
+        if self.metrics_mode == "streaming":
+            return self.memory_sketches.get(kind, QuantileSketch())
         return Cdf.from_values(self.memory_samples.get(kind, []))
+
+    def kv_utilization_cdf(self) -> Distribution:
+        if self.kv_utilization_sketch is not None:
+            return self.kv_utilization_sketch
+        return Cdf.from_values(self.kv_utilization_samples)
+
+    @property
+    def mean_kv_utilization(self) -> float:
+        """Mean sampled KV utilization, 0.0 when never sampled (Fig. 31)."""
+        cdf = self.kv_utilization_cdf()
+        return 0.0 if cdf.empty else cdf.mean
 
     def batch_size_cdf(self) -> Cdf:
         values: list[float] = []
@@ -246,6 +301,24 @@ class RunReport:
             "cold_starts": self.cold_starts,
             "events_processed": self.events_processed,
         }
+        # Streaming keys appear only in streaming mode, so exact payloads
+        # (and their cache fingerprints / golden fixtures) are unchanged.
+        if self.metrics_mode != "exact":
+            payload["metrics_mode"] = self.metrics_mode
+            payload["request_aggregate"] = (
+                self.request_aggregate.to_dict() if self.request_aggregate is not None else None
+            )
+            payload["memory_sketches"] = {
+                kind.value: sketch.to_dict()
+                for kind, sketch in sorted(
+                    self.memory_sketches.items(), key=lambda kv: kv[0].value
+                )
+            }
+            payload["kv_utilization_sketch"] = (
+                self.kv_utilization_sketch.to_dict()
+                if self.kv_utilization_sketch is not None
+                else None
+            )
         if include_volatile:
             payload["wall_seconds"] = self.wall_seconds
             payload["overhead_stats"] = {
@@ -284,4 +357,110 @@ class RunReport:
             cold_starts=payload["cold_starts"],
             wall_seconds=payload.get("wall_seconds", 0.0),
             events_processed=payload["events_processed"],
+            metrics_mode=payload.get("metrics_mode", "exact"),
+            request_aggregate=(
+                RequestAggregate.from_dict(payload["request_aggregate"])
+                if payload.get("request_aggregate") is not None
+                else None
+            ),
+            memory_sketches={
+                HardwareKind(kind): QuantileSketch.from_dict(sketch)
+                for kind, sketch in payload.get("memory_sketches", {}).items()
+            },
+            kv_utilization_sketch=(
+                QuantileSketch.from_dict(payload["kv_utilization_sketch"])
+                if payload.get("kv_utilization_sketch") is not None
+                else None
+            ),
         )
+
+
+def merge_run_reports(reports: Iterable["RunReport"]) -> "RunReport":
+    """Combine reports from shards of one logical run into a single report.
+
+    Counters, durations, node-seconds, histograms, and overhead stats
+    sum; quantile sketches merge bucket-wise — an associative operation,
+    so a parallel :class:`~repro.runner.executor.SweepExecutor` can fold
+    shard results in any grouping and reach the same aggregate (integer
+    state is bit-identical; float sums agree to rounding).
+
+    All shards must share one metrics mode.  Exact shards merge by
+    concatenating their request lists — legal, but memory stays
+    O(requests); the long-horizon path is streaming shards, whose merge
+    stays O(sketch buckets).
+    """
+    reports = list(reports)
+    if not reports:
+        raise ValueError("merge_run_reports needs at least one report")
+    modes = {report.metrics_mode for report in reports}
+    if len(modes) > 1:
+        raise ValueError(f"cannot merge reports with mixed metrics modes: {sorted(modes)}")
+    first = reports[0]
+    streaming = first.metrics_mode == "streaming"
+
+    merged_aggregate = None
+    merged_memory: dict[HardwareKind, QuantileSketch] = {}
+    merged_kv = None
+    if streaming:
+        merged_aggregate = RequestAggregate()
+        merged_kv = QuantileSketch()
+        for report in reports:
+            if report.request_aggregate is not None:
+                merged_aggregate.merge(report.request_aggregate)
+            if report.kv_utilization_sketch is not None:
+                merged_kv.merge(report.kv_utilization_sketch)
+            for kind, sketch in report.memory_sketches.items():
+                merged_memory.setdefault(kind, QuantileSketch()).merge(sketch)
+
+    batch_histogram: dict[int, int] = {}
+    gpu_batch_histogram: dict[int, int] = {}
+    memory_samples: dict[HardwareKind, list[float]] = {}
+    kv_samples: list[float] = []
+    overheads: dict[str, list[float]] = {}
+    for report in reports:
+        for batch, count in report.batch_histogram.items():
+            batch_histogram[batch] = batch_histogram.get(batch, 0) + count
+        for batch, count in report.gpu_batch_histogram.items():
+            gpu_batch_histogram[batch] = gpu_batch_histogram.get(batch, 0) + count
+        for kind, samples in report.memory_samples.items():
+            memory_samples.setdefault(kind, []).extend(samples)
+        kv_samples.extend(report.kv_utilization_samples)
+        for name, stat in report.overhead_stats.items():
+            overheads.setdefault(name, [0, 0.0])
+            overheads[name][0] += stat.count
+            overheads[name][1] += stat.total_seconds
+    overhead_stats = {
+        name: OverheadStat(
+            count=count,
+            total_seconds=total,
+            mean_seconds=total / count if count else 0.0,
+        )
+        for name, (count, total) in overheads.items()
+    }
+
+    return RunReport(
+        system=first.system,
+        duration=sum(report.duration for report in reports),
+        requests=[request for report in reports for request in report.requests],
+        node_seconds_cpu=sum(report.node_seconds_cpu for report in reports),
+        node_seconds_gpu=sum(report.node_seconds_gpu for report in reports),
+        decode_tokens_cpu=sum(report.decode_tokens_cpu for report in reports),
+        decode_tokens_gpu=sum(report.decode_tokens_gpu for report in reports),
+        batch_histogram=batch_histogram,
+        gpu_batch_histogram=gpu_batch_histogram,
+        memory_samples=memory_samples,
+        kv_utilization_samples=kv_samples,
+        overhead_stats=overhead_stats,
+        scaling_ops=sum(report.scaling_ops for report in reports),
+        scaling_busy_seconds=sum(report.scaling_busy_seconds for report in reports),
+        migrations=sum(report.migrations for report in reports),
+        evictions=sum(report.evictions for report in reports),
+        preemptions=sum(report.preemptions for report in reports),
+        cold_starts=sum(report.cold_starts for report in reports),
+        wall_seconds=sum(report.wall_seconds for report in reports),
+        events_processed=sum(report.events_processed for report in reports),
+        metrics_mode=first.metrics_mode,
+        request_aggregate=merged_aggregate,
+        memory_sketches=merged_memory,
+        kv_utilization_sketch=merged_kv,
+    )

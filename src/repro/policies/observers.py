@@ -22,6 +22,8 @@ from repro.policies.events import (
     NodeUnloaded,
     OverheadMeasured,
     RequestArrived,
+    RequestCompleted,
+    RequestDropped,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -48,6 +50,15 @@ class MetricsObserver(Observer):
         metrics = system.metrics
         bus = system.bus
         bus.subscribe(RequestArrived, lambda e: metrics.register_request(e.request))
+        if metrics.streaming:
+            # Fold request outcomes the moment they are final, so the
+            # collector releases the objects instead of retaining them
+            # for the whole run (requests cut off by the horizon are
+            # folded at finalize).  Exact mode skips the subscriptions
+            # entirely: its handler chains — and its event-bus cost —
+            # are unchanged.
+            bus.subscribe(RequestCompleted, lambda e: metrics.request_finished(e.request))
+            bus.subscribe(RequestDropped, lambda e: metrics.request_finished(e.request))
         bus.subscribe(InstanceLoaded, lambda e: self._loaded(system, e))
         bus.subscribe(
             InstanceUnloaded,

@@ -21,10 +21,11 @@ Usage::
 Contracts:
 
 * **system** — ``factory(cluster, *, slo=..., config=...,
-  policy_overrides=..., **bundle_kwargs) -> ServingSystem``.
+  policy_overrides=..., metrics=..., **bundle_kwargs) -> ServingSystem``.
   ``policy_overrides`` maps policy kinds to registered policy specs
   (e.g. ``{"reclaim": "never"}``) and is how sweeps ablate one
-  mechanism of a system without writing a new class.
+  mechanism of a system without writing a new class; ``metrics``
+  selects the collector mode (``"exact"`` / ``"streaming"``).
 * **cluster** — ``factory() -> Cluster``.  :func:`build_cluster`
   additionally accepts ad-hoc ``cpu{N}-gpu{M}`` names (e.g.
   ``cpu2-gpu6``) so sweeps can vary node counts without registering
@@ -103,11 +104,13 @@ def _bundle_system_factory(bundle_name: str) -> Callable[..., ServingSystem]:
         config: Optional[SystemConfig] = None,
         policy_overrides: Mapping[str, str] | Iterable[tuple[str, str]] | None = None,
         observers: Optional[list[Observer]] = None,
+        metrics: str = "exact",
         **bundle_kwargs,
     ) -> ServingSystem:
         bundle = build_bundle(bundle_name, overrides=policy_overrides, **bundle_kwargs)
         return ServingSystem(
-            cluster, policies=bundle, slo=slo, config=config, observers=observers
+            cluster, policies=bundle, slo=slo, config=config, observers=observers,
+            metrics=metrics,
         )
 
     factory.__name__ = f"make_{bundle_name}"

@@ -42,6 +42,11 @@ def execute_spec(spec: RunSpec, workload=None, **system_kwargs: Any) -> RunResul
         workload = build_workload(spec)
     if spec.policy_overrides:
         system_kwargs.setdefault("policy_overrides", dict(spec.policy_overrides))
+    # Like policy_overrides: only forwarded when non-default, so system
+    # factories written before the metrics axis existed keep working for
+    # every exact-mode spec.
+    if spec.metrics != "exact":
+        system_kwargs.setdefault("metrics", spec.metrics)
     system = system_factory(spec.system)(build_cluster(spec.cluster), **system_kwargs)
     report = system.run(workload)
     return RunResult(
@@ -97,6 +102,21 @@ class SweepExecutor:
                 results[index] = RunResult.from_payload(payload)
 
         return [result for result in results if result is not None]
+
+    def run_merged(self, specs: Sequence[RunSpec]) -> tuple[list[RunResult], "RunReport"]:
+        """Execute ``specs`` as shards of one logical run and fold them.
+
+        Returns the per-shard results plus the merged
+        :class:`~repro.metrics.report.RunReport`.  Streaming-mode shards
+        merge sketch-wise (bounded memory, associative — any shard
+        grouping yields the same aggregate), which is how a long horizon
+        is split across worker processes without any shard, or the
+        merge, holding O(total requests) state.
+        """
+        from repro.metrics.report import merge_run_reports
+
+        results = self.run(specs)
+        return results, merge_run_reports([result.report for result in results])
 
     def _run_parallel(self, specs: Sequence[RunSpec]) -> list[dict[str, Any]]:
         workers = min(self.workers, len(specs))

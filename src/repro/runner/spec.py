@@ -70,10 +70,20 @@ class RunSpec:
     # system's bundle, e.g. (("reclaim", "never"),).  Folded into the
     # fingerprint, so every policy combination caches separately.
     policy_overrides: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+    # Metrics accumulation mode: "exact" (lossless, O(requests) memory)
+    # or "streaming" (bounded sketches, long-horizon runs).  The payload
+    # shapes differ, so non-default modes fingerprint separately.
+    metrics: str = "exact"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "scenario_params", _freeze_params(self.scenario_params))
         object.__setattr__(self, "policy_overrides", _freeze_overrides(self.policy_overrides))
+        from repro.metrics.collector import METRICS_MODES
+
+        if self.metrics not in METRICS_MODES:
+            raise ValueError(
+                f"unknown metrics mode {self.metrics!r} (known: {', '.join(METRICS_MODES)})"
+            )
 
     # ------------------------------------------------------------------
     # Resolution
@@ -107,6 +117,10 @@ class RunSpec:
         # results) stay valid for un-overridden specs.
         if self.policy_overrides:
             payload["policy_overrides"] = dict(self.policy_overrides)
+        # Same compatibility rule: the default (exact) mode serializes
+        # exactly as before the streaming subsystem existed.
+        if self.metrics != "exact":
+            payload["metrics"] = self.metrics
         return payload
 
     @classmethod
@@ -122,6 +136,7 @@ class RunSpec:
             duration=payload.get("duration"),
             scenario_params=payload.get("scenario_params"),
             policy_overrides=payload.get("policy_overrides") or (),
+            metrics=payload.get("metrics", "exact"),
         )
 
     def fingerprint(self) -> str:
@@ -137,6 +152,8 @@ class RunSpec:
         system = self.system
         if self.policy_overrides:
             system += "[" + ",".join(f"{k}={v}" for k, v in self.policy_overrides) + "]"
+        if self.metrics != "exact":
+            system += f" metrics={self.metrics}"
         return (
             f"{self.scenario}{params}/{self.model} x{self.n_models} "
             f"@{window} on {self.cluster} seed={self.seed} -> {system}"
@@ -188,6 +205,7 @@ def expand_grid(
     duration: float | None = None,
     scenario_params: dict[str, Any] | None = None,
     policies: dict[str, Sequence[str]] | None = None,
+    metrics: str = "exact",
 ) -> list[RunSpec]:
     """The cross-product of the given axes, in deterministic order.
 
@@ -218,6 +236,7 @@ def expand_grid(
                                         duration=duration,
                                         scenario_params=scenario_params,
                                         policy_overrides=overrides,
+                                        metrics=metrics,
                                     )
                                 )
     return specs

@@ -22,6 +22,15 @@ Scenarios:
   a short window (the §III-C concurrency-surge pattern, amplified).
 * ``mixed-fleet`` — the §IX-E heterogeneous fleet (3B/7B/13B/34B, the
   34B tensor-parallel over 2 GPUs), promoted from ``examples/``.
+* ``diurnal-week`` — seven day/night cycles with weekday/weekend
+  modulation.  The long-horizon companion to ``diurnal``: replayed over
+  a real week (``--duration 604800``) it synthesizes ~10^6 requests,
+  which only the streaming metrics mode can measure in bounded memory.
+* ``million-burst`` — sustained storm traffic: elevated background load
+  plus a train of flash crowds rotating across the hottest deployments.
+  At week-scale durations the default parameters produce millions of
+  requests — the paper's "heavy traffic" regime, feasible (metrics-wise)
+  only under ``metrics="streaming"``.
 """
 
 from __future__ import annotations
@@ -181,6 +190,166 @@ def diurnal(
     deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
     return Workload(
         name=f"diurnal-{n_models}m",
+        deployments=deployments,
+        requests=requests,
+        duration=duration,
+    )
+
+
+# ----------------------------------------------------------------------
+# Long-horizon: a compressed (or real) week of diurnal traffic
+# ----------------------------------------------------------------------
+@SCENARIOS.register("diurnal-week")
+def diurnal_week(
+    model: ModelSpec,
+    n_models: int,
+    duration: float,
+    requests_per_model: float,
+    seed: int,
+    *,
+    peak_to_trough: float = 4.0,
+    weekend_factor: float = 0.6,
+    zipf_exponent: float = 1.2,
+    dataset: str = "azure-conversation",
+) -> Workload:
+    """Seven day/night cycles with weekday/weekend modulation.
+
+    The trace window represents one week: the arrival density is the
+    ``diurnal`` raised sinusoid repeated once per "day" (one seventh of
+    the window), with the last two days scaled by ``weekend_factor``.
+    The request *rate* is budget-preserving (``requests_per_model ×
+    n_models`` in expectation over the window), so at smoke scale this
+    is a fast CI scenario — while a real-time replay
+    (``--duration 604800``) synthesizes on the order of a million
+    requests, a horizon only the streaming metrics mode can measure
+    without O(requests) collector memory.
+    """
+    if peak_to_trough < 1.0:
+        raise ValueError("peak_to_trough must be >= 1")
+    if weekend_factor <= 0.0:
+        raise ValueError("weekend_factor must be positive")
+    rate_rng = make_rng(seed, "diurnal-week-rates")
+    arrival_rng = make_rng(seed, "diurnal-week-arrivals")
+    length_rng = make_rng(seed, "diurnal-week-lengths")
+
+    models = replica_models(model, n_models)
+    names = list(models)
+    weights = _zipf_weights(n_models, zipf_exponent, rate_rng)
+    total_target = requests_per_model * n_models
+
+    # Density over a fine grid: per-day sinusoid × weekday/weekend weight.
+    amplitude = (peak_to_trough - 1.0) / 2.0
+    grid = np.linspace(0.0, duration, 8192)
+    day_index = np.minimum((7.0 * grid / duration).astype(int), 6)
+    day_weight = np.where(day_index >= 5, weekend_factor, 1.0)
+    density = day_weight * (1.0 + amplitude * (1.0 - np.cos(2.0 * np.pi * 7.0 * grid / duration)))
+    cdf = np.cumsum(density)
+    cdf = (cdf - cdf[0]) / (cdf[-1] - cdf[0])
+
+    requests: list[RequestSpec] = []
+    for name, weight in zip(names, weights):
+        count = int(arrival_rng.poisson(total_target * weight))
+        if count == 0:
+            continue
+        uniforms = arrival_rng.uniform(0.0, 1.0, size=count)
+        times = np.interp(uniforms, cdf, grid).tolist()
+        _emit(name, times, length_rng, _length_distribution(dataset), model, requests)
+
+    deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
+    return Workload(
+        name=f"diurnal-week-{n_models}m",
+        deployments=deployments,
+        requests=requests,
+        duration=duration,
+    )
+
+
+# ----------------------------------------------------------------------
+# Long-horizon: storm traffic (the "million requests" regime)
+# ----------------------------------------------------------------------
+@SCENARIOS.register("million-burst")
+def million_burst(
+    model: ModelSpec,
+    n_models: int,
+    duration: float,
+    requests_per_model: float,
+    seed: int,
+    *,
+    load_factor: float = 4.0,
+    bursts: int = 12,
+    burst_width: float = 0.25,
+    burst_share: float = 0.5,
+    hot_share: float = 0.25,
+    zipf_exponent: float = 1.2,
+    dataset: str = "azure-conversation",
+) -> Workload:
+    """Sustained storm traffic: heavy background plus a flash-crowd train.
+
+    The total budget is ``load_factor`` times the stationary scenarios'
+    (the sustained-overload regime): a ``1 - burst_share`` fraction
+    arrives as stationary Poisson background, the rest concentrates into
+    ``bursts`` evenly spaced windows (each ``burst_width`` of its slot),
+    with each burst hitting a *rotating* group of the ``hot_share``
+    hottest deployments — so keep-alive state thrashes instead of
+    settling.  At week-scale durations the defaults synthesize millions
+    of requests; pair with ``metrics="streaming"``, which is the only
+    collector mode whose memory does not grow with that horizon.
+    """
+    if load_factor <= 0.0:
+        raise ValueError("load_factor must be positive")
+    if bursts < 1:
+        raise ValueError("bursts must be >= 1")
+    if not 0.0 < burst_width <= 1.0 or not 0.0 <= burst_share <= 1.0:
+        raise ValueError("burst_width must be in (0, 1] and burst_share in [0, 1]")
+    if not 0.0 < hot_share <= 1.0:
+        raise ValueError("hot_share must be in (0, 1]")
+    rate_rng = make_rng(seed, "million-burst-rates")
+    arrival_rng = make_rng(seed, "million-burst-arrivals")
+    length_rng = make_rng(seed, "million-burst-lengths")
+
+    models = replica_models(model, n_models)
+    names = list(models)
+    weights = _zipf_weights(n_models, zipf_exponent, rate_rng)
+    total_target = requests_per_model * n_models * load_factor
+    lengths = _length_distribution(dataset)
+
+    hot_count = max(1, round(n_models * hot_share))
+    ranked = list(np.argsort(weights)[::-1])
+    slot = duration / bursts
+    window = burst_width * slot
+    per_burst_budget = burst_share * total_target / bursts
+
+    # Background: stationary Poisson per deployment.
+    times_by_model: dict[int, list[float]] = {index: [] for index in range(n_models)}
+    for index, weight in enumerate(weights):
+        count = int(arrival_rng.poisson((1.0 - burst_share) * total_target * weight))
+        if count:
+            times_by_model[index].extend(arrival_rng.uniform(0.0, duration, size=count).tolist())
+
+    # Burst train: burst b hammers a rotating window of the popularity
+    # ranking, so consecutive crowds hit overlapping-but-shifting sets.
+    for burst in range(bursts):
+        start = burst * slot + (slot - window) / 2.0
+        end = min(duration, start + window)
+        group = [ranked[(burst + offset) % n_models] for offset in range(hot_count)]
+        group_weight = sum(weights[index] for index in group)
+        for index in group:
+            share = weights[index] / group_weight if group_weight > 0 else 1.0 / len(group)
+            count = int(arrival_rng.poisson(per_burst_budget * share))
+            if count:
+                times_by_model[index].extend(
+                    arrival_rng.uniform(start, end, size=count).tolist()
+                )
+
+    requests: list[RequestSpec] = []
+    for index, name in enumerate(names):
+        times = times_by_model[index]
+        if times:
+            _emit(name, times, length_rng, lengths, model, requests)
+
+    deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
+    return Workload(
+        name=f"million-burst-{n_models}m",
         deployments=deployments,
         requests=requests,
         duration=duration,

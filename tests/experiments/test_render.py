@@ -43,3 +43,25 @@ def test_render_table2_matches_paper_layout():
     assert len(lines) == 1
     # The quarter-node cell is the paper's "-".
     assert "| - |" in lines[0]
+
+
+def test_render_percentiles_accepts_both_distribution_kinds():
+    from repro.experiments.render import render_percentiles
+    from repro.metrics import Cdf, QuantileSketch
+
+    values = [0.5, 1.0, 1.5, 2.0, 4.0]
+    text = render_percentiles(
+        [
+            ("exact", Cdf.from_values(values)),
+            ("streaming", QuantileSketch.from_values(values)),
+            ("empty", Cdf.from_values([])),
+        ]
+    )
+    lines = text.splitlines()
+    assert lines[0].startswith("| distribution | p50 | p90 | p99 |")
+    assert len(lines) == 5  # header + separator + three rows
+    exact_row = next(l for l in lines if l.startswith("| exact"))
+    streaming_row = next(l for l in lines if l.startswith("| streaming"))
+    # Same samples, same (rounded) percentiles in either mode.
+    assert exact_row.split("|")[2:] == streaming_row.split("|")[2:]
+    assert "| - |" in next(l for l in lines if l.startswith("| empty"))

@@ -37,12 +37,25 @@ def test_cdf_percentiles_and_stats():
 
 
 def test_cdf_empty_behaviour():
+    """Unified empty contract: every statistic raises, only curve() is
+    lenient (an empty plot is an empty list)."""
     cdf = Cdf.from_values([])
     assert cdf.empty
-    assert cdf.fraction_below(1.0) == 0.0
+    with pytest.raises(ValueError):
+        cdf.fraction_below(1.0)
     with pytest.raises(ValueError):
         cdf.percentile(50)
+    with pytest.raises(ValueError):
+        cdf.mean
     assert cdf.curve() == []
+
+
+def test_cdf_curve_matches_per_point_percentiles():
+    cdf = Cdf.from_values([4.0, 1.0, 9.0, 2.5, 7.0])
+    curve = cdf.curve(points=11)
+    assert len(curve) == 11
+    for value, fraction in curve:
+        assert value == pytest.approx(cdf.percentile(100.0 * fraction))
 
 
 def test_cdf_curve_monotone():
@@ -89,6 +102,54 @@ def test_unload_without_load_raises():
     collector.node_unloaded("n", 1.0)
     with pytest.raises(RuntimeError):
         collector.node_unloaded("n", 2.0)
+
+
+def test_unload_of_never_loaded_node_raises_runtime_error():
+    """A never-loaded node is the same bookkeeping bug as an unmatched
+    unload — an informative RuntimeError, not a bare KeyError."""
+    collector = MetricsCollector()
+    with pytest.raises(RuntimeError, match="never loaded"):
+        collector.node_unloaded("ghost", 1.0)
+
+
+def test_finalize_twice_yields_identical_reports():
+    """Regression: finalize must not mutate node-activity state, so a
+    second finalize (same instant) reproduces the first byte-for-byte —
+    including a node whose busy interval is still open."""
+    collector = MetricsCollector()
+    collector.node_loaded("gpu-0", HardwareKind.GPU, 5.0)
+    collector.node_loaded("cpu-0", HardwareKind.CPU, 0.0)
+    collector.node_unloaded("cpu-0", 8.0)
+    collector.register_request(make_request(0))
+    first = collector.finalize(now=20.0, duration=30.0, system="t")
+    second = collector.finalize(now=20.0, duration=30.0, system="t")
+    assert first.to_dict() == second.to_dict()
+    # The still-open gpu interval was counted without being closed:
+    # later activity keeps working and extends it.
+    collector.node_unloaded("gpu-0", 25.0)
+    third = collector.finalize(now=30.0, duration=30.0, system="t")
+    assert third.node_seconds_gpu == pytest.approx(20.0)
+
+
+def test_finalize_tolerates_future_hardware_kinds():
+    """node_seconds must not KeyError on kinds beyond the CPU/GPU pair
+    the report itemizes (e.g. a future accelerator kind)."""
+
+    class _FutureKind:
+        value = "tpu"
+
+    from repro.metrics.collector import _NodeActivity
+
+    collector = MetricsCollector()
+    collector.node_loaded("gpu-0", HardwareKind.GPU, 0.0)
+    collector.node_unloaded("gpu-0", 10.0)
+    activity = _NodeActivity(kind=_FutureKind())
+    activity.on_load(0.0)
+    activity.on_unload(4.0)
+    collector._nodes["tpu-0"] = activity
+    report = collector.finalize(now=10.0, duration=10.0, system="t")
+    assert report.node_seconds_gpu == pytest.approx(10.0)
+    assert report.node_seconds_cpu == 0.0
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,70 @@
+"""Streaming-vs-exact cross-check on every registered scenario.
+
+The trajectory of a run is observer-independent, so counters must match
+*exactly* between the two metrics modes, and streaming percentiles must
+track exact ones within the 1 % acceptance tolerance — on every
+scenario, including the two long-horizon ones (which this test also
+proves run to completion under streaming mode at smoke scale)."""
+
+import pytest
+
+from repro.registry import SCENARIOS
+from repro.runner import RunSpec, build_workload, execute_spec
+
+#: tolerance from the acceptance criteria (sketch alpha is 0.5 %)
+REL_TOL = 0.01
+
+AXES = dict(system="slinfer", n_models=4, cluster="small", seed=3, scale="smoke")
+
+
+def _run_both(scenario):
+    exact_spec = RunSpec(scenario=scenario, **AXES)
+    stream_spec = RunSpec(scenario=scenario, metrics="streaming", **AXES)
+    workload = build_workload(exact_spec)
+    exact = execute_spec(exact_spec, workload=workload).report
+    streaming = execute_spec(stream_spec, workload=workload).report
+    return exact, streaming
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS.names())
+def test_streaming_matches_exact_on_scenario(scenario):
+    exact, streaming = _run_both(scenario)
+
+    # Counters are trajectory facts: identical, not approximate.
+    assert streaming.total_requests == exact.total_requests
+    assert streaming.completed_count == exact.completed_count
+    assert streaming.dropped_count == exact.dropped_count
+    assert streaming.slo_met_count == exact.slo_met_count
+    assert streaming.node_seconds_cpu == exact.node_seconds_cpu
+    assert streaming.node_seconds_gpu == exact.node_seconds_gpu
+    assert streaming.batch_histogram == exact.batch_histogram
+    assert streaming.decode_tokens_cpu == exact.decode_tokens_cpu
+    assert streaming.decode_tokens_gpu == exact.decode_tokens_gpu
+    assert streaming.events_processed == exact.events_processed
+
+    # Distributions: same sample counts, percentiles within 1 % relative.
+    pairs = [
+        ("ttft", exact.ttft_cdf(), streaming.ttft_cdf()),
+        ("memory", exact.memory_utilization_cdf(), streaming.memory_utilization_cdf()),
+        ("kv", exact.kv_utilization_cdf(), streaming.kv_utilization_cdf()),
+    ]
+    for name, exact_cdf, streaming_cdf in pairs:
+        assert len(streaming_cdf) == len(exact_cdf), name
+        if exact_cdf.empty:
+            continue
+        for q in (50.0, 90.0, 99.0):
+            want = exact_cdf.percentile(q)
+            got = streaming_cdf.percentile(q)
+            assert got == pytest.approx(want, rel=REL_TOL), f"{name} p{q}"
+        assert streaming_cdf.mean == pytest.approx(exact_cdf.mean, rel=1e-9), name
+
+
+@pytest.mark.parametrize("scenario", ["diurnal-week", "million-burst"])
+def test_long_horizon_scenarios_complete_under_streaming(scenario):
+    spec = RunSpec(scenario=scenario, metrics="streaming", **AXES)
+    result = execute_spec(spec)
+    report = result.report
+    assert report.metrics_mode == "streaming"
+    assert report.total_requests > 0
+    assert report.requests == []  # nothing retained
+    assert report.events_processed > 0

@@ -1,0 +1,89 @@
+"""ResultCache degraded paths: corrupt entries, stale versions,
+fingerprint echo mismatches, and mid-write failures must all degrade to
+a miss (or a clean raise) — never to replaying a wrong result."""
+
+import json
+
+import pytest
+
+from repro.runner import ResultCache, RunSpec, execute_spec
+from repro.runner.cache import _repro_version
+from repro.runner.spec import PAYLOAD_VERSION
+
+SPEC = RunSpec(system="sllm", n_models=2, duration=60.0)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return execute_spec(SPEC).to_payload()
+
+
+def make_cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def test_missing_entry_is_a_miss(tmp_path):
+    cache = make_cache(tmp_path)
+    assert cache.get("0" * 64) is None
+    assert cache.misses == 1 and cache.hits == 0
+
+
+def test_round_trip_hit(tmp_path, payload):
+    cache = make_cache(tmp_path)
+    cache.put(payload["fingerprint"], payload)
+    stored = cache.get(payload["fingerprint"])
+    assert stored is not None
+    # Compare through JSON: the disk round trip turns tuples into lists.
+    assert stored["report"] == json.loads(json.dumps(payload))["report"]
+    assert cache.hits == 1
+
+
+def test_truncated_json_degrades_to_miss(tmp_path, payload):
+    cache = make_cache(tmp_path)
+    fingerprint = payload["fingerprint"]
+    cache.put(fingerprint, payload)
+    path = cache.path(fingerprint)
+    path.write_text(path.read_text(encoding="utf-8")[: 50], encoding="utf-8")
+    assert cache.get(fingerprint) is None
+    assert cache.misses == 1
+
+
+def test_fingerprint_echo_mismatch_is_a_miss(tmp_path, payload):
+    cache = make_cache(tmp_path)
+    other = "f" * 64
+    # Store a payload whose embedded fingerprint disagrees with its key
+    # (e.g. a renamed/copied cache file): it must not replay.
+    cache.put(other, payload)
+    assert cache.get(other) is None
+    assert cache.misses == 1
+
+
+def test_payload_version_mismatch_is_a_miss(tmp_path, payload):
+    cache = make_cache(tmp_path)
+    stale = {**payload, "version": PAYLOAD_VERSION + 1}
+    cache.put(stale["fingerprint"], stale)
+    assert cache.get(payload["fingerprint"]) is None
+
+
+def test_repro_version_mismatch_is_a_miss(tmp_path, payload):
+    cache = make_cache(tmp_path)
+    fingerprint = payload["fingerprint"]
+    cache.put(fingerprint, payload)
+    entry = json.loads(cache.path(fingerprint).read_text(encoding="utf-8"))
+    assert entry["repro_version"] == _repro_version()
+    entry["repro_version"] = "0.0.0-stale"
+    cache.path(fingerprint).write_text(json.dumps(entry), encoding="utf-8")
+    assert cache.get(fingerprint) is None
+
+
+def test_put_failure_mid_write_cleans_up_temp_file(tmp_path, payload):
+    cache = make_cache(tmp_path)
+    fingerprint = payload["fingerprint"]
+    poisoned = {**payload, "unserializable": object()}
+    with pytest.raises(TypeError):
+        cache.put(fingerprint, poisoned)
+    assert not cache.path(fingerprint).exists()
+    assert list(cache.root.glob("*.tmp")) == [], "temp file leaked"
+    # The cache stays usable after the failed write.
+    cache.put(fingerprint, payload)
+    assert cache.get(fingerprint) is not None

@@ -54,6 +54,73 @@ def test_results_keep_spec_order():
     assert [r.spec for r in results] == specs
 
 
+# ----------------------------------------------------------------------
+# Streaming-mode sweeps and shard merging
+# ----------------------------------------------------------------------
+def shard_specs():
+    return [
+        RunSpec(system="slinfer", seed=seed, metrics="streaming", **TINY)
+        for seed in (1, 2, 3)
+    ]
+
+
+def test_streaming_specs_fingerprint_separately_and_round_trip():
+    exact = RunSpec(system="slinfer", **TINY)
+    streaming = RunSpec(system="slinfer", metrics="streaming", **TINY)
+    assert exact.fingerprint() != streaming.fingerprint()
+    # The default mode serializes exactly as before the field existed.
+    assert "metrics" not in exact.to_dict()
+    assert RunSpec.from_dict(streaming.to_dict()) == streaming
+    assert "metrics=streaming" in streaming.label()
+
+
+def test_streaming_sweep_parallel_matches_sequential():
+    specs = shard_specs()
+    sequential = SweepExecutor(workers=1).run(specs)
+    parallel = SweepExecutor(workers=3).run(specs)
+    for seq, par in zip(sequential, parallel):
+        assert seq.canonical_json() == par.canonical_json()
+    assert all(r.report.metrics_mode == "streaming" for r in sequential)
+
+
+def test_run_merged_folds_streaming_shards():
+    executor = SweepExecutor(workers=1)
+    results, merged = executor.run_merged(shard_specs())
+    assert merged.metrics_mode == "streaming"
+    assert merged.total_requests == sum(r.report.total_requests for r in results)
+    assert merged.events_processed == sum(r.report.events_processed for r in results)
+    assert merged.duration == pytest.approx(sum(r.report.duration for r in results))
+    assert len(merged.ttft_cdf()) == sum(len(r.report.ttft_cdf()) for r in results)
+    assert merged.requests == []  # still bounded: no per-request state
+
+
+def test_shard_merge_is_associative():
+    from repro.metrics.report import merge_run_reports
+
+    reports = [execute_spec(spec).report for spec in shard_specs()]
+    a, b, c = reports
+    left = merge_run_reports([merge_run_reports([a, b]), c])
+    right = merge_run_reports([a, merge_run_reports([b, c])])
+    # Integer state is bit-identical under any grouping; float sums
+    # agree to rounding.
+    assert left.ttft_cdf().to_dict()["bins"] == right.ttft_cdf().to_dict()["bins"]
+    assert left.total_requests == right.total_requests
+    assert left.batch_histogram == right.batch_histogram
+    assert left.node_seconds_cpu == pytest.approx(right.node_seconds_cpu, rel=1e-12)
+    assert left.ttft_cdf().percentile(90.0) == right.ttft_cdf().percentile(90.0)
+
+
+def test_merge_rejects_mixed_modes():
+    from repro.metrics.report import merge_run_reports
+
+    exact = execute_spec(RunSpec(system="slinfer", **TINY)).report
+    streaming = execute_spec(
+        RunSpec(system="slinfer", metrics="streaming", **TINY)
+    ).report
+    with pytest.raises(ValueError, match="mixed"):
+        merge_run_reports([exact, streaming])
+
+
 def test_cache_hit_miss_and_equality(tmp_path):
     specs = tiny_grid()[:2]
     cache = ResultCache(tmp_path / "cache")

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -82,6 +84,32 @@ def test_sweep_command_uses_cache(tmp_path, capsys):
     assert main(args) == 0
     out = capsys.readouterr().out
     assert "1 from cache" in out
+
+
+def test_sweep_streaming_metrics_mode(tmp_path, capsys):
+    args = [
+        "sweep",
+        "--systems", "sllm",
+        "--models", "2",
+        "--duration", "60",
+        "--metrics", "streaming",
+        "--no-cache",
+        "--out", str(tmp_path / "out"),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "metrics=streaming" in out
+    written = list((tmp_path / "out").iterdir())
+    assert len(written) == 1
+    payload = json.loads(written[0].read_text(encoding="utf-8"))
+    assert payload["spec"]["metrics"] == "streaming"
+    assert payload["report"]["metrics_mode"] == "streaming"
+    assert payload["report"]["requests"] == []
+
+
+def test_sweep_rejects_unknown_metrics_mode():
+    with pytest.raises(SystemExit):
+        main(["sweep", "--metrics", "sketchy"])
 
 
 def test_list_policies_shows_kinds_and_bundles(capsys):

@@ -10,7 +10,18 @@ def build(name, n_models=16, duration=600.0, requests_per_model=24.0, seed=3, **
     return SCENARIOS.get(name)(LLAMA2_7B, n_models, duration, requests_per_model, seed, **params)
 
 
-@pytest.mark.parametrize("name", ["azure", "burstgpt", "diurnal", "bursty-spike", "mixed-fleet"])
+@pytest.mark.parametrize(
+    "name",
+    [
+        "azure",
+        "burstgpt",
+        "diurnal",
+        "bursty-spike",
+        "mixed-fleet",
+        "diurnal-week",
+        "million-burst",
+    ],
+)
 def test_scenarios_build_valid_workloads(name):
     workload = build(name)
     assert len(workload.deployments) == 16
@@ -19,7 +30,9 @@ def test_scenarios_build_valid_workloads(name):
     assert all(0.0 <= r.arrival < 600.0 for r in workload.requests)
 
 
-@pytest.mark.parametrize("name", ["diurnal", "bursty-spike", "mixed-fleet"])
+@pytest.mark.parametrize(
+    "name", ["diurnal", "bursty-spike", "mixed-fleet", "diurnal-week", "million-burst"]
+)
 def test_scenarios_deterministic_per_seed(name):
     first, second = build(name), build(name)
     assert [(r.deployment, r.arrival, r.input_len, r.output_len) for r in first.requests] == [
@@ -70,6 +83,65 @@ def test_mixed_fleet_runs_34b_tensor_parallel():
 def test_mixed_fleet_ratio_validation():
     with pytest.raises(ValueError):
         build("mixed-fleet", ratio=(1, 2))
+
+
+def test_diurnal_week_has_seven_cycles_with_quieter_weekend():
+    workload = build(
+        "diurnal-week", n_models=32, requests_per_model=60.0, weekend_factor=0.3
+    )
+    duration = workload.duration
+    day = duration / 7.0
+    per_day = [0] * 7
+    for request in workload.requests:
+        per_day[min(6, int(request.arrival / day))] += 1
+    weekday_mean = sum(per_day[:5]) / 5.0
+    weekend_mean = sum(per_day[5:]) / 2.0
+    assert weekend_mean < 0.6 * weekday_mean, per_day
+
+
+def test_diurnal_week_rejects_bad_params():
+    with pytest.raises(ValueError):
+        build("diurnal-week", peak_to_trough=0.5)
+    with pytest.raises(ValueError):
+        build("diurnal-week", weekend_factor=0.0)
+
+
+def test_million_burst_scales_budget_and_concentrates_bursts():
+    stationary = build("azure", n_models=32, requests_per_model=20.0)
+    storm = build(
+        "million-burst",
+        n_models=32,
+        requests_per_model=20.0,
+        load_factor=4.0,
+        bursts=4,
+        burst_width=0.2,
+        burst_share=0.5,
+    )
+    # The storm carries ~load_factor times the stationary volume...
+    assert storm.total_requests > 3.0 * stationary.total_requests
+    # ...with the burst half of it inside the four 20%-of-slot windows
+    # (20% of the trace overall holds well over 20% of the traffic).
+    duration = storm.duration
+    slot = duration / 4.0
+    window = 0.2 * slot
+    in_windows = 0
+    for request in storm.requests:
+        burst = min(3, int(request.arrival / slot))
+        start = burst * slot + (slot - window) / 2.0
+        if start <= request.arrival < start + window:
+            in_windows += 1
+    assert in_windows > 0.4 * storm.total_requests
+
+
+def test_million_burst_rejects_bad_params():
+    with pytest.raises(ValueError):
+        build("million-burst", load_factor=0.0)
+    with pytest.raises(ValueError):
+        build("million-burst", bursts=0)
+    with pytest.raises(ValueError):
+        build("million-burst", burst_width=1.5)
+    with pytest.raises(ValueError):
+        build("million-burst", hot_share=1.5)
 
 
 def test_dataset_param_selects_length_distribution():
