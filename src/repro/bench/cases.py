@@ -141,6 +141,25 @@ def _metrics_streaming(config: BenchConfig) -> int:
     return execute_spec(spec).report.events_processed
 
 
+def _topology_contention(config: BenchConfig) -> int:
+    """The contention model under stress: a cold-start storm behind one
+    shared, oversubscribed NIC (``rack-oversub`` cluster).
+
+    Every wave of the ``cold-churn`` scenario launches concurrent model
+    loads that time-share the rack uplink, so this case measures the
+    event-driven re-timing machinery (transfer start/finish → rate
+    recomputation → completion reschedule) end-to-end."""
+    spec = RunSpec(
+        system="slinfer",
+        scenario="cold-churn",
+        n_models=12,
+        cluster="rack-oversub",
+        seed=1,
+        scale=config.scale,
+    )
+    return execute_spec(spec).report.events_processed
+
+
 def _metrics_sketch_insert(config: BenchConfig) -> int:
     """Raw quantile-sketch ingest + query throughput (samples/sec)."""
     from repro.metrics.streaming import QuantileSketch
@@ -188,6 +207,7 @@ CORE_CASES: dict[str, Callable[[BenchConfig], int]] = {
     "workload-synthesis": _workload_synthesis,
     "metrics-streaming": _metrics_streaming,
     "metrics-sketch-insert": _metrics_sketch_insert,
+    "topology-contention": _topology_contention,
 }
 
 #: untimed per-case annotations attached to the written report
@@ -223,6 +243,14 @@ def run_core_suite(
 #: metrics — the mode they exist to make feasible
 _STREAMING_SCENARIOS = frozenset({"diurnal-week", "million-burst"})
 
+#: scenarios whose point is a particular hardware shape run on it; the
+#: rest use the homogeneous cpu2-gpu2 default
+_SCENARIO_CLUSTERS = {
+    "het-fleet": "het-gpu",
+    "cold-churn": "rack-oversub",
+    "cpu-harvest": "harvest16",
+}
+
 
 def run_scenario_suite(
     config: BenchConfig, only: set[str] | None = None
@@ -236,7 +264,7 @@ def run_scenario_suite(
             system="slinfer",
             scenario=scenario,
             n_models=8,
-            cluster="cpu2-gpu2",
+            cluster=_SCENARIO_CLUSTERS.get(scenario, "cpu2-gpu2"),
             seed=1,
             scale=config.scale,
             metrics="streaming" if scenario in _STREAMING_SCENARIOS else "exact",
@@ -258,6 +286,7 @@ def run_scenario_suite(
                 meta={
                     "requests": workload.total_requests,
                     "system": "slinfer",
+                    "cluster": spec.cluster,
                     "metrics": spec.metrics,
                 },
             )

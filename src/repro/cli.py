@@ -10,7 +10,8 @@ Commands:
   mechanism ablation (e.g. SLINFER placement with the reclaim policy
   swapped) is one command line instead of a bespoke driver.
 * ``list`` — show the registered systems, scenarios, clusters, models,
-  and (``list policies``) the policy and bundle tables.
+  (``list hardware``) the node specs and interconnect topologies, and
+  (``list policies``) the policy and bundle tables.
 * ``experiment`` — run a named paper experiment (``fig22``, ``ablation``,
   ``table1``, ``table2``, ``watermark``, ``keepalive``, ``pd``, ``quant``).
 * ``calibration`` — print the calibrated latency laws against the paper's
@@ -38,6 +39,7 @@ from repro.registry import (
     SCENARIOS,
     STANDARD_SYSTEMS,
     SYSTEMS,
+    TOPOLOGIES,
     build_cluster,
 )
 from repro.runner import (
@@ -77,7 +79,7 @@ def _parse_policy_axes(flags: list[str]) -> dict[str, list[str]]:
     return axes
 
 
-def _validate_names(systems=(), scenarios=(), clusters=(), models=()) -> None:
+def _validate_names(systems=(), scenarios=(), clusters=(), models=(), topologies=()) -> None:
     """Fail fast (before any simulation) on unknown registry names."""
     for name in systems:
         SYSTEMS.get(name)
@@ -85,6 +87,9 @@ def _validate_names(systems=(), scenarios=(), clusters=(), models=()) -> None:
         SCENARIOS.get(name)
     for name in clusters:
         build_cluster(name)
+    for name in topologies:
+        if name is not None:
+            TOPOLOGIES.get(name)
     for name in models:
         try:
             get_model(name)
@@ -130,11 +135,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     systems = _csv(args.systems) if args.systems else list(STANDARD_SYSTEMS)
+    topologies = _csv(args.topology) if args.topology else [None]
     _validate_names(
         systems=systems,
         scenarios=_csv(args.scenarios),
         clusters=_csv(args.clusters),
         models=_csv(args.model),
+        topologies=topologies,
     )
     specs = expand_grid(
         systems,
@@ -142,6 +149,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         models=_csv(args.model),
         n_models=[int(n) for n in _csv(args.models)],
         clusters=_csv(args.clusters),
+        topologies=topologies,
         seeds=[int(s) for s in _csv(args.seeds)],
         scale=args.scale,
         duration=args.duration,
@@ -185,6 +193,31 @@ def _list_policies() -> None:
         print(f"  {name}: {rendered}")
 
 
+def _list_hardware() -> None:
+    from repro.hardware import specs as hw
+
+    print("hardware specs:")
+    for spec in (
+        hw.XEON_GEN4_32C,
+        hw.XEON_GEN3_32C,
+        hw.XEON_GEN6_96C,
+        hw.A100_80GB,
+        hw.V100_32GB,
+    ):
+        cores = f" {spec.cores}c" if spec.cores else ""
+        amx = "" if spec.matrix_accelerated else " no-AMX"
+        print(
+            f"  {spec.name}: {spec.kind.value}{cores}{amx} "
+            f"mem={spec.memory_bytes // hw.GIB}GiB "
+            f"prefill_x={spec.prefill_factor:g} decode_x={spec.decode_factor:g} "
+            f"loader={spec.loader_bytes_per_s / hw.GIB:g}GiB/s"
+        )
+    print("topologies (use with 'sweep --topology NAME', shown on the paper testbed):")
+    paper = build_cluster("paper")
+    for name in TOPOLOGIES.names():
+        print(f"  {TOPOLOGIES.get(name)(paper).describe()}")
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     what = getattr(args, "what", "all")
     if what in ("all", "systems"):
@@ -196,13 +229,15 @@ def cmd_list(args: argparse.Namespace) -> int:
         for name in SCENARIOS.names():
             print(f"  {name}")
     if what in ("all", "clusters"):
-        print("clusters (plus ad-hoc 'cpu{N}-gpu{M}'):")
+        print("clusters (plus ad-hoc 'cpu{N}-gpu{M}' / 'harvest{C}'):")
         for name in CLUSTERS.names():
             print(f"  {name}")
     if what in ("all", "models"):
         print("models:")
         for name in sorted(CATALOG):
             print(f"  {name}")
+    if what in ("all", "hardware"):
+        _list_hardware()
     if what in ("all", "policies"):
         _list_policies()
     return 0
@@ -292,7 +327,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--scenarios", default="azure", help="comma list of registered scenarios")
     sweep.add_argument("--model", default="llama-2-7b", help="comma list of model names")
     sweep.add_argument("--models", default="32", help="comma list of deployment counts")
-    sweep.add_argument("--clusters", default="paper", help="comma list (or cpu{N}-gpu{M})")
+    sweep.add_argument(
+        "--clusters", default="paper", help="comma list (or cpu{N}-gpu{M} / harvest{C})"
+    )
+    sweep.add_argument(
+        "--topology",
+        default="",
+        help="comma list of named interconnect topologies to sweep "
+        "(default: each cluster's own; see 'repro list hardware')",
+    )
     sweep.add_argument("--seeds", default="1", help="comma list of seeds")
     sweep.add_argument("--scale", default="quick", choices=["full", "quick", "smoke"])
     sweep.add_argument("--duration", type=float, default=None, help="override scale window (s)")
@@ -318,13 +361,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(func=cmd_sweep)
 
     listing = sub.add_parser(
-        "list", help="show registered systems/scenarios/clusters/models/policies"
+        "list",
+        help="show registered systems/scenarios/clusters/models/hardware/policies",
     )
     listing.add_argument(
         "what",
         nargs="?",
         default="all",
-        choices=["all", "systems", "scenarios", "clusters", "models", "policies"],
+        choices=["all", "systems", "scenarios", "clusters", "models", "hardware", "policies"],
     )
     listing.set_defaults(func=cmd_list)
 

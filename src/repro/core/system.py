@@ -89,6 +89,9 @@ class ServingSystem:
             config = policies.default_config() if policies.default_config else SystemConfig()
         self.config = config
         self.sim = Simulator()
+        # One bandwidth tracker per run: model loads and KV migrations
+        # contend for the topology's shared links inside this simulation.
+        cluster.topology.bind(self.sim)
         self.bus = EventBus()
         self.perf = PerfDatabase(jitter_sigma=self.config.jitter_sigma, seed=self.config.seed)
         # Metrics accumulation mode: "exact" retains every request and
@@ -140,6 +143,12 @@ class ServingSystem:
             observer.on_run_start(self, workload)
         horizon = until if until is not None else workload.duration + self.config.drain_timeout
         self.sim.run(until=horizon)
+        topology = self.cluster.topology
+        if topology.has_shared_links:
+            # Per-link utilization is only meaningful where transfers can
+            # contend; dedicated-link (default) topologies skip it so
+            # their reports stay byte-identical to the pre-topology ones.
+            self.metrics.record_link_stats(topology.link_stats(self.sim.now))
         report = self.metrics.finalize(self.sim.now, workload.duration, self.name)
         report.wall_seconds = _wallclock.perf_counter() - start
         report.events_processed = self.sim.events_processed

@@ -1,30 +1,50 @@
-"""Hardware abstraction: CPU/GPU node specs, nodes, and cluster builders.
+"""Hardware abstraction: CPU/GPU node specs, nodes, topology, clusters.
 
 SLINFER "abstracts heterogeneous hardware into CPU/GPU nodes" (§V); this
-package provides those nodes plus the host-CPU interference model behind
-Figs. 10, 11 and 28.
+package provides those nodes, the interconnect topology (links,
+bandwidth contention) they hang off, and the host-CPU interference
+model behind Figs. 10, 11 and 28.
 """
 
-from repro.hardware.cluster import Cluster, paper_testbed
+from repro.hardware.cluster import Cluster, UnknownNodeError, paper_testbed
 from repro.hardware.host_cpu import HostCpuModel
 from repro.hardware.node import Node
 from repro.hardware.specs import (
     A100_80GB,
     HardwareKind,
     HardwareSpec,
+    V100_32GB,
     XEON_GEN3_32C,
     XEON_GEN4_32C,
     XEON_GEN6_96C,
     harvested_cpu,
 )
+from repro.hardware.topology import (
+    NETWORK_BYTES_PER_S,
+    BandwidthTracker,
+    Link,
+    LinkKind,
+    LinkStat,
+    Topology,
+    Transfer,
+)
 
 __all__ = [
     "A100_80GB",
+    "BandwidthTracker",
     "Cluster",
     "HardwareKind",
     "HardwareSpec",
     "HostCpuModel",
+    "Link",
+    "LinkKind",
+    "LinkStat",
+    "NETWORK_BYTES_PER_S",
     "Node",
+    "Topology",
+    "Transfer",
+    "UnknownNodeError",
+    "V100_32GB",
     "XEON_GEN3_32C",
     "XEON_GEN4_32C",
     "XEON_GEN6_96C",

@@ -2,22 +2,47 @@
 
 The paper's main testbed is 4× 32-core Xeon 6462C CPU nodes plus
 4× A100-80GB GPU nodes (§IX-A); several experiments vary the counts
-(Figs. 24, 26, 32) or the CPU spec (Fig. 29, Table I).
+(Figs. 24, 26, 32), the CPU spec (Fig. 29, Table I), or — through the
+topology layer — the interconnect the nodes hang off.
+
+:class:`Cluster` is a thin facade over
+:class:`~repro.hardware.topology.Topology`: the topology owns the node
+set, the O(1) node index, and the links; the cluster keeps the
+CPU/GPU-partitioned views every policy consumes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Optional
 
 from repro.hardware.node import Node
 from repro.hardware.specs import A100_80GB, HardwareSpec, XEON_GEN4_32C
+from repro.hardware.topology import Topology, UnknownNodeError
+
+__all__ = ["Cluster", "UnknownNodeError", "paper_testbed"]
 
 
 @dataclass
 class Cluster:
-    """A fixed set of CPU and GPU nodes."""
+    """A fixed set of CPU and GPU nodes over an interconnect topology."""
 
     nodes: list[Node] = field(default_factory=list)
+    topology: Optional[Topology] = None
+
+    def __post_init__(self) -> None:
+        if self.topology is None:
+            self.topology = Topology.uniform(self.nodes)
+        elif self.topology.nodes is not self.nodes:
+            self.nodes = self.topology.nodes
+
+    def set_topology(self, topology: Topology) -> "Cluster":
+        """Replace the interconnect; the topology's node list (it copies
+        the one it was built from) becomes the cluster's, keeping the
+        facade and its node index in lock-step."""
+        self.topology = topology
+        self.nodes = topology.nodes
+        return self
 
     @property
     def cpu_nodes(self) -> list[Node]:
@@ -28,10 +53,9 @@ class Cluster:
         return [node for node in self.nodes if node.is_gpu]
 
     def node(self, node_id: str) -> Node:
-        for candidate in self.nodes:
-            if candidate.node_id == node_id:
-                return candidate
-        raise KeyError(f"no node {node_id!r} in cluster")
+        """O(1) dict-indexed lookup; raises :class:`UnknownNodeError`
+        (a :class:`KeyError` subclass) for ids the cluster lacks."""
+        return self.topology.node(node_id)
 
     @classmethod
     def build(
@@ -46,6 +70,13 @@ class Cluster:
         nodes = [Node(f"cpu-{i}", cpu_spec) for i in range(cpu_count)]
         nodes += [Node(f"gpu-{i}", gpu_spec) for i in range(gpu_count)]
         return cls(nodes=nodes)
+
+    @classmethod
+    def from_nodes(
+        cls, nodes: Iterable[Node], topology: Optional[Topology] = None
+    ) -> "Cluster":
+        """A cluster over an explicit (possibly heterogeneous) node set."""
+        return cls(nodes=list(nodes), topology=topology)
 
 
 def paper_testbed() -> Cluster:

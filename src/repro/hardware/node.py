@@ -4,23 +4,29 @@ A node owns a hardware spec and a serving-memory capacity.  Instance and
 memory bookkeeping live in the serving systems (:mod:`repro.systems`) and the
 memory subsystem (:mod:`repro.memory`); the node itself stays a simple,
 policy-free container so every system shares the same hardware model.
+Interconnect structure (links, routes, contention) lives in
+:mod:`repro.hardware.topology`, which indexes the nodes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.hardware.specs import HardwareKind, HardwareSpec
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.instance import Instance
 
-@dataclass
+
+@dataclass(eq=False, slots=True)
 class Node:
     """One CPU or GPU node."""
 
     node_id: str
     spec: HardwareSpec
     # Mutable serving state, managed by the owning system:
-    instances: list = field(default_factory=list, repr=False)
+    instances: list["Instance"] = field(default_factory=list, repr=False)
 
     @property
     def kind(self) -> HardwareKind:

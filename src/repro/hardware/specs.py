@@ -105,6 +105,22 @@ A100_80GB = HardwareSpec(
     cores=0,
 )
 
+# Previous-generation datacenter GPU for heterogeneous-fleet studies
+# (Figs. 24/26 vary the fleet; hardware-diversity work like the SG2042
+# characterisation shows how much outcomes shift with node specs).
+# Relative to the A100 reference: ~125 vs 312 TFLOPS dense fp16 compute
+# (prefill) and ~0.9 vs ~2 TB/s HBM bandwidth (decode), with a slower
+# host-side weight-staging path.
+V100_32GB = HardwareSpec(
+    name="v100-32gb",
+    kind=HardwareKind.GPU,
+    memory_bytes=32 * GIB,
+    cores=0,
+    prefill_factor=2.5,
+    decode_factor=2.2,
+    loader_bytes_per_s=7 * GIB,
+)
+
 
 def harvested_cpu(cores: int) -> HardwareSpec:
     """A 4th-gen Xeon node restricted to ``cores`` harvested cores (Fig. 29)."""

@@ -1,0 +1,668 @@
+"""Interconnect topology: typed links, routes, and bandwidth contention.
+
+The paper's testbed (§IX-A) is a heterogeneous CPU+GPU fleet whose
+behaviour hinges on *where* models load and *what* the bytes cross to
+get there.  This module models that explicitly:
+
+* :class:`Link` — one interconnect segment (PCIe, NVLink, or network)
+  with a bandwidth, a latency, and a sharing discipline.  A ``shared``
+  link time-shares its capacity among concurrent transfers; a dedicated
+  (``shared=False``) link gives every transfer its full bandwidth —
+  the flat per-node ``loader_bytes_per_s`` model the simulator used
+  before topologies existed.
+* :class:`Topology` — a graph of typed :class:`~repro.hardware.node.Node`
+  objects plus per-node *routes*: the link sequence a model load
+  traverses (store → node) and the link a KV migration crosses
+  (node → network).  It owns the O(1) node index the cluster facade
+  exposes and the :class:`BandwidthTracker` for the current simulation.
+* :class:`BandwidthTracker` — event-driven, piecewise-constant
+  bandwidth sharing.  Each transfer's rate is the minimum over its
+  route of ``capacity / active_transfers`` (shared links) or
+  ``capacity`` (dedicated links); whenever a transfer starts or
+  finishes, every transfer sharing a link with it is re-timed at the
+  new rate.  On an uncontended route this degenerates to a single
+  scheduled completion event with ``bytes / bandwidth`` duration —
+  bit-identical to the pre-topology fixed-constant model.
+
+The default (:meth:`Topology.uniform`) topology gives every node a
+dedicated loader link at ``spec.loader_bytes_per_s`` and a dedicated
+NIC at the §IX-G 100 Gbps transfer rate, reproducing the pre-topology
+behaviour byte-for-byte; contended topologies
+(:meth:`Topology.oversubscribed_nic`) are where the sharing model does
+real work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.hardware.node import Node
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.simulator import EventHandle, Simulator
+
+GIB = 1024**3
+
+#: §IX-G inter-node KV-transfer rate: 100 Gbps.
+NETWORK_BYTES_PER_S = 100e9 / 8.0
+
+
+class UnknownNodeError(KeyError):
+    """Lookup of a node id the topology does not contain.
+
+    Subclasses :class:`KeyError` so pre-topology callers that caught
+    ``KeyError`` keep working.
+    """
+
+
+class LinkKind(Enum):
+    PCIE = "pcie"
+    NVLINK = "nvlink"
+    NETWORK = "network"
+
+
+@dataclass(eq=False, slots=True)
+class Link:
+    """One interconnect segment.
+
+    ``shared=True`` time-shares ``bandwidth_bytes_per_s`` among the
+    transfers in flight (each observes ``capacity / N``);
+    ``shared=False`` models independent per-transfer channels (every
+    transfer observes full capacity) — the pre-topology loader model.
+    Links compare by identity: two links with equal specs are still two
+    distinct contention domains.
+    """
+
+    link_id: str
+    kind: LinkKind
+    bandwidth_bytes_per_s: float
+    latency_s: float = 0.0
+    shared: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError(f"link {self.link_id!r}: bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError(f"link {self.link_id!r}: latency must be non-negative")
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+Route = tuple[Link, ...]
+
+
+@dataclass(eq=False, slots=True)
+class Transfer:
+    """One in-flight byte stream across a route.
+
+    ``tail_seconds`` is fixed post-transfer work appended to the
+    completion time (e.g. the KV-pool allocation that is part of a cold
+    start) — it does not consume bandwidth and is never re-timed.
+    """
+
+    route: Route
+    total_bytes: float
+    tail_seconds: float = 0.0
+    on_complete: Optional[Callable[[], None]] = None
+    on_retime: Optional[Callable[[float], None]] = None
+    label: str = "load"
+    done_bytes: float = 0.0
+    rate: float = 0.0
+    started_at: float = 0.0
+    #: summed route latency: a fixed pipe-fill head that elapses on the
+    #: clock before bytes flow, so it is never re-timed and progress
+    #: banking must not credit bytes to it.
+    head_seconds: float = 0.0
+    last_update: float = 0.0
+    eta: float = 0.0
+    finished: bool = False
+    #: tail scheduled as its own event after the bytes land, so the
+    #: links are released while the (local) tail work runs.  Only set on
+    #: contended routes — splitting is an extra simulation event, and
+    #: uncontended routes must reproduce the pre-topology single-event
+    #: sequence exactly.
+    split_tail: bool = False
+    handle: "EventHandle | None" = field(default=None, repr=False)
+
+    @property
+    def in_tail(self) -> bool:
+        """Bytes done; only the fixed tail (never re-timed) remains."""
+        return self.done_bytes >= self.total_bytes
+
+
+@dataclass(slots=True)
+class LinkStat:
+    """Per-link utilization accumulated by the tracker."""
+
+    kind: str
+    bytes_transferred: float = 0.0
+    busy_seconds: float = 0.0
+    transfers: int = 0
+    max_concurrent: int = 0
+    _busy_since: Optional[float] = None
+
+    def snapshot(self, now: float) -> dict[str, float | int | str]:
+        """JSON-safe view; the open busy interval (if any) is clipped to
+        ``now`` without closing it."""
+        busy = self.busy_seconds
+        if self._busy_since is not None:
+            busy += now - self._busy_since
+        return {
+            "kind": self.kind,
+            "bytes": self.bytes_transferred,
+            "busy_seconds": busy,
+            "transfers": self.transfers,
+            "max_concurrent": self.max_concurrent,
+        }
+
+
+class BandwidthTracker:
+    """Event-driven time-sharing of link bandwidth among transfers.
+
+    Rates are piecewise-constant: they only change when a transfer
+    starts or finishes, at which point every transfer sharing a link
+    with it has its progress banked at the old rate and its completion
+    event re-scheduled at the new rate.  Transfers on routes whose
+    links are all dedicated are scheduled exactly once — identical
+    event sequence and float arithmetic to the pre-topology model.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._active: dict[Link, list[Transfer]] = {}
+        self._stats: dict[Link, LinkStat] = {}
+
+    # ------------------------------------------------------------------
+    # Starting and finishing transfers
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        route: Iterable[Link],
+        nbytes: float,
+        on_complete: Optional[Callable[[], None]] = None,
+        tail_seconds: float = 0.0,
+        on_retime: Optional[Callable[[float], None]] = None,
+        label: str = "load",
+    ) -> Transfer:
+        """Begin a transfer of ``nbytes`` across ``route``.
+
+        Returns the live :class:`Transfer`; its ``eta`` is the current
+        completion estimate (kept up to date under contention through
+        ``on_retime``).
+        """
+        route = tuple(route)
+        if not route:
+            raise ValueError("a transfer needs a non-empty route")
+        if nbytes < 0:
+            raise ValueError(f"cannot transfer {nbytes!r} bytes")
+        now = self.sim.now
+        transfer = Transfer(
+            route=route,
+            total_bytes=nbytes,
+            tail_seconds=tail_seconds,
+            on_complete=on_complete,
+            on_retime=on_retime,
+            label=label,
+        )
+        slowed: dict[int, Transfer] = {}
+        for link in route:
+            active = self._active.setdefault(link, [])
+            stat = self._stats.get(link)
+            if stat is None:
+                stat = self._stats[link] = LinkStat(kind=link.kind.value)
+            if not active:
+                stat._busy_since = now
+            active.append(transfer)
+            stat.transfers += 1
+            if len(active) > stat.max_concurrent:
+                stat.max_concurrent = len(active)
+            if link.shared and len(active) > 1:
+                for other in active:
+                    if other is not transfer:
+                        slowed.setdefault(id(other), other)
+        self._retime(slowed.values(), now)
+        transfer.rate = self._rate_of(transfer)
+        transfer.started_at = now
+        transfer.last_update = now
+        transfer.split_tail = tail_seconds > 0 and any(link.shared for link in route)
+        duration = transfer.total_bytes / transfer.rate
+        for link in route:
+            transfer.head_seconds += link.latency_s
+        duration += transfer.head_seconds
+        if transfer.split_tail:
+            transfer.eta = now + duration + tail_seconds
+        else:
+            duration += tail_seconds
+            transfer.eta = now + duration
+        transfer.handle = self.sim.schedule(duration, self._finish, transfer)
+        return transfer
+
+    def _finish(self, transfer: Transfer) -> None:
+        """The bytes landed: release the links (and run any split tail)."""
+        now = self.sim.now
+        transfer.done_bytes = transfer.total_bytes
+        sped_up: dict[int, Transfer] = {}
+        for link in transfer.route:
+            active = self._active[link]
+            active.remove(transfer)
+            stat = self._stats[link]
+            stat.bytes_transferred += transfer.total_bytes
+            if not active:
+                stat.busy_seconds += now - stat._busy_since
+                stat._busy_since = None
+            elif link.shared:
+                for other in active:
+                    sped_up.setdefault(id(other), other)
+        self._retime(sped_up.values(), now)
+        if transfer.split_tail:
+            transfer.handle = self.sim.schedule(
+                transfer.tail_seconds, self._complete, transfer
+            )
+        else:
+            self._complete(transfer)
+
+    def _complete(self, transfer: Transfer) -> None:
+        transfer.finished = True
+        if transfer.on_complete is not None:
+            transfer.on_complete()
+
+    def _rate_of(self, transfer: Transfer) -> float:
+        rate = float("inf")
+        for link in transfer.route:
+            capacity = link.bandwidth_bytes_per_s
+            if link.shared:
+                capacity /= len(self._active[link])
+            if capacity < rate:
+                rate = capacity
+        return rate
+
+    def _retime(self, transfers: Iterable[Transfer], now: float) -> None:
+        """Bank progress at the old rate; re-schedule at the new one.
+
+        Bytes only flow once the latency head has elapsed, so banking
+        credits the interval past ``started_at + head_seconds`` and the
+        unelapsed head is re-added to the new completion time.
+        """
+        for transfer in transfers:
+            if transfer.finished or transfer.in_tail:
+                continue  # the fixed tail is not bandwidth-dependent
+            flow_start = max(
+                transfer.last_update, transfer.started_at + transfer.head_seconds
+            )
+            if now > flow_start:
+                transfer.done_bytes = min(
+                    transfer.total_bytes,
+                    transfer.done_bytes + transfer.rate * (now - flow_start),
+                )
+            transfer.last_update = now
+            new_rate = self._rate_of(transfer)
+            if new_rate == transfer.rate:
+                continue
+            transfer.rate = new_rate
+            if transfer.in_tail:
+                continue
+            remaining = transfer.total_bytes - transfer.done_bytes
+            head_left = max(0.0, transfer.started_at + transfer.head_seconds - now)
+            delay = head_left + remaining / new_rate
+            if transfer.split_tail:
+                transfer.eta = now + delay + transfer.tail_seconds
+            else:
+                delay += transfer.tail_seconds
+                transfer.eta = now + delay
+            transfer.handle.cancel()
+            transfer.handle = self.sim.schedule(delay, self._finish, transfer)
+            if transfer.on_retime is not None:
+                transfer.on_retime(transfer.eta)
+
+    # ------------------------------------------------------------------
+    # Link state (placement seam + metrics)
+    # ------------------------------------------------------------------
+    def active_on(self, link: Link) -> int:
+        return len(self._active.get(link, ()))
+
+    def link_stats(self, now: float) -> dict[str, dict[str, float | int | str]]:
+        """Per-link utilization for links that carried ≥1 transfer."""
+        return {
+            link.link_id: stat.snapshot(now)
+            for link, stat in sorted(self._stats.items(), key=lambda kv: kv[0].link_id)
+            if stat.transfers
+        }
+
+
+class Topology:
+    """Typed nodes plus the interconnect links and routes between them."""
+
+    def __init__(
+        self,
+        nodes: Iterable[Node],
+        load_routes: dict[str, Route],
+        kv_routes: dict[str, Route],
+        name: str = "custom",
+        spine: Optional[Link] = None,
+    ) -> None:
+        """``spine`` is the inter-fabric uplink: it joins KV routes that
+        share no link (traffic leaving one island for another), and is
+        charged on egress transfers whose destination is unknown."""
+        self.name = name
+        self.spine = spine
+        self._nodes: list[Node] = list(nodes)
+        self._by_id: dict[str, Node] = {}
+        for node in self._nodes:
+            if node.node_id in self._by_id:
+                raise ValueError(f"duplicate node id {node.node_id!r}")
+            self._by_id[node.node_id] = node
+        for node in self._nodes:
+            if node.node_id not in load_routes:
+                raise ValueError(f"node {node.node_id!r} has no load route")
+            if node.node_id not in kv_routes:
+                raise ValueError(f"node {node.node_id!r} has no KV route")
+        self._load_routes = dict(load_routes)
+        self._kv_routes = dict(kv_routes)
+        links: dict[int, Link] = {}
+        for route in (*self._load_routes.values(), *self._kv_routes.values()):
+            for link in route:
+                links.setdefault(id(link), link)
+        if spine is not None:
+            links.setdefault(id(spine), spine)
+        self.links: tuple[Link, ...] = tuple(
+            sorted(links.values(), key=lambda link: link.link_id)
+        )
+        self.tracker: Optional[BandwidthTracker] = None
+
+    # ------------------------------------------------------------------
+    # Node index (the cluster facade delegates here)
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[Node]:
+        return self._nodes
+
+    def node(self, node_id: str) -> Node:
+        try:
+            return self._by_id[node_id]
+        except KeyError:
+            raise UnknownNodeError(f"no node {node_id!r} in cluster") from None
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def load_route(self, node_id: str) -> Route:
+        """The links a model load traverses reaching ``node_id``."""
+        self.node(node_id)
+        return self._load_routes[node_id]
+
+    def kv_route(self, node_id: str) -> Route:
+        """The links a KV migration leaving ``node_id`` crosses."""
+        self.node(node_id)
+        return self._kv_routes[node_id]
+
+    def route_between(self, src_id: str, dst_id: str) -> Route:
+        """Inter-node route: the union of both ends' KV links, deduped.
+
+        When the two ends share no KV link (different fabrics/islands),
+        the spine uplink — if the topology has one — joins them, so
+        cross-island traffic pays the network rate while intra-island
+        traffic stays on the local fabric.
+        """
+        src, dst = self.kv_route(src_id), self.kv_route(dst_id)
+        seen: dict[int, Link] = {}
+        for link in (*src, *dst):
+            seen.setdefault(id(link), link)
+        disjoint = len(seen) == len(src) + len(dst)
+        if disjoint and self.spine is not None:
+            seen.setdefault(id(self.spine), self.spine)
+        return tuple(seen.values())
+
+    @property
+    def has_shared_links(self) -> bool:
+        """Whether any transfer can contend (and link metrics matter)."""
+        return any(link.shared for link in self.links)
+
+    # ------------------------------------------------------------------
+    # Simulation binding and transfers
+    # ------------------------------------------------------------------
+    def bind(self, sim: "Simulator") -> None:
+        """Attach a fresh tracker for one simulation run."""
+        self.tracker = BandwidthTracker(sim)
+
+    def _require_tracker(self) -> BandwidthTracker:
+        if self.tracker is None:
+            raise RuntimeError(
+                "topology is not bound to a simulator; construct a serving "
+                "system (or call Topology.bind) first"
+            )
+        return self.tracker
+
+    def start_load(
+        self,
+        node_id: str,
+        nbytes: float,
+        tail_seconds: float = 0.0,
+        on_complete: Optional[Callable[[], None]] = None,
+        on_retime: Optional[Callable[[float], None]] = None,
+    ) -> Transfer:
+        """Stream ``nbytes`` of weights to ``node_id`` over its load route."""
+        return self._require_tracker().start(
+            self.load_route(node_id),
+            nbytes,
+            on_complete=on_complete,
+            tail_seconds=tail_seconds,
+            on_retime=on_retime,
+            label="load",
+        )
+
+    def start_kv_transfer(
+        self,
+        src_id: str,
+        dst_id: Optional[str],
+        nbytes: float,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> Transfer:
+        """Move KV bytes out of ``src_id`` (into ``dst_id`` when known).
+
+        With no destination (a hand-off placed only after the bytes
+        land), the egress conservatively includes the spine: the
+        receiver may sit on another fabric.
+        """
+        if dst_id is None:
+            route = self.kv_route(src_id)
+            if self.spine is not None and self.spine not in route:
+                route = (*route, self.spine)
+        else:
+            route = self.route_between(src_id, dst_id)
+        return self._require_tracker().start(
+            route, nbytes, on_complete=on_complete, label="kv-migration"
+        )
+
+    # ------------------------------------------------------------------
+    # Link state consumed by perf laws and placement
+    # ------------------------------------------------------------------
+    def estimate_load_seconds(self, node_id: str, nbytes: float) -> float:
+        """Load-time estimate from current link state (perf law)."""
+        from repro.perf.loadtime import load_seconds
+
+        route = self.load_route(node_id)
+        counts = None
+        if self.tracker is not None:
+            # Only the route's shared links can change the estimate, so
+            # only their occupancy is collected (placement calls this
+            # per candidate — the default dedicated routes stay O(1)).
+            counts = {
+                link: self.tracker.active_on(link) for link in route if link.shared
+            }
+        return load_seconds(nbytes, route, counts)
+
+    def inbound_pressure(self, node_id: str) -> int:
+        """Active transfers on the *shared* links of the node's load route.
+
+        The placement seam: among otherwise-equal candidates, prefer
+        nodes whose inbound links are idle.  Dedicated links never
+        contend, so they contribute nothing — on the default topology
+        every node reads 0 and placement order is unchanged.
+        """
+        if self.tracker is None:
+            return 0
+        return sum(
+            self.tracker.active_on(link)
+            for link in self.load_route(node_id)
+            if link.shared
+        )
+
+    def route_contended(self, route: Route) -> bool:
+        return any(link.shared for link in route)
+
+    def link_stats(self, now: float) -> dict[str, dict[str, float | int | str]]:
+        if self.tracker is None:
+            return {}
+        return self.tracker.link_stats(now)
+
+    def link_ids(self, route: Route) -> tuple[str, ...]:
+        return tuple(link.link_id for link in route)
+
+    def describe(self) -> str:
+        shared = sum(1 for link in self.links if link.shared)
+        return (
+            f"{self.name}: {len(self._nodes)} node(s), {len(self.links)} link(s) "
+            f"({shared} shared)"
+        )
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, nodes: Iterable[Node], name: str = "uniform") -> "Topology":
+        """The default same-everywhere topology (pre-topology behaviour).
+
+        Every node gets a dedicated PCIe loader link at its spec's
+        ``loader_bytes_per_s`` and a dedicated NIC at the §IX-G KV
+        transfer rate.  Nothing is shared, so nothing contends, and all
+        timings are bit-identical to the fixed-constant model.
+        """
+        nodes = list(nodes)
+        load_routes: dict[str, Route] = {}
+        kv_routes: dict[str, Route] = {}
+        for node in nodes:
+            loader = Link(
+                link_id=f"{node.node_id}/loader",
+                kind=LinkKind.PCIE,
+                bandwidth_bytes_per_s=node.spec.loader_bytes_per_s,
+                shared=False,
+            )
+            nic = Link(
+                link_id=f"{node.node_id}/nic",
+                kind=LinkKind.NETWORK,
+                bandwidth_bytes_per_s=NETWORK_BYTES_PER_S,
+                shared=False,
+            )
+            load_routes[node.node_id] = (loader,)
+            kv_routes[node.node_id] = (nic,)
+        return cls(nodes, load_routes, kv_routes, name=name)
+
+    @classmethod
+    def dedicated(cls, nodes: Iterable[Node]) -> "Topology":
+        """Explicit per-node dedicated links: contention-free by
+        construction, so every timing matches the default topology (and
+        the pre-topology simulator) exactly — the regression anchor for
+        the contention model."""
+        return cls.uniform(nodes, name="dedicated")
+
+    @classmethod
+    def oversubscribed_nic(
+        cls,
+        nodes: Iterable[Node],
+        nic_bytes_per_s: float = 2.5 * GIB,
+        nic_latency_s: float = 0.0005,
+    ) -> "Topology":
+        """A rack whose nodes pull weights through one shared NIC.
+
+        Model loads traverse the rack uplink *and* the node's dedicated
+        PCIe staging link (the NIC is the bottleneck and time-shares);
+        KV migrations cross the same uplink.  The shape behind the
+        oversubscribed-NIC scenarios: N concurrent cold starts each see
+        ~1/N of the uplink.
+        """
+        nodes = list(nodes)
+        uplink = Link(
+            link_id="rack/nic",
+            kind=LinkKind.NETWORK,
+            bandwidth_bytes_per_s=nic_bytes_per_s,
+            latency_s=nic_latency_s,
+            shared=True,
+        )
+        load_routes: dict[str, Route] = {}
+        kv_routes: dict[str, Route] = {}
+        for node in nodes:
+            pcie = Link(
+                link_id=f"{node.node_id}/pcie",
+                kind=LinkKind.PCIE,
+                bandwidth_bytes_per_s=node.spec.loader_bytes_per_s,
+                shared=False,
+            )
+            load_routes[node.node_id] = (uplink, pcie)
+            kv_routes[node.node_id] = (uplink,)
+        return cls(nodes, load_routes, kv_routes, name="oversub-nic")
+
+    @classmethod
+    def nvlink_islands(
+        cls,
+        nodes: Iterable[Node],
+        island_size: int = 2,
+        nvlink_bytes_per_s: float = 300 * GIB,
+    ) -> "Topology":
+        """GPU nodes grouped into NVLink islands sharing a loader uplink.
+
+        Within an island, KV moves over a fat shared NVLink; loads
+        share one PCIe uplink per island.  CPU nodes keep dedicated
+        links (they are their own island of one).  Traffic *between*
+        islands crosses the shared §IX-G-rate spine NIC, so cross-island
+        KV migrations pay the network — not NVLink — rate.
+        """
+        if island_size < 1:
+            raise ValueError("island_size must be >= 1")
+        nodes = list(nodes)
+        spine = Link(
+            link_id="spine/nic",
+            kind=LinkKind.NETWORK,
+            bandwidth_bytes_per_s=NETWORK_BYTES_PER_S,
+            shared=True,
+        )
+        load_routes: dict[str, Route] = {}
+        kv_routes: dict[str, Route] = {}
+        gpu_nodes = [node for node in nodes if node.is_gpu]
+        for node in nodes:
+            if not node.is_gpu:
+                loader = Link(
+                    link_id=f"{node.node_id}/loader",
+                    kind=LinkKind.PCIE,
+                    bandwidth_bytes_per_s=node.spec.loader_bytes_per_s,
+                    shared=False,
+                )
+                nic = Link(
+                    link_id=f"{node.node_id}/nic",
+                    kind=LinkKind.NETWORK,
+                    bandwidth_bytes_per_s=NETWORK_BYTES_PER_S,
+                    shared=False,
+                )
+                load_routes[node.node_id] = (loader,)
+                kv_routes[node.node_id] = (nic,)
+        for start in range(0, len(gpu_nodes), island_size):
+            island = gpu_nodes[start : start + island_size]
+            index = start // island_size
+            uplink = Link(
+                link_id=f"island{index}/pcie",
+                kind=LinkKind.PCIE,
+                bandwidth_bytes_per_s=island[0].spec.loader_bytes_per_s,
+                shared=True,
+            )
+            nvlink = Link(
+                link_id=f"island{index}/nvlink",
+                kind=LinkKind.NVLINK,
+                bandwidth_bytes_per_s=nvlink_bytes_per_s,
+                shared=True,
+            )
+            for node in island:
+                load_routes[node.node_id] = (uplink,)
+                kv_routes[node.node_id] = (nvlink,)
+        return cls(nodes, load_routes, kv_routes, name="nvlink-islands", spine=spine)

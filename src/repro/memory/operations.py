@@ -17,6 +17,7 @@ class OpKind(Enum):
     UNLOAD = "unload"  # weights eviction (keep-alive reclaim / preemption)
     SCALE_UP = "scale_up"
     SCALE_DOWN = "scale_down"
+    MIGRATE_KV = "migrate_kv"  # live KV moving between nodes (preemption/PD)
 
 
 class OpState(Enum):
@@ -39,6 +40,8 @@ class MemoryOp:
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     op_id: int = field(default_factory=lambda: next(_op_ids))
+    #: link ids the op's bytes traverse (empty for node-local ops)
+    route: tuple[str, ...] = ()
 
     @property
     def pending(self) -> bool:

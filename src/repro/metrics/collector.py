@@ -96,6 +96,11 @@ class MetricsCollector:
     overheads: dict[str, StreamingStat] = field(
         default_factory=lambda: defaultdict(StreamingStat)
     )
+    #: per-link utilization (bytes, busy seconds, peak concurrency) from
+    #: the topology's bandwidth tracker; recorded once at run end, only
+    #: for topologies with shared (contendable) links, in both metrics
+    #: modes — the payload is bounded by the link count.
+    link_stats: dict[str, dict] = field(default_factory=dict)
     scaling_busy_seconds: float = 0.0
     scaling_ops: int = 0
     migrations: int = 0
@@ -186,6 +191,9 @@ class MetricsCollector:
     def add_overhead(self, name: str, seconds: float) -> None:
         self.overheads[name].add(seconds)
 
+    def record_link_stats(self, stats: dict[str, dict]) -> None:
+        self.link_stats = dict(stats)
+
     def add_scaling_op(self, duration: float) -> None:
         self.scaling_ops += 1
         self.scaling_busy_seconds += duration
@@ -236,6 +244,7 @@ class MetricsCollector:
             memory_samples={k: list(v) for k, v in self.memory_samples.items()},
             kv_utilization_samples=list(self.kv_utilization_samples),
             overhead_stats=overhead_stats,
+            link_utilization={k: dict(v) for k, v in self.link_stats.items()},
             scaling_ops=self.scaling_ops,
             scaling_busy_seconds=self.scaling_busy_seconds,
             migrations=self.migrations,

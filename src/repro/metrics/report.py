@@ -97,6 +97,10 @@ class RunReport:
     memory_samples: dict[HardwareKind, list[float]] = field(default_factory=dict)
     kv_utilization_samples: list[float] = field(default_factory=list)
     overhead_stats: dict[str, OverheadStat] = field(default_factory=dict)
+    #: per-link interconnect utilization (bytes / busy seconds / peak
+    #: concurrency), present in both metrics modes for topologies with
+    #: shared links; empty — and omitted from the payload — otherwise.
+    link_utilization: dict[str, dict] = field(default_factory=dict)
     scaling_ops: int = 0
     scaling_busy_seconds: float = 0.0
     migrations: int = 0
@@ -236,6 +240,21 @@ class RunReport:
         weighted = sum(batch * count for batch, count in histogram.items())
         return weighted / total
 
+    # ------------------------------------------------------------------
+    # Interconnect (topology runs)
+    # ------------------------------------------------------------------
+    def link_busy_fraction(self, link_id: str) -> float:
+        """Share of the trace window a link spent with ≥1 active transfer."""
+        stats = self.link_utilization.get(link_id)
+        if stats is None or self.duration <= 0:
+            return 0.0
+        return min(1.0, stats.get("busy_seconds", 0.0) / self.duration)
+
+    @property
+    def link_bytes_total(self) -> float:
+        """Bytes moved across all tracked links (loads + KV migrations)."""
+        return sum(stats.get("bytes", 0.0) for stats in self.link_utilization.values())
+
     @property
     def scaling_time_fraction(self) -> float:
         """Share of instance lifetime spent resizing KV (Fig. 31 overhead)."""
@@ -301,6 +320,14 @@ class RunReport:
             "cold_starts": self.cold_starts,
             "events_processed": self.events_processed,
         }
+        # Only topologies with shared links record link utilization, and
+        # the key is omitted when empty, so pre-topology payloads (and
+        # the golden fixtures) serialize byte-identically.
+        if self.link_utilization:
+            payload["link_utilization"] = {
+                link_id: dict(stats)
+                for link_id, stats in sorted(self.link_utilization.items())
+            }
         # Streaming keys appear only in streaming mode, so exact payloads
         # (and their cache fingerprints / golden fixtures) are unchanged.
         if self.metrics_mode != "exact":
@@ -349,6 +376,10 @@ class RunReport:
             },
             kv_utilization_samples=list(payload["kv_utilization_samples"]),
             overhead_stats=overhead_stats,
+            link_utilization={
+                link_id: dict(stats)
+                for link_id, stats in payload.get("link_utilization", {}).items()
+            },
             scaling_ops=payload["scaling_ops"],
             scaling_busy_seconds=payload["scaling_busy_seconds"],
             migrations=payload["migrations"],
@@ -417,6 +448,25 @@ def merge_run_reports(reports: Iterable["RunReport"]) -> "RunReport":
     memory_samples: dict[HardwareKind, list[float]] = {}
     kv_samples: list[float] = []
     overheads: dict[str, list[float]] = {}
+    link_utilization: dict[str, dict] = {}
+    for report in reports:
+        for link_id, stats in report.link_utilization.items():
+            merged = link_utilization.setdefault(
+                link_id,
+                {
+                    "kind": stats.get("kind", ""),
+                    "bytes": 0.0,
+                    "busy_seconds": 0.0,
+                    "transfers": 0,
+                    "max_concurrent": 0,
+                },
+            )
+            merged["bytes"] += stats.get("bytes", 0.0)
+            merged["busy_seconds"] += stats.get("busy_seconds", 0.0)
+            merged["transfers"] += stats.get("transfers", 0)
+            merged["max_concurrent"] = max(
+                merged["max_concurrent"], stats.get("max_concurrent", 0)
+            )
     for report in reports:
         for batch, count in report.batch_histogram.items():
             batch_histogram[batch] = batch_histogram.get(batch, 0) + count
@@ -451,6 +501,7 @@ def merge_run_reports(reports: Iterable["RunReport"]) -> "RunReport":
         memory_samples=memory_samples,
         kv_utilization_samples=kv_samples,
         overhead_stats=overhead_stats,
+        link_utilization=link_utilization,
         scaling_ops=sum(report.scaling_ops for report in reports),
         scaling_busy_seconds=sum(report.scaling_busy_seconds for report in reports),
         migrations=sum(report.migrations for report in reports),

@@ -21,6 +21,7 @@ from repro.perf.fractions import (
 )
 from repro.perf.interpolation import Interp1D, Interp2D
 from repro.perf.laws import LatencyLaw, kv_scaling_seconds
+from repro.perf.loadtime import load_seconds, route_rate
 from repro.perf.limits import (
     baseline_concurrency_limit,
     compute_concurrency_limit,
@@ -43,6 +44,8 @@ __all__ = [
     "gpu_decode_slowdown",
     "gpu_prefill_slowdown",
     "kv_scaling_seconds",
+    "load_seconds",
     "memory_concurrency_limit",
     "quantify",
+    "route_rate",
 ]

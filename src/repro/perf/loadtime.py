@@ -1,0 +1,58 @@
+"""Load-time law: cold-start duration as a function of link state.
+
+Before the topology layer, model-load time was a fixed constant
+(``weights / spec.loader_bytes_per_s``, the §IX-A "1 second to load a
+7B model").  The law now consumes the route's *link state*: each link
+contributes ``capacity / (active + 1)`` when shared (the new transfer
+joins ``active`` in-flight streams) or its full capacity when
+dedicated, the bottleneck link sets the rate, and per-link latencies
+add up.  On an idle or dedicated route this reduces exactly to the old
+constant, so scheduler estimates are unchanged wherever contention is
+impossible.
+
+This is the *estimate* side of the perf split (§VI-B): placement
+decisions consume it, while the ground-truth execution is the
+event-driven :class:`~repro.hardware.topology.BandwidthTracker`, whose
+piecewise-constant re-timing the estimate brackets the same way the
+10 % shadow-validation overestimate absorbs iteration-latency error.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.topology import Link
+
+
+def route_rate(
+    route: Sequence["Link"], active_counts: Mapping["Link", int] | None = None
+) -> float:
+    """Bottleneck bytes/s a *new* transfer would observe on ``route``."""
+    if not route:
+        raise ValueError("a load route must have at least one link")
+    active_counts = active_counts or {}
+    rate = float("inf")
+    for link in route:
+        capacity = link.bandwidth_bytes_per_s
+        if link.shared:
+            sharers = active_counts.get(link, 0) + 1
+            if sharers > 1:
+                capacity /= sharers
+        if capacity < rate:
+            rate = capacity
+    return rate
+
+
+def load_seconds(
+    nbytes: float,
+    route: Sequence["Link"],
+    active_counts: Mapping["Link", int] | None = None,
+) -> float:
+    """Estimated seconds to stream ``nbytes`` over ``route`` right now."""
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes!r}")
+    seconds = nbytes / route_rate(route, active_counts)
+    for link in route:
+        seconds += link.latency_s
+    return seconds

@@ -13,8 +13,10 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.engine.request import RequestState
+from repro.hardware.topology import NETWORK_BYTES_PER_S
+from repro.memory.operations import MemoryOp, OpKind, OpState
 from repro.policies.base import AdmissionPolicy
-from repro.policies.events import RequestCompleted
+from repro.policies.events import MemoryOpIssued, RequestCompleted
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.system import ServingSystem
@@ -22,7 +24,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.request import Request
     from repro.workloads.spec import Workload
 
-KV_TRANSFER_BYTES_PER_S = 100e9 / 8.0  # 100 Gbps (§IX-G)
+#: 100 Gbps (§IX-G) — the uniform topology's per-node NIC rate.
+KV_TRANSFER_BYTES_PER_S = NETWORK_BYTES_PER_S
 
 PREFILL_ROLE = "prefill"
 DECODE_ROLE = "decode"
@@ -79,8 +82,31 @@ class PdAdmission(AdmissionPolicy):
         request.prefill_len = 1  # the "attach" iteration on the decode side
         request.output_len += 1  # the attach token is not real output
         transfer_bytes = request.context_len * instance.model.kv_bytes_per_token
-        delay = transfer_bytes / KV_TRANSFER_BYTES_PER_S
-        system.sim.schedule(delay, self._deliver, request)
+        # The hand-off leaves the prefill node over its KV route: on the
+        # uniform topology that is a dedicated 100 Gbps NIC (the exact
+        # §IX-G delay); a shared uplink time-shares the bytes against
+        # concurrent loads and migrations.
+        topology = system.cluster.topology
+        route = topology.kv_route(instance.node.node_id)
+        op = MemoryOp(
+            kind=OpKind.MIGRATE_KV,
+            instance=instance,
+            target_bytes=transfer_bytes,
+            state=OpState.EXECUTING,
+            issued_at=system.sim.now,
+            started_at=system.sim.now,
+            route=topology.link_ids(route),
+        )
+
+        def _landed() -> None:
+            op.state = OpState.DONE
+            op.finished_at = system.sim.now
+            system.publish(MemoryOpIssued(op, op.finished_at - op.issued_at, system.sim.now))
+            self._deliver(request)
+
+        topology.start_kv_transfer(
+            instance.node.node_id, None, transfer_bytes, on_complete=_landed
+        )
 
     def _deliver(self, request: "Request") -> None:
         system = self._system

@@ -41,7 +41,7 @@ from repro.memory.estimator import (
     initial_kv_required,
     kv_required_bytes,
 )
-from repro.memory.operations import MemoryOp
+from repro.memory.operations import MemoryOp, OpKind, OpState
 from repro.memory.orchestrator import MemoryOrchestrator
 from repro.memory.watermark import WatermarkPolicy
 from repro.perf.laws import kv_scaling_seconds
@@ -102,7 +102,11 @@ class SlinferPlacement(PlacementPolicy):
             system.executors.append(executor)
             self._node_executor[node.node_id] = executor
             self._orchestrators[node.node_id] = MemoryOrchestrator(
-                sim=system.sim, node=node, listener=self, on_op_metric=self._op_metric
+                sim=system.sim,
+                node=node,
+                listener=self,
+                on_op_metric=self._op_metric,
+                topology=system.cluster.topology,
             )
         system.bus.subscribe(IterationFinished, self._after_iteration)
         system.bus.subscribe(RequestCompleted, self._on_request_complete)
@@ -427,20 +431,68 @@ class SlinferPlacement(PlacementPolicy):
         if plan is None:
             return False
         system.metrics.preemptions += len(plan.victims)
+        source_nodes: dict[int, "Node"] = {}
         for victim in plan.victims:
             for victim_request in victim.requests:
                 victim.remove(victim_request)
                 victim_request.begin_migration()
+                source_nodes[victim_request.req_id] = victim.node
                 system.metrics.migrations += 1
             self._orch(victim).unload_instance(victim)
         for migrated, destination in plan.migrations:
-            if not self._validate_and_dispatch(destination, migrated):
+            if self._validate_and_dispatch(destination, migrated):
+                self._announce_kv_migration(
+                    source_nodes.get(migrated.req_id), destination, migrated
+                )
+            else:
                 system.enqueue(migrated)
         # The target should now absorb the trigger request; fall back to the
         # normal path if runtime state shifted underneath the plan.
         if self._validate_and_dispatch(plan.target, request):
             return True
         return self._place_new_instance(request, deployment)
+
+    def _announce_kv_migration(
+        self, source: "Node | None", destination: Instance, request: "Request"
+    ) -> None:
+        """Issue the route-carrying ``MemoryOpIssued`` for a migrated KV set.
+
+        On a contended route the bytes occupy the shared links through
+        the bandwidth tracker (slowing concurrent cold starts) and the
+        op is published when they land; on a dedicated route the move
+        cannot contend with anything, so it is announced immediately
+        with zero duration — no extra simulation events, preserving the
+        pre-topology trajectory exactly.
+        """
+        system = self.system
+        assert system is not None
+        if source is None:
+            return
+        topology = system.cluster.topology
+        route = topology.route_between(source.node_id, destination.node.node_id)
+        nbytes = request.context_len * destination.model.kv_bytes_per_token
+        op = MemoryOp(
+            kind=OpKind.MIGRATE_KV,
+            instance=destination,
+            target_bytes=nbytes,
+            state=OpState.EXECUTING,
+            issued_at=system.sim.now,
+            started_at=system.sim.now,
+            route=topology.link_ids(route),
+        )
+        if topology.route_contended(route):
+            def _landed(op: MemoryOp = op) -> None:
+                op.state = OpState.DONE
+                op.finished_at = system.sim.now
+                self._op_metric(op, op.finished_at - op.issued_at)
+
+            topology.start_kv_transfer(
+                source.node_id, destination.node.node_id, nbytes, on_complete=_landed
+            )
+        else:
+            op.state = OpState.DONE
+            op.finished_at = system.sim.now
+            self._op_metric(op, 0.0)
 
     # ------------------------------------------------------------------
     # New instances (§V bin-packing placement)
@@ -479,7 +531,19 @@ class SlinferPlacement(PlacementPolicy):
             required_bytes=weights + require,
             prefer_cpu=self.cfg.enable_cpu,
         )
-        for node in ordered[: self.cfg.max_placement_candidates]:
+        topology = system.cluster.topology
+        candidates = ordered[: self.cfg.max_placement_candidates]
+        if topology.has_shared_links:
+            # Topology seam: within the best-fit candidate window, try
+            # nodes whose inbound links are idle first — a cold start
+            # behind a busy shared uplink starts later for the same
+            # memory fit.  Sorting only the window keeps the candidate
+            # *set* identical to the fit ordering (pressure reorders
+            # trials, it never evicts an admittable node), and the
+            # stable sort over all-zero pressures makes dedicated
+            # topologies a no-op.
+            candidates.sort(key=lambda n: topology.inbound_pressure(n.node_id))
+        for node in candidates:
             orch = self._orchestrators[node.node_id]
             if orch.can_admit(weights, recommend):
                 kv_target = recommend
@@ -487,7 +551,10 @@ class SlinferPlacement(PlacementPolicy):
                 kv_target = require
             else:
                 continue
-            load_estimate = weights / node.spec.loader_bytes_per_s
+            # Load-time law over link state: bottleneck share of the
+            # node's load route (the flat loader constant on an idle or
+            # dedicated route), plus the KV-pool allocation.
+            load_estimate = topology.estimate_load_seconds(node.node_id, weights)
             load_estimate += kv_scaling_seconds(0, kv_target, 0)
             if not self._shadow_ok_new_instance(node, deployment, request, load_estimate):
                 continue
@@ -495,7 +562,12 @@ class SlinferPlacement(PlacementPolicy):
             executor = self._node_executor[node.node_id]
             system.attach(instance, executor)
             duration = orch.admit_instance(instance, kv_target)
-            instance.load_ready_at = system.sim.now + duration
+            if instance.load_ready_at <= system.sim.now:
+                # Parked in the reservation station: carry the link-state
+                # estimate until the load actually starts.  Started
+                # loads already hold the tracker's exact completion time
+                # (kept current under re-timing).
+                instance.load_ready_at = system.sim.now + duration
             system.dispatch(request, instance)
             return True
         return False
@@ -624,9 +696,13 @@ class SlinferPlacement(PlacementPolicy):
             system.publish(NodeLoaded(partner.node_id, partner.kind, system.sim.now))
         self._exclusive_partners[instance.inst_id] = partners
         shard_bytes = deployment.model.weight_bytes / tp
-        duration = shard_bytes / primary.spec.loader_bytes_per_s
-        instance.load_ready_at = system.sim.now + duration
-        system.sim.schedule(duration, self._exclusive_loaded, instance)
+        transfer = system.cluster.topology.start_load(
+            primary.node_id,
+            shard_bytes,
+            on_complete=lambda: self._exclusive_loaded(instance),
+            on_retime=lambda eta: setattr(instance, "load_ready_at", eta),
+        )
+        instance.load_ready_at = transfer.eta
         system.dispatch(request, instance)
         return True
 

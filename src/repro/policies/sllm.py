@@ -116,6 +116,15 @@ class SllmPlacement(PlacementPolicy):
         if deployment.tp_degree > 1:
             return self._scale_out_tp(system, request, deployment)
         nodes = list(system.cluster.cpu_nodes) + list(system.cluster.gpu_nodes)
+        topology = system.cluster.topology
+        if topology.has_shared_links:
+            # Topology seam: stable-sort towards idle inbound links, so
+            # a cold start does not queue behind a busy shared uplink
+            # when an equivalent node sits idle.  Every node is still
+            # tried (the scan is exhaustive, pressure only reorders it),
+            # and dedicated links all read 0, keeping the CPU-first
+            # order intact where nothing contends.
+            nodes.sort(key=lambda n: topology.inbound_pressure(n.node_id))
         for node in nodes:
             if node.is_cpu and not self._cpu_ok(system, node, model, request):
                 continue
@@ -168,10 +177,18 @@ class SllmPlacement(PlacementPolicy):
             self._partners_of[instance.inst_id] = partners
         slot_bytes = int(node.memory_bytes * fraction)
         kv_capacity = max(0, slot_bytes * instance.tp_degree - instance.model.weight_bytes)
-        load_seconds = instance.model.weight_bytes / instance.tp_degree / node.spec.loader_bytes_per_s
-        load_seconds += kv_scaling_seconds(0, kv_capacity, 0)
-        instance.load_ready_at = system.sim.now + load_seconds
-        system.sim.schedule(load_seconds, self._finish_launch, instance, kv_capacity)
+        # Weights stream over the node's load route: the per-shard bytes
+        # at the route's bottleneck share (the flat loader constant when
+        # the route is dedicated), with the static KV allocation as a
+        # fixed tail.  Contended routes re-time ``load_ready_at``.
+        transfer = system.cluster.topology.start_load(
+            node.node_id,
+            instance.model.weight_bytes / instance.tp_degree,
+            tail_seconds=kv_scaling_seconds(0, kv_capacity, 0),
+            on_complete=lambda: self._finish_launch(instance, kv_capacity),
+            on_retime=lambda eta: setattr(instance, "load_ready_at", eta),
+        )
+        instance.load_ready_at = transfer.eta
         return instance
 
     def _finish_launch(self, instance: Instance, kv_capacity: int) -> None:

@@ -42,6 +42,9 @@ from typing import Callable, Iterable, Mapping, Optional
 from repro.core.config import SystemConfig
 from repro.core.system import ServingSystem
 from repro.hardware.cluster import Cluster, paper_testbed
+from repro.hardware.node import Node
+from repro.hardware.specs import A100_80GB, V100_32GB, XEON_GEN4_32C, harvested_cpu
+from repro.hardware.topology import Topology
 from repro.policies.observers import Observer
 from repro.policies.registry import BUNDLES, build_bundle
 from repro.registries import Registry, RegistryError
@@ -54,6 +57,8 @@ __all__ = [
     "SCENARIOS",
     "STANDARD_SYSTEMS",
     "SYSTEMS",
+    "TOPOLOGIES",
+    "apply_topology",
     "build_cluster",
     "system_factory",
     "systems_named",
@@ -66,6 +71,7 @@ __all__ = [
 SYSTEMS: Registry[Callable[..., ServingSystem]] = Registry("system")
 CLUSTERS: Registry[Callable[[], Cluster]] = Registry("cluster")
 SCENARIOS: Registry[Callable[..., object]] = Registry("scenario")
+TOPOLOGIES: Registry[Callable[[Cluster], Topology]] = Registry("topology")
 
 
 def system_factory(name: str) -> Callable[..., ServingSystem]:
@@ -79,18 +85,48 @@ def systems_named(*names: str) -> list[tuple[str, Callable[..., ServingSystem]]]
 
 
 _CLUSTER_PATTERN = re.compile(r"^cpu(\d+)-gpu(\d+)$")
+_HARVEST_PATTERN = re.compile(r"^harvest(\d+)$")
 
 
-def build_cluster(name: str) -> Cluster:
-    """Build a cluster from a registered name or a ``cpu{N}-gpu{M}`` spec."""
+def apply_topology(cluster: Cluster, topology: Optional[str]) -> Cluster:
+    """Replace the cluster's topology with a registered one, in place.
+
+    ``None`` keeps whatever topology the cluster factory chose (the
+    uniform default for most shapes), so fingerprints of pre-topology
+    specs are untouched.
+    """
+    if topology is not None:
+        cluster.set_topology(TOPOLOGIES.get(topology)(cluster))
+    return cluster
+
+
+def build_cluster(name: str, topology: Optional[str] = None) -> Cluster:
+    """Build a cluster from a registered name or an ad-hoc pattern.
+
+    Recognised patterns beyond the registry: ``cpu{N}-gpu{M}`` (node
+    counts) and ``harvest{C}`` (the Fig. 29 CPU-spec sweep — 4 CPU
+    nodes restricted to ``C`` harvested cores + 4 GPU nodes).  An
+    explicit ``topology`` name replaces the cluster's interconnect.
+    """
     if name in CLUSTERS:
-        return CLUSTERS.get(name)()
+        return apply_topology(CLUSTERS.get(name)(), topology)
     match = _CLUSTER_PATTERN.match(name)
     if match:
-        return Cluster.build(cpu_count=int(match.group(1)), gpu_count=int(match.group(2)))
+        cluster = Cluster.build(cpu_count=int(match.group(1)), gpu_count=int(match.group(2)))
+        return apply_topology(cluster, topology)
+    match = _HARVEST_PATTERN.match(name)
+    if match:
+        cores = int(match.group(1))
+        if not 0 < cores <= XEON_GEN4_32C.cores:
+            raise RegistryError(
+                f"harvest{cores}: harvested cores must be in 1..{XEON_GEN4_32C.cores}"
+            )
+        cluster = Cluster.build(cpu_count=4, gpu_count=4, cpu_spec=harvested_cpu(cores))
+        return apply_topology(cluster, topology)
     known = ", ".join(CLUSTERS.names())
     raise RegistryError(
-        f"unknown cluster {name!r} (known: {known}; or use the 'cpu{{N}}-gpu{{M}}' form)"
+        f"unknown cluster {name!r} (known: {known}; or use the 'cpu{{N}}-gpu{{M}}' "
+        f"/ 'harvest{{C}}' forms)"
     )
 
 
@@ -128,10 +164,45 @@ STANDARD_SYSTEMS: tuple[str, ...] = ("sllm", "sllm+c", "sllm+c+s", "slinfer")
 # ----------------------------------------------------------------------
 # Built-in clusters
 # ----------------------------------------------------------------------
+def _het_gpu_cluster() -> Cluster:
+    """Mixed-generation GPU fleet: 2 CPU + 2 A100 + 2 V100-32GB nodes.
+
+    The heterogeneous-fleet shape behind the Figs. 24/26-style studies:
+    the V100s have less memory, slower decode, and a slower weight
+    staging path, so placement quality — not just capacity — decides
+    outcomes.
+    """
+    nodes = [Node(f"cpu-{i}", XEON_GEN4_32C) for i in range(2)]
+    nodes += [Node(f"gpu-{i}", A100_80GB) for i in range(2)]
+    nodes += [Node(f"gpu-old-{i}", V100_32GB) for i in range(2)]
+    return Cluster.from_nodes(nodes)
+
+
+def _rack_oversub_cluster() -> Cluster:
+    """4 GPU nodes pulling weights through one shared, oversubscribed NIC."""
+    cluster = Cluster.build(cpu_count=0, gpu_count=4)
+    return cluster.set_topology(Topology.oversubscribed_nic(cluster.nodes))
+
+
 CLUSTERS.register("paper", paper_testbed)
 CLUSTERS.register("small", lambda: Cluster.build(cpu_count=2, gpu_count=2))
 CLUSTERS.register("gpu-only", lambda: Cluster.build(cpu_count=0, gpu_count=4))
 CLUSTERS.register("mixed-fleet", lambda: Cluster.build(cpu_count=4, gpu_count=6))
+CLUSTERS.register("het-gpu", _het_gpu_cluster)
+CLUSTERS.register("rack-oversub", _rack_oversub_cluster)
+
+
+# ----------------------------------------------------------------------
+# Built-in topologies (applied to any cluster via --topology)
+# ----------------------------------------------------------------------
+TOPOLOGIES.register("uniform", lambda cluster: Topology.uniform(cluster.nodes))
+TOPOLOGIES.register("dedicated", lambda cluster: Topology.dedicated(cluster.nodes))
+TOPOLOGIES.register(
+    "oversub-nic", lambda cluster: Topology.oversubscribed_nic(cluster.nodes)
+)
+TOPOLOGIES.register(
+    "nvlink-islands", lambda cluster: Topology.nvlink_islands(cluster.nodes)
+)
 
 
 # Importing the scenario module populates SCENARIOS (kept last: the

@@ -47,7 +47,9 @@ def execute_spec(spec: RunSpec, workload=None, **system_kwargs: Any) -> RunResul
     # every exact-mode spec.
     if spec.metrics != "exact":
         system_kwargs.setdefault("metrics", spec.metrics)
-    system = system_factory(spec.system)(build_cluster(spec.cluster), **system_kwargs)
+    system = system_factory(spec.system)(
+        build_cluster(spec.cluster, topology=spec.topology), **system_kwargs
+    )
     report = system.run(workload)
     return RunResult(
         spec=spec,

@@ -62,6 +62,10 @@ class RunSpec:
     model: str = "llama-2-7b"
     n_models: int = 32
     cluster: str = "paper"
+    # Named interconnect topology replacing the cluster's own; None keeps
+    # the cluster factory's choice (the uniform default for most shapes)
+    # and is omitted from the fingerprint for pre-topology cache compat.
+    topology: str | None = None
     seed: int = 1
     scale: str = "quick"
     duration: float | None = None  # explicit override of the scale's window
@@ -113,6 +117,10 @@ class RunSpec:
             "duration": self.duration,
             "scenario_params": self.params_dict(),
         }
+        # Omitted when unset so pre-topology fingerprints (and cached
+        # results) stay valid for specs on the cluster's own topology.
+        if self.topology is not None:
+            payload["topology"] = self.topology
         # Omitted when empty so pre-policy fingerprints (and cached
         # results) stay valid for un-overridden specs.
         if self.policy_overrides:
@@ -131,6 +139,7 @@ class RunSpec:
             model=payload.get("model", "llama-2-7b"),
             n_models=payload.get("n_models", 32),
             cluster=payload.get("cluster", "paper"),
+            topology=payload.get("topology"),
             seed=payload.get("seed", 1),
             scale=payload.get("scale", "quick"),
             duration=payload.get("duration"),
@@ -154,9 +163,12 @@ class RunSpec:
             system += "[" + ",".join(f"{k}={v}" for k, v in self.policy_overrides) + "]"
         if self.metrics != "exact":
             system += f" metrics={self.metrics}"
+        cluster = self.cluster
+        if self.topology is not None:
+            cluster += f"/{self.topology}"
         return (
             f"{self.scenario}{params}/{self.model} x{self.n_models} "
-            f"@{window} on {self.cluster} seed={self.seed} -> {system}"
+            f"@{window} on {cluster} seed={self.seed} -> {system}"
         )
 
 
@@ -200,6 +212,7 @@ def expand_grid(
     models: Iterable[str] = ("llama-2-7b",),
     n_models: Iterable[int] = (32,),
     clusters: Iterable[str] = ("paper",),
+    topologies: Iterable[str | None] = (None,),
     seeds: Iterable[int] = (1,),
     scale: str = "quick",
     duration: float | None = None,
@@ -213,7 +226,8 @@ def expand_grid(
     specs compare systems on the same workload.  ``policies`` adds a
     policy cross-product *inside* each system (see
     :func:`expand_policy_grid`), turning every mechanism ablation into
-    a one-line sweep.
+    a one-line sweep; ``topologies`` varies the interconnect under each
+    cluster shape the same way (``None`` = the cluster's own topology).
     """
     policy_combos = expand_policy_grid(policies)
     specs = []
@@ -221,24 +235,26 @@ def expand_grid(
         for model in models:
             for count in n_models:
                 for cluster in clusters:
-                    for seed in seeds:
-                        for system in systems:
-                            for overrides in policy_combos:
-                                specs.append(
-                                    RunSpec(
-                                        system=system,
-                                        scenario=scenario,
-                                        model=model,
-                                        n_models=count,
-                                        cluster=cluster,
-                                        seed=seed,
-                                        scale=scale,
-                                        duration=duration,
-                                        scenario_params=scenario_params,
-                                        policy_overrides=overrides,
-                                        metrics=metrics,
+                    for topology in topologies:
+                        for seed in seeds:
+                            for system in systems:
+                                for overrides in policy_combos:
+                                    specs.append(
+                                        RunSpec(
+                                            system=system,
+                                            scenario=scenario,
+                                            model=model,
+                                            n_models=count,
+                                            cluster=cluster,
+                                            topology=topology,
+                                            seed=seed,
+                                            scale=scale,
+                                            duration=duration,
+                                            scenario_params=scenario_params,
+                                            policy_overrides=overrides,
+                                            metrics=metrics,
+                                        )
                                     )
-                                )
     return specs
 
 

@@ -22,6 +22,19 @@ Scenarios:
   a short window (the §III-C concurrency-surge pattern, amplified).
 * ``mixed-fleet`` — the §IX-E heterogeneous fleet (3B/7B/13B/34B, the
   34B tensor-parallel over 2 GPUs), promoted from ``examples/``.
+* ``het-fleet`` — a 3B/7B/13B population sized for mixed-generation GPU
+  clusters (pair with the ``het-gpu`` cluster): the 13B models are
+  comfortable on an A100 but memory-tight (and slow) on a 32 GB V100,
+  so placement has to respect per-node memory and speed — the
+  Figs. 24/26 heterogeneity regime.
+* ``cold-churn`` — staggered per-deployment activity waves: each
+  deployment is live only inside rotating windows, so instances expire
+  between waves and every wave opens with a cold-start storm.  Pair
+  with the ``rack-oversub`` cluster (shared NIC) to make concurrent
+  model loads contend for the same uplink.
+* ``cpu-harvest`` — CPU-servable small-model traffic for the Fig. 29
+  harvested-core sweeps; sweep it across ``harvest{C}`` clusters to
+  reproduce the CPU-spec sensitivity axis.
 * ``diurnal-week`` — seven day/night cycles with weekday/weekend
   modulation.  The long-horizon companion to ``diurnal``: replayed over
   a real week (``--duration 604800``) it synthesizes ~10^6 requests,
@@ -460,6 +473,143 @@ def mixed_fleet(
     )
     return Workload(
         name=f"mixed-fleet-{n_models}m",
+        deployments=workload.deployments,
+        requests=workload.requests,
+        duration=workload.duration,
+    )
+
+
+# ----------------------------------------------------------------------
+# Heterogeneous hardware companions (topology-aware cluster studies)
+# ----------------------------------------------------------------------
+@SCENARIOS.register("het-fleet")
+def het_fleet(
+    model: ModelSpec,
+    n_models: int,
+    duration: float,
+    requests_per_model: float,
+    seed: int,
+    *,
+    ratio: tuple[int, int, int] = (3, 2, 1),
+    dataset: str = "azure-conversation",
+) -> Workload:
+    """A 3B/7B/13B population for mixed-generation GPU fleets.
+
+    Pair with the ``het-gpu`` cluster (2 CPU + 2 A100 + 2 V100-32GB):
+    the 13B deployments are comfortable on an A100 but memory-tight and
+    slow on a V100, so spec-aware placement is doing real work.
+    ``ratio`` gives the population weights for the three sizes; the
+    ``model`` argument is ignored.
+    """
+    ratio = tuple(ratio)
+    sizes = (LLAMA32_3B, LLAMA2_7B, LLAMA2_13B)
+    if len(ratio) != len(sizes):
+        raise ValueError(f"ratio must have {len(sizes)} entries, got {len(ratio)}")
+    specs = {spec: weight for spec, weight in zip(sizes, ratio) if weight > 0}
+    models = mixed_models(specs, total=n_models, seed=seed)
+    config = AzureServerlessConfig(
+        n_models=n_models,
+        duration=duration,
+        requests_per_model=requests_per_model,
+        seed=seed,
+    )
+    workload = synthesize_azure_trace(models, config, _length_distribution(dataset))
+    return Workload(
+        name=f"het-fleet-{n_models}m",
+        deployments=workload.deployments,
+        requests=workload.requests,
+        duration=workload.duration,
+    )
+
+
+@SCENARIOS.register("cold-churn")
+def cold_churn(
+    model: ModelSpec,
+    n_models: int,
+    duration: float,
+    requests_per_model: float,
+    seed: int,
+    *,
+    waves: int = 6,
+    wave_width: float = 0.5,
+    background_share: float = 0.1,
+    dataset: str = "azure-conversation",
+) -> Workload:
+    """Rotating activity waves that keep the fleet cold-starting.
+
+    The trace window splits into ``waves`` slots; deployment ``d`` is
+    active only in slot ``d mod waves`` (inside the leading
+    ``wave_width`` of the slot) plus a thin stationary background
+    (``background_share`` of its budget).  Between waves a deployment
+    goes idle long enough for keep-alive reclaim, so every wave opens
+    with a burst of *concurrent* model loads — the workload that makes
+    an oversubscribed NIC (``rack-oversub`` cluster, ``oversub-nic``
+    topology) the bottleneck.
+    """
+    if waves < 1:
+        raise ValueError("waves must be >= 1")
+    if not 0.0 < wave_width <= 1.0 or not 0.0 <= background_share <= 1.0:
+        raise ValueError("wave_width must be in (0, 1] and background_share in [0, 1]")
+    arrival_rng = make_rng(seed, "cold-churn-arrivals")
+    length_rng = make_rng(seed, "cold-churn-lengths")
+
+    models = replica_models(model, n_models)
+    names = list(models)
+    lengths = _length_distribution(dataset)
+    slot = duration / waves
+
+    requests: list[RequestSpec] = []
+    for index, name in enumerate(names):
+        times: list[float] = []
+        background = int(arrival_rng.poisson(background_share * requests_per_model))
+        if background:
+            times.extend(arrival_rng.uniform(0.0, duration, size=background).tolist())
+        burst = int(arrival_rng.poisson((1.0 - background_share) * requests_per_model))
+        if burst:
+            start = (index % waves) * slot
+            end = min(duration, start + wave_width * slot)
+            times.extend(arrival_rng.uniform(start, end, size=burst).tolist())
+        if times:
+            _emit(name, times, length_rng, lengths, model, requests)
+
+    deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
+    return Workload(
+        name=f"cold-churn-{n_models}m",
+        deployments=deployments,
+        requests=requests,
+        duration=duration,
+    )
+
+
+@SCENARIOS.register("cpu-harvest")
+def cpu_harvest(
+    model: ModelSpec,
+    n_models: int,
+    duration: float,
+    requests_per_model: float,
+    seed: int,
+    *,
+    dataset: str = "azure-conversation",
+) -> Workload:
+    """Fig. 29: small-model traffic a harvested-core CPU can still serve.
+
+    Replica deployments of the 3B model on the azure arrival process —
+    light enough that 4th-gen Xeon nodes stay SLO-feasible as their
+    core count shrinks.  Sweep it across ``harvest{C}`` clusters
+    (``--clusters harvest8,harvest16,harvest32``) to reproduce the
+    CPU-spec sensitivity axis; the ``model`` argument is ignored.
+    """
+    config = AzureServerlessConfig(
+        n_models=n_models,
+        duration=duration,
+        requests_per_model=requests_per_model,
+        seed=seed,
+    )
+    workload = synthesize_azure_trace(
+        replica_models(LLAMA32_3B, n_models), config, _length_distribution(dataset)
+    )
+    return Workload(
+        name=f"cpu-harvest-{n_models}m",
         deployments=workload.deployments,
         requests=workload.requests,
         duration=workload.duration,

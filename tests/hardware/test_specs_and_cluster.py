@@ -6,6 +6,8 @@ from repro.hardware import (
     A100_80GB,
     Cluster,
     HardwareKind,
+    UnknownNodeError,
+    V100_32GB,
     XEON_GEN3_32C,
     XEON_GEN4_32C,
     XEON_GEN6_96C,
@@ -14,6 +16,8 @@ from repro.hardware import (
 )
 
 GIB = 1024**3
+
+ALL_SPECS = (XEON_GEN4_32C, XEON_GEN3_32C, XEON_GEN6_96C, A100_80GB, V100_32GB)
 
 
 def test_a100_has_80gb():
@@ -63,6 +67,45 @@ def test_paper_testbed_is_4_plus_4():
     assert all(n.spec is XEON_GEN4_32C for n in cluster.cpu_nodes)
 
 
+@pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+def test_spec_invariants(spec):
+    """Every built-in spec is internally consistent."""
+    assert spec.memory_bytes > 0
+    assert spec.prefill_factor > 0 and spec.decode_factor > 0
+    assert spec.loader_bytes_per_s > 0
+    assert spec.host_cores > 0
+    if spec.is_cpu:
+        assert spec.cores > 0
+        assert not spec.is_gpu
+    else:
+        assert spec.cores == 0  # the accelerator itself has no CPU cores
+        assert spec.matrix_accelerated  # the AMX exclusion is CPU-only (§V)
+
+
+def test_spec_names_are_unique():
+    assert len({spec.name for spec in ALL_SPECS}) == len(ALL_SPECS)
+
+
+def test_paper_testbed_memory_sizes():
+    cluster = paper_testbed()
+    assert all(node.memory_bytes == 256 * GIB for node in cluster.cpu_nodes)
+    assert all(node.memory_bytes == 80 * GIB for node in cluster.gpu_nodes)
+
+
+def test_paper_testbed_node_ids_are_unique():
+    cluster = paper_testbed()
+    ids = [node.node_id for node in cluster.nodes]
+    assert len(set(ids)) == len(ids) == 8
+
+
+def test_v100_is_a_slower_smaller_gpu():
+    assert V100_32GB.is_gpu
+    assert V100_32GB.memory_bytes < A100_80GB.memory_bytes
+    assert V100_32GB.prefill_factor > A100_80GB.prefill_factor
+    assert V100_32GB.decode_factor > A100_80GB.decode_factor
+    assert V100_32GB.loader_bytes_per_s < A100_80GB.loader_bytes_per_s
+
+
 def test_cluster_build_and_lookup():
     cluster = Cluster.build(1, 2)
     assert cluster.node("gpu-1").is_gpu
@@ -70,6 +113,21 @@ def test_cluster_build_and_lookup():
         cluster.node("gpu-9")
     with pytest.raises(ValueError):
         Cluster.build(-1, 0)
+
+
+def test_unknown_node_error_is_typed_and_keyerror_compatible():
+    cluster = Cluster.build(1, 1)
+    with pytest.raises(UnknownNodeError):
+        cluster.node("nope")
+    try:
+        cluster.node("nope")
+    except KeyError as error:  # the pre-topology contract
+        assert "nope" in str(error)
+
+
+def test_node_lookup_is_dict_indexed():
+    cluster = Cluster.build(0, 3)
+    assert cluster.topology._by_id["gpu-2"] is cluster.node("gpu-2")
 
 
 def test_node_identity_semantics():

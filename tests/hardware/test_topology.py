@@ -1,0 +1,359 @@
+"""Tests for the interconnect topology and bandwidth-contention model."""
+
+import pytest
+
+from repro.hardware import Cluster, Link, LinkKind, Node, Topology, UnknownNodeError
+from repro.hardware.specs import A100_80GB, XEON_GEN4_32C
+from repro.perf.loadtime import load_seconds, route_rate
+from repro.sim.simulator import Simulator
+
+GIB = 1024**3
+
+
+def _gpu_nodes(n):
+    return [Node(f"gpu-{i}", A100_80GB) for i in range(n)]
+
+
+def _shared_link(bandwidth=1000.0, latency=0.0):
+    return Link(
+        link_id="l0",
+        kind=LinkKind.NETWORK,
+        bandwidth_bytes_per_s=bandwidth,
+        latency_s=latency,
+        shared=True,
+    )
+
+
+def _single_link_topology(link, n=3):
+    nodes = _gpu_nodes(n)
+    routes = {node.node_id: (link,) for node in nodes}
+    return Topology(nodes, load_routes=routes, kv_routes=routes, name="test")
+
+
+# ----------------------------------------------------------------------
+# Links and construction
+# ----------------------------------------------------------------------
+def test_link_validation():
+    with pytest.raises(ValueError):
+        Link("bad", LinkKind.PCIE, bandwidth_bytes_per_s=0.0)
+    with pytest.raises(ValueError):
+        Link("bad", LinkKind.PCIE, bandwidth_bytes_per_s=1.0, latency_s=-1.0)
+
+
+def test_links_compare_by_identity():
+    a = _shared_link()
+    b = _shared_link()
+    assert a != b
+    assert len({a, b}) == 2
+
+
+def test_topology_rejects_duplicate_and_unrouted_nodes():
+    nodes = [Node("n0", A100_80GB), Node("n0", A100_80GB)]
+    link = _shared_link()
+    with pytest.raises(ValueError, match="duplicate"):
+        Topology(nodes, {"n0": (link,)}, {"n0": (link,)})
+    with pytest.raises(ValueError, match="load route"):
+        Topology([Node("n0", A100_80GB)], {}, {"n0": (link,)})
+
+
+def test_unknown_node_is_typed_keyerror():
+    topology = Topology.uniform(_gpu_nodes(1))
+    with pytest.raises(UnknownNodeError):
+        topology.node("gpu-9")
+    with pytest.raises(KeyError):  # compat: the old contract still holds
+        topology.node("gpu-9")
+    with pytest.raises(UnknownNodeError):
+        topology.load_route("gpu-9")
+
+
+def test_uniform_topology_routes_and_sharing():
+    topology = Topology.uniform(_gpu_nodes(2))
+    assert not topology.has_shared_links
+    (loader,) = topology.load_route("gpu-0")
+    assert loader.kind is LinkKind.PCIE
+    assert loader.bandwidth_bytes_per_s == A100_80GB.loader_bytes_per_s
+    (nic,) = topology.kv_route("gpu-0")
+    assert nic.kind is LinkKind.NETWORK
+    assert topology.load_route("gpu-0") != topology.load_route("gpu-1")
+
+
+def test_oversubscribed_nic_shares_one_uplink():
+    topology = Topology.oversubscribed_nic(_gpu_nodes(3))
+    assert topology.has_shared_links
+    uplinks = {topology.load_route(f"gpu-{i}")[0] for i in range(3)}
+    assert len(uplinks) == 1  # same contention domain
+    assert topology.route_between("gpu-0", "gpu-1") == (next(iter(uplinks)),)
+
+
+def test_nvlink_islands_group_gpus():
+    nodes = [Node("cpu-0", XEON_GEN4_32C)] + _gpu_nodes(4)
+    topology = Topology.nvlink_islands(nodes, island_size=2)
+    assert topology.load_route("gpu-0") == topology.load_route("gpu-1")
+    assert topology.load_route("gpu-2") != topology.load_route("gpu-1")
+    assert topology.kv_route("gpu-0")[0].kind is LinkKind.NVLINK
+    assert not topology.load_route("cpu-0")[0].shared
+
+
+def test_cross_island_kv_routes_cross_the_spine():
+    from repro.hardware import NETWORK_BYTES_PER_S
+
+    topology = Topology.nvlink_islands(_gpu_nodes(4), island_size=2)
+    # Intra-island stays on the fat local fabric...
+    intra = topology.route_between("gpu-0", "gpu-1")
+    assert [link.kind for link in intra] == [LinkKind.NVLINK]
+    # ...while inter-island traffic pays the §IX-G network rate.
+    inter = topology.route_between("gpu-0", "gpu-2")
+    kinds = {link.kind for link in inter}
+    assert LinkKind.NETWORK in kinds
+    spine = next(link for link in inter if link.kind is LinkKind.NETWORK)
+    assert spine.bandwidth_bytes_per_s == NETWORK_BYTES_PER_S
+    # Egress with an unknown destination is charged the spine too.
+    sim = Simulator()
+    topology.bind(sim)
+    transfer = topology.start_kv_transfer("gpu-0", None, 1.0)
+    assert spine in transfer.route
+
+
+# ----------------------------------------------------------------------
+# The contention model
+# ----------------------------------------------------------------------
+def test_single_transfer_duration_is_bytes_over_bandwidth():
+    sim = Simulator()
+    topology = _single_link_topology(_shared_link(bandwidth=1000.0))
+    topology.bind(sim)
+    done = []
+    topology.start_load("gpu-0", 500.0, on_complete=lambda: done.append(sim.now))
+    sim.run()
+    assert done == [0.5]
+
+
+def test_n_transfers_on_one_link_each_observe_capacity_over_n():
+    """The acceptance invariant: N concurrent streams share the capacity."""
+    sim = Simulator()
+    topology = _single_link_topology(_shared_link(bandwidth=1000.0))
+    topology.bind(sim)
+    done = {}
+    for i in range(3):
+        topology.start_load(
+            f"gpu-{i}", 1000.0, on_complete=lambda i=i: done.setdefault(i, sim.now)
+        )
+    sim.run()
+    # Three equal transfers at capacity/3 all complete at 3x the solo time.
+    assert done == {0: pytest.approx(3.0), 1: pytest.approx(3.0), 2: pytest.approx(3.0)}
+
+
+def test_piecewise_constant_retiming_matches_analytic_solution():
+    sim = Simulator()
+    link = _shared_link(bandwidth=1000.0)
+    topology = _single_link_topology(link)
+    topology.bind(sim)
+    done = {}
+    retimes = []
+    first = topology.start_load(
+        "gpu-0",
+        1000.0,
+        on_complete=lambda: done.setdefault("a", sim.now),
+        on_retime=lambda eta: retimes.append(eta),
+    )
+    assert first.eta == pytest.approx(1.0)
+    # Second transfer joins at t=0.5: A has 500 bytes left at 500 B/s.
+    sim.schedule(
+        0.5,
+        lambda: topology.start_load(
+            "gpu-1", 250.0, on_complete=lambda: done.setdefault("b", sim.now)
+        ),
+    )
+    sim.run()
+    # A: 500 bytes at full rate, then shares until B's 250 bytes land at
+    # t = 0.5 + 250/500 = 1.0 (A has 250 left), then full rate again.
+    assert done["b"] == pytest.approx(1.0)
+    assert done["a"] == pytest.approx(1.25)
+    # A was re-timed twice: slowed at t=0.5, sped up at t=1.0.
+    assert retimes == [pytest.approx(1.5), pytest.approx(1.25)]
+
+
+def test_dedicated_links_never_contend():
+    sim = Simulator()
+    topology = Topology.dedicated(_gpu_nodes(3))
+    topology.bind(sim)
+    expected = 1000.0 / A100_80GB.loader_bytes_per_s
+    done = {}
+    for i in range(3):
+        topology.start_load(
+            f"gpu-{i}", 1000.0, on_complete=lambda i=i: done.setdefault(i, sim.now)
+        )
+    sim.run()
+    assert all(t == expected for t in done.values())
+
+
+def test_unshared_link_gives_every_transfer_full_bandwidth():
+    sim = Simulator()
+    link = Link("l0", LinkKind.PCIE, bandwidth_bytes_per_s=1000.0, shared=False)
+    topology = _single_link_topology(link)
+    topology.bind(sim)
+    done = {}
+    for i in range(2):
+        topology.start_load(
+            f"gpu-{i}", 1000.0, on_complete=lambda i=i: done.setdefault(i, sim.now)
+        )
+    sim.run()
+    assert done == {0: 1.0, 1: 1.0}
+
+
+def test_tail_seconds_are_fixed_and_never_retimed():
+    sim = Simulator()
+    topology = _single_link_topology(_shared_link(bandwidth=1000.0))
+    topology.bind(sim)
+    done = {}
+    topology.start_load(
+        "gpu-0", 1000.0, tail_seconds=2.0, on_complete=lambda: done.setdefault("a", sim.now)
+    )
+    # Joins at t=1.0, when A's bytes are done and only its tail remains:
+    # A's completion (t=3.0) must not move.
+    sim.schedule(
+        1.0,
+        lambda: topology.start_load(
+            "gpu-1", 500.0, on_complete=lambda: done.setdefault("b", sim.now)
+        ),
+    )
+    sim.run()
+    assert done["a"] == pytest.approx(3.0)
+    assert done["b"] == pytest.approx(1.5)  # alone on the link again
+
+
+def test_link_latency_adds_to_duration():
+    sim = Simulator()
+    topology = _single_link_topology(_shared_link(bandwidth=1000.0, latency=0.25))
+    topology.bind(sim)
+    done = []
+    topology.start_load("gpu-0", 500.0, on_complete=lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(0.75)]
+
+
+def test_retiming_preserves_the_latency_head():
+    """A re-timed transfer must never finish earlier than it would alone:
+    the pipe-fill latency is not byte progress and is not dropped."""
+    sim = Simulator()
+    topology = _single_link_topology(_shared_link(bandwidth=100.0, latency=1.0))
+    topology.bind(sim)
+    done = {}
+    topology.start_load("gpu-0", 100.0, on_complete=lambda: done.setdefault("a", sim.now))
+    # B joins at t=0.5, inside A's latency head: A has moved 0 bytes.
+    sim.schedule(
+        0.5,
+        lambda: topology.start_load(
+            "gpu-1", 25.0, on_complete=lambda: done.setdefault("b", sim.now)
+        ),
+    )
+    sim.run()
+    # B: head until 1.5, then 25 B at 50 B/s → 2.0.  A: head until 1.0,
+    # 50 B/s until B lands at 2.0 (50 B done), full rate for the rest →
+    # 2.5 — strictly later than its uncontended 2.0, never earlier.
+    assert done["b"] == pytest.approx(2.0)
+    assert done["a"] == pytest.approx(2.5)
+
+
+def test_link_stats_accumulate_bytes_busy_and_concurrency():
+    sim = Simulator()
+    topology = _single_link_topology(_shared_link(bandwidth=1000.0))
+    topology.bind(sim)
+    for i in range(2):
+        topology.start_load(f"gpu-{i}", 1000.0)
+    sim.run()
+    stats = topology.link_stats(sim.now)["l0"]
+    assert stats["bytes"] == 2000.0
+    assert stats["busy_seconds"] == pytest.approx(2.0)
+    assert stats["transfers"] == 2
+    assert stats["max_concurrent"] == 2
+    assert stats["kind"] == "network"
+
+
+def test_link_stats_clip_open_interval_without_closing_it():
+    sim = Simulator()
+    topology = _single_link_topology(_shared_link(bandwidth=1000.0))
+    topology.bind(sim)
+    topology.start_load("gpu-0", 1000.0)
+    sim.run(until=0.25)
+    first = topology.link_stats(sim.now)["l0"]["busy_seconds"]
+    assert first == pytest.approx(0.25)
+    sim.run()
+    assert topology.link_stats(sim.now)["l0"]["busy_seconds"] == pytest.approx(1.0)
+
+
+def test_inbound_pressure_counts_shared_links_only():
+    sim = Simulator()
+    shared = Topology.oversubscribed_nic(_gpu_nodes(2))
+    shared.bind(sim)
+    assert shared.inbound_pressure("gpu-0") == 0
+    shared.start_load("gpu-1", 10 * GIB)
+    assert shared.inbound_pressure("gpu-0") == 1  # same uplink
+    dedicated = Topology.uniform(_gpu_nodes(2))
+    dedicated.bind(sim)
+    dedicated.start_load("gpu-1", 10 * GIB)
+    assert dedicated.inbound_pressure("gpu-0") == 0
+    assert dedicated.inbound_pressure("gpu-1") == 0
+
+
+def test_start_requires_bound_tracker():
+    topology = Topology.uniform(_gpu_nodes(1))
+    with pytest.raises(RuntimeError, match="not bound"):
+        topology.start_load("gpu-0", 1.0)
+
+
+# ----------------------------------------------------------------------
+# The load-time law (perf.loadtime)
+# ----------------------------------------------------------------------
+def test_load_law_reduces_to_flat_constant_on_idle_route():
+    topology = Topology.uniform(_gpu_nodes(1))
+    route = topology.load_route("gpu-0")
+    weights = 14 * GIB
+    assert load_seconds(weights, route) == weights / A100_80GB.loader_bytes_per_s
+
+
+def test_load_law_consumes_active_counts_on_shared_links():
+    link = _shared_link(bandwidth=1000.0)
+    assert route_rate((link,)) == 1000.0
+    assert route_rate((link,), {link: 3}) == 250.0  # joins 3 in-flight streams
+    assert load_seconds(500.0, (link,), {link: 1}) == 1.0
+
+
+def test_load_law_estimate_via_topology_tracks_contention():
+    sim = Simulator()
+    topology = Topology.oversubscribed_nic(
+        _gpu_nodes(2), nic_bytes_per_s=1000.0, nic_latency_s=0.0
+    )
+    topology.bind(sim)
+    idle = topology.estimate_load_seconds("gpu-0", 500.0)
+    assert idle == pytest.approx(0.5)
+    topology.start_load("gpu-1", 10_000.0)
+    # The new load would join one in-flight stream: half the uplink.
+    assert topology.estimate_load_seconds("gpu-0", 500.0) == pytest.approx(2 * idle)
+
+
+def test_load_law_validation():
+    link = _shared_link()
+    with pytest.raises(ValueError):
+        load_seconds(-1.0, (link,))
+    with pytest.raises(ValueError):
+        route_rate(())
+
+
+# ----------------------------------------------------------------------
+# Cluster facade
+# ----------------------------------------------------------------------
+def test_cluster_is_a_facade_over_its_topology():
+    cluster = Cluster.build(1, 2)
+    assert cluster.topology is not None
+    assert cluster.topology.nodes == cluster.nodes
+    assert cluster.node("gpu-1") is cluster.topology.node("gpu-1")
+    with pytest.raises(UnknownNodeError):
+        cluster.node("gpu-9")
+
+
+def test_cluster_from_nodes_adopts_topology_node_set():
+    nodes = _gpu_nodes(2)
+    topology = Topology.oversubscribed_nic(nodes)
+    cluster = Cluster.from_nodes(nodes, topology=topology)
+    assert cluster.topology is topology
+    assert cluster.nodes == nodes

@@ -1,0 +1,161 @@
+"""Topology integration: default parity, contention effects, link metrics.
+
+The acceptance contract of the topology layer:
+
+* the default (uniform) topology — and the explicit ``dedicated`` one —
+  reproduce the pre-topology golden fixtures byte-identically;
+* RunSpec fingerprints are unchanged when ``topology`` is omitted;
+* contended topologies change cold-start timings and surface per-link
+  utilization in the report, in both metrics modes.
+"""
+
+import json
+
+import pytest
+
+from repro.metrics.report import RunReport, merge_run_reports
+from repro.registry import TOPOLOGIES, build_cluster
+from repro.runner import RunSpec, execute_spec, expand_grid
+
+from tests.golden.generate import GOLDEN_AXES, golden_path
+
+#: a cross-section of the bundles: shared placement, exclusive slots, PD
+_PARITY_SYSTEMS = ("slinfer", "sllm+c+s", "pd-sllm")
+
+
+@pytest.mark.parametrize("system", _PARITY_SYSTEMS)
+def test_dedicated_topology_matches_golden_fixture_bytes(system):
+    """Dedicated links cannot contend, so every timing (and the whole
+    canonical report) matches the pre-topology fixtures exactly."""
+    result = execute_spec(RunSpec(system=system, topology="dedicated", **GOLDEN_AXES))
+    got = (
+        json.dumps(result.canonical_report_dict(), sort_keys=True, separators=(",", ":"))
+        + "\n"
+    )
+    assert got == golden_path(system).read_text(encoding="utf-8")
+
+
+def test_topology_omitted_keeps_fingerprint_and_payload():
+    spec = RunSpec(system="slinfer", **GOLDEN_AXES)
+    assert "topology" not in spec.to_dict()
+    explicit = RunSpec(system="slinfer", topology="dedicated", **GOLDEN_AXES)
+    assert "topology" in explicit.to_dict()
+    assert explicit.fingerprint() != spec.fingerprint()
+    assert RunSpec.from_dict(explicit.to_dict()) == explicit
+    assert RunSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_expand_grid_topology_axis():
+    specs = expand_grid(
+        ["slinfer"], clusters=("gpu-only",), topologies=(None, "oversub-nic")
+    )
+    assert [spec.topology for spec in specs] == [None, "oversub-nic"]
+    assert len({spec.fingerprint() for spec in specs}) == 2
+
+
+def test_registered_topologies_apply_to_any_cluster():
+    for name in TOPOLOGIES.names():
+        cluster = build_cluster("cpu2-gpu2", topology=name)
+        assert cluster.topology.name == name
+        # The facade invariant: one node list, shared by both layers.
+        assert cluster.topology.nodes is cluster.nodes
+
+
+def test_oversubscribed_nic_slows_cold_starts_and_records_links():
+    axes = dict(GOLDEN_AXES, cluster="gpu-only")
+    baseline = execute_spec(RunSpec(system="slinfer", **axes)).report
+    contended = execute_spec(
+        RunSpec(system="slinfer", topology="oversub-nic", **axes)
+    ).report
+    # The uniform run must not carry link metrics (golden-compat)...
+    assert baseline.link_utilization == {}
+    assert "link_utilization" not in baseline.to_dict()
+    # ...while the shared-NIC run does, with real traffic on the uplink.
+    uplink = contended.link_utilization["rack/nic"]
+    assert uplink["bytes"] > 0
+    assert uplink["busy_seconds"] > 0
+    assert uplink["transfers"] >= contended.cold_starts
+    assert contended.link_busy_fraction("rack/nic") > 0
+    assert contended.link_bytes_total >= uplink["bytes"]
+    # Cold starts behind a 2.5 GiB/s shared NIC take longer than behind
+    # dedicated 14 GiB/s loaders: the trajectory must actually change.
+    assert baseline.to_dict(include_volatile=False) != contended.to_dict(
+        include_volatile=False
+    )
+
+
+def test_link_utilization_round_trips_and_merges():
+    axes = dict(GOLDEN_AXES, cluster="gpu-only")
+    report = execute_spec(RunSpec(system="slinfer", topology="oversub-nic", **axes)).report
+    payload = report.to_dict(include_volatile=False)
+    assert payload["link_utilization"] == report.link_utilization
+    restored = RunReport.from_dict(payload)
+    assert restored.link_utilization == report.link_utilization
+    merged = merge_run_reports([report, restored])
+    uplink = merged.link_utilization["rack/nic"]
+    assert uplink["bytes"] == pytest.approx(2 * report.link_utilization["rack/nic"]["bytes"])
+    assert uplink["max_concurrent"] == report.link_utilization["rack/nic"]["max_concurrent"]
+
+
+def test_streaming_metrics_carry_link_utilization_too():
+    axes = dict(GOLDEN_AXES, cluster="gpu-only")
+    exact = execute_spec(RunSpec(system="slinfer", topology="oversub-nic", **axes)).report
+    streaming = execute_spec(
+        RunSpec(system="slinfer", topology="oversub-nic", metrics="streaming", **axes)
+    ).report
+    assert streaming.link_utilization == exact.link_utilization
+    assert "link_utilization" in streaming.to_dict(include_volatile=False)
+
+
+def test_placement_seam_prefers_idle_inbound_links():
+    """With one island's uplink busy loading, the next cold start goes to
+    the idle island instead of queuing behind the in-flight load."""
+    from repro.core.system import ServingSystem
+    from repro.policies.events import InstanceLoaded
+
+    from tests.systems.helpers import tiny_workload
+
+    cluster = build_cluster("cpu0-gpu4", topology="nvlink-islands")
+    system = ServingSystem(cluster, policies="sllm")
+    placements = []
+    system.bus.subscribe(
+        InstanceLoaded, lambda e: placements.append(e.instance.node.node_id)
+    )
+    # m1 arrives while m0's load still occupies island 0's shared uplink.
+    system.run(tiny_workload([("m0", 0.0, 128, 4), ("m1", 0.1, 128, 4)], duration=30.0))
+    assert placements[0] == "gpu-0"
+    assert placements[1] in ("gpu-2", "gpu-3")  # the idle island
+
+
+def test_slinfer_placement_seam_prefers_idle_inbound_links():
+    from repro.core.system import ServingSystem
+    from repro.policies.events import InstanceLoaded
+
+    from tests.systems.helpers import tiny_workload
+
+    cluster = build_cluster("cpu0-gpu4", topology="nvlink-islands")
+    system = ServingSystem(cluster, policies="slinfer")
+    placements = []
+    system.bus.subscribe(
+        InstanceLoaded, lambda e: placements.append(e.instance.node.node_id)
+    )
+    system.run(tiny_workload([("m0", 0.0, 128, 4), ("m1", 0.1, 128, 4)], duration=30.0))
+    assert len(placements) == 2
+    first_island = {"gpu-0", "gpu-1"} if placements[0] in ("gpu-0", "gpu-1") else {"gpu-2", "gpu-3"}
+    assert placements[1] not in first_island
+
+
+def test_sweep_executor_caches_topology_specs_separately(tmp_path):
+    from repro.runner import ResultCache, SweepExecutor
+
+    axes = dict(GOLDEN_AXES, cluster="gpu-only")
+    specs = [
+        RunSpec(system="sllm", **axes),
+        RunSpec(system="sllm", topology="oversub-nic", **axes),
+    ]
+    cache = ResultCache(tmp_path)
+    results = SweepExecutor(workers=1, cache=cache).run(specs)
+    rerun = SweepExecutor(workers=1, cache=cache).run(specs)
+    assert [r.from_cache for r in results] == [False, False]
+    assert [r.from_cache for r in rerun] == [True, True]
+    assert [r.canonical_json() for r in results] == [r.canonical_json() for r in rerun]

@@ -145,6 +145,42 @@ def test_sweep_rejects_unknown_policy(capsys):
     assert main(["sweep", "--policy", "badflag"]) == 2
 
 
+def test_list_hardware_shows_specs_and_topologies(capsys):
+    assert main(["list", "hardware"]) == 0
+    out = capsys.readouterr().out
+    for expected in ("hardware specs:", "a100-80gb", "v100-32gb", "no-AMX", "topologies"):
+        assert expected in out
+    for topology in ("uniform", "dedicated", "oversub-nic", "nvlink-islands"):
+        assert topology in out
+    assert "systems:" not in out  # scoped listing
+
+
+def test_sweep_topology_axis(tmp_path, capsys):
+    args = [
+        "sweep",
+        "--systems", "sllm",
+        "--models", "2",
+        "--duration", "60",
+        "--clusters", "cpu0-gpu2",
+        "--topology", "oversub-nic",
+        "--no-cache",
+        "--out", str(tmp_path / "out"),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "cpu0-gpu2/oversub-nic" in out
+    written = list((tmp_path / "out").iterdir())
+    assert len(written) == 1
+    payload = json.loads(written[0].read_text(encoding="utf-8"))
+    assert payload["spec"]["topology"] == "oversub-nic"
+    assert "link_utilization" in payload["report"]
+
+
+def test_sweep_rejects_unknown_topology(capsys):
+    assert main(["sweep", "--topology", "no-such"]) == 2
+    assert "unknown topology" in capsys.readouterr().err
+
+
 def test_parser_rejects_unknown_experiment():
     parser = build_parser()
     with pytest.raises(SystemExit):

@@ -20,6 +20,9 @@ def build(name, n_models=16, duration=600.0, requests_per_model=24.0, seed=3, **
         "mixed-fleet",
         "diurnal-week",
         "million-burst",
+        "het-fleet",
+        "cold-churn",
+        "cpu-harvest",
     ],
 )
 def test_scenarios_build_valid_workloads(name):
@@ -31,7 +34,17 @@ def test_scenarios_build_valid_workloads(name):
 
 
 @pytest.mark.parametrize(
-    "name", ["diurnal", "bursty-spike", "mixed-fleet", "diurnal-week", "million-burst"]
+    "name",
+    [
+        "diurnal",
+        "bursty-spike",
+        "mixed-fleet",
+        "diurnal-week",
+        "million-burst",
+        "het-fleet",
+        "cold-churn",
+        "cpu-harvest",
+    ],
 )
 def test_scenarios_deterministic_per_seed(name):
     first, second = build(name), build(name)
@@ -142,6 +155,60 @@ def test_million_burst_rejects_bad_params():
         build("million-burst", burst_width=1.5)
     with pytest.raises(ValueError):
         build("million-burst", hot_share=1.5)
+
+
+def test_het_fleet_mixes_three_sizes_that_fit_different_gpus():
+    from repro.hardware import A100_80GB, V100_32GB
+    from repro.models import LLAMA2_13B
+
+    workload = build("het-fleet", n_models=12)
+    sizes = {d.model.name for d in workload.deployments.values()}
+    assert len(sizes) == 3
+    # The point of the scenario: the 13B deployments are comfortable on
+    # an A100 but memory-tight on a 32 GiB V100, so spec-aware placement
+    # is doing real work on the het-gpu cluster.
+    assert LLAMA2_13B.weight_bytes < 0.35 * A100_80GB.memory_bytes
+    assert LLAMA2_13B.weight_bytes > 0.7 * V100_32GB.memory_bytes
+
+
+def test_het_fleet_ratio_validation():
+    with pytest.raises(ValueError, match="ratio"):
+        build("het-fleet", ratio=(1, 2))
+
+
+def test_cold_churn_staggers_activity_into_waves():
+    waves = 4
+    workload = build("cold-churn", n_models=8, waves=waves, background_share=0.0)
+    slot = workload.duration / waves
+    names = sorted(workload.deployments)
+    for name, deployment_requests in _by_deployment(workload).items():
+        index = names.index(name)
+        start = (index % waves) * slot
+        end = start + 0.5 * slot
+        assert all(start <= r.arrival <= end for r in deployment_requests)
+
+
+def test_cold_churn_rejects_bad_params():
+    with pytest.raises(ValueError):
+        build("cold-churn", waves=0)
+    with pytest.raises(ValueError):
+        build("cold-churn", wave_width=0.0)
+    with pytest.raises(ValueError):
+        build("cold-churn", background_share=1.5)
+
+
+def test_cpu_harvest_uses_the_small_cpu_servable_model():
+    from repro.models import LLAMA32_3B
+
+    workload = build("cpu-harvest", n_models=6)
+    assert all(d.model is LLAMA32_3B for d in workload.deployments.values())
+
+
+def _by_deployment(workload):
+    grouped = {}
+    for request in workload.requests:
+        grouped.setdefault(request.deployment, []).append(request)
+    return grouped
 
 
 def test_dataset_param_selects_length_distribution():
