@@ -6,9 +6,11 @@ Two suites, written to two trajectory files:
   on: the raw discrete-event loop, event-bus publishing, the end-to-end
   serving loop (the acceptance case: ``core-loop``), an overload run
   that churns the admission queue, a policy-matrix sweep, workload
-  synthesis throughput, and the streaming-metrics pipeline (the
+  synthesis throughput, the streaming-metrics pipeline (the
   ``core-loop`` spec under bounded-memory collection plus raw sketch
-  ingest — ``metrics-streaming`` / ``metrics-sketch-insert``).
+  ingest — ``metrics-streaming`` / ``metrics-sketch-insert``), and the
+  vectorized engine backend on a decode-dominated run
+  (``engine-vectorized``).
 * **scenarios** (``BENCH_scenarios.json``) — every registered workload
   scenario executed end-to-end at the configured scale, so opening a new
   workload automatically extends the measured trajectory.
@@ -21,6 +23,8 @@ stays CI-fast.
 
 from __future__ import annotations
 
+import cProfile
+from pathlib import Path
 from typing import Callable
 
 from repro.bench.config import BenchConfig
@@ -177,6 +181,36 @@ def _metrics_sketch_insert(config: BenchConfig) -> int:
     return total
 
 
+#: decode-marathon workloads memo-built once per scale: like the scenario
+#: suite, the engine case times the serving loop, not trace synthesis
+#: (the build lands in the first warmup round, outside the timed region)
+_MARATHON_WORKLOADS: dict[str, object] = {}
+
+
+def _engine_vectorized(config: BenchConfig) -> int:
+    """The vectorized-backend acceptance case: a decode-dominated run.
+
+    ``decode-marathon`` keeps one instance decoding a stable batch for
+    thousands of iterations, so virtually every event is a chained
+    decode step — the path the vectorized engine batches (same-chain
+    bursts, cumsum fast-forward).  The committed baseline gates this
+    case like any other; the backend's byte-identical contract is
+    enforced separately by the parity tests."""
+    spec = RunSpec(
+        system="slinfer",
+        scenario="decode-marathon",
+        n_models=1,
+        cluster="cpu0-gpu1",
+        seed=1,
+        scale=config.scale,
+        engine="vectorized",
+    )
+    workload = _MARATHON_WORKLOADS.get(config.scale)
+    if workload is None:
+        workload = _MARATHON_WORKLOADS[config.scale] = build_workload(spec)
+    return execute_spec(spec, workload=workload).report.events_processed
+
+
 def _streaming_footprint_meta(config: BenchConfig) -> dict[str, int]:
     """Bounded-footprint evidence recorded next to the timing numbers.
 
@@ -208,6 +242,7 @@ CORE_CASES: dict[str, Callable[[BenchConfig], int]] = {
     "metrics-streaming": _metrics_streaming,
     "metrics-sketch-insert": _metrics_sketch_insert,
     "topology-contention": _topology_contention,
+    "engine-vectorized": _engine_vectorized,
 }
 
 #: untimed per-case annotations attached to the written report
@@ -216,23 +251,49 @@ _CASE_META: dict[str, Callable[[BenchConfig], dict]] = {
 }
 
 
+def profile_case(
+    case: Callable[[], int], name: str, profile_dir: Path | str
+) -> Path:
+    """One extra, untimed round of ``case`` under :mod:`cProfile`.
+
+    Runs *after* the timed rounds (so the profiler's tracing overhead
+    never pollutes the reported wall times) and dumps the stats as
+    ``profile_<name>.pstats`` — load with :class:`pstats.Stats` or any
+    pstats viewer."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        case()
+    finally:
+        profiler.disable()
+    path = Path(profile_dir) / f"profile_{name}.pstats"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    profiler.dump_stats(path)
+    return path
+
+
 def run_core_suite(
-    config: BenchConfig, only: set[str] | None = None
+    config: BenchConfig,
+    only: set[str] | None = None,
+    profile_dir: Path | str | None = None,
 ) -> list[Measurement]:
     measurements = []
     for name, case in CORE_CASES.items():
         if only is not None and name not in only:
             continue
         meta_fn = _CASE_META.get(name)
+        bound = lambda case=case: case(config)  # noqa: E731
         measurements.append(
             measure(
-                lambda case=case: case(config),
+                bound,
                 name=name,
                 repeats=config.repeats,
                 warmup=config.warmup,
                 meta=meta_fn(config) if meta_fn is not None else None,
             )
         )
+        if profile_dir is not None:
+            profile_case(bound, name, profile_dir)
     return measurements
 
 
@@ -253,7 +314,9 @@ _SCENARIO_CLUSTERS = {
 
 
 def run_scenario_suite(
-    config: BenchConfig, only: set[str] | None = None
+    config: BenchConfig,
+    only: set[str] | None = None,
+    profile_dir: Path | str | None = None,
 ) -> list[Measurement]:
     """Every registered scenario, executed end-to-end on SLINFER."""
     measurements = []
@@ -291,4 +354,6 @@ def run_scenario_suite(
                 },
             )
         )
+        if profile_dir is not None:
+            profile_case(case, f"scenario-{scenario}", profile_dir)
     return measurements

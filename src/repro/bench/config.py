@@ -6,7 +6,8 @@ instead of parsing environment variables itself.  Scale and worker
 resolution delegate to :mod:`repro.runner` (``REPRO_SCALE`` /
 ``REPRO_WORKERS``), so there is exactly one interpretation of each
 variable in the codebase; the measurement-protocol knobs
-(``REPRO_BENCH_REPEATS`` / ``REPRO_BENCH_WARMUP``) live here.
+(``REPRO_BENCH_REPEATS`` / ``REPRO_BENCH_WARMUP`` /
+``REPRO_BENCH_PROFILE``) live here.
 """
 
 from __future__ import annotations
@@ -36,6 +37,8 @@ class BenchConfig:
     workers: int = 1
     repeats: int = DEFAULT_REPEATS
     warmup: int = DEFAULT_WARMUP
+    #: wrap each case in cProfile and write ``profile_<case>.pstats``
+    profile: bool = False
 
     def __post_init__(self) -> None:
         get_scale(self.scale)  # unknown scales fail fast, not mid-suite
@@ -61,6 +64,7 @@ class BenchConfig:
             workers=default_workers(),
             repeats=_env_int("REPRO_BENCH_REPEATS", DEFAULT_REPEATS, minimum=1),
             warmup=_env_int("REPRO_BENCH_WARMUP", DEFAULT_WARMUP),
+            profile=os.environ.get("REPRO_BENCH_PROFILE", "") not in ("", "0"),
         )
         filtered = {key: value for key, value in overrides.items() if value is not None}
         return replace(config, **filtered) if filtered else config

@@ -6,6 +6,10 @@
 2. write ``BENCH_core.json`` / ``BENCH_scenarios.json`` into ``out_dir``;
 3. if a baseline report is given, compare events/sec case-by-case and
    report regressions beyond the tolerance (the CI perf gate).
+
+With ``config.profile`` set (``--profile`` / ``REPRO_BENCH_PROFILE=1``),
+each case additionally runs one untimed round under :mod:`cProfile` and
+``profile_<case>.pstats`` lands next to the reports.
 """
 
 from __future__ import annotations
@@ -103,14 +107,17 @@ def run_bench(
         )
 
     say(f"bench: scale={config.scale} repeats={config.repeats} warmup={config.warmup}")
+    profile_dir = Path(out_dir) if config.profile else None
+    if profile_dir is not None:
+        say(f"profiling: writing profile_<case>.pstats into {profile_dir}")
     if run_core:
-        core = run_core_suite(config, only=core_only)
+        core = run_core_suite(config, only=core_only, profile_dir=profile_dir)
         for measurement in core:
             say("  " + measurement.summary_line())
         outcome.reports[CORE_REPORT] = build_report("core", config, core)
 
     if include_scenarios:
-        scenarios = run_scenario_suite(config, only=scenario_only)
+        scenarios = run_scenario_suite(config, only=scenario_only, profile_dir=profile_dir)
         for measurement in scenarios:
             say("  " + measurement.summary_line())
         outcome.reports[SCENARIOS_REPORT] = build_report("scenarios", config, scenarios)

@@ -35,6 +35,7 @@ from repro.models import CATALOG, get_model
 from repro.policies import POLICY_KINDS, POLICY_REGISTRIES, BUNDLES, resolve_policy
 from repro.registry import (
     CLUSTERS,
+    ENGINES,
     RegistryError,
     SCENARIOS,
     STANDARD_SYSTEMS,
@@ -155,6 +156,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         duration=args.duration,
         policies=_parse_policy_axes(args.policy or []),
         metrics=args.metrics,
+        engine=args.engine,
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     executor = SweepExecutor(workers=args.workers, cache=cache)
@@ -228,6 +230,10 @@ def cmd_list(args: argparse.Namespace) -> int:
         print("scenarios:")
         for name in SCENARIOS.names():
             print(f"  {name}")
+    if what in ("all", "engines"):
+        print("engines (byte-identical backends; use with 'sweep --engine NAME'):")
+        for name in ENGINES.names():
+            print(f"  {name}")
     if what in ("all", "clusters"):
         print("clusters (plus ad-hoc 'cpu{N}-gpu{M}' / 'harvest{C}'):")
         for name in CLUSTERS.names():
@@ -248,7 +254,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     try:
         config = BenchConfig.from_env(
-            scale=args.scale, repeats=args.repeats, warmup=args.warmup, workers=args.workers
+            scale=args.scale,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            workers=args.workers,
+            profile=args.profile or None,
         )
         outcome = run_bench(
             config,
@@ -352,6 +362,11 @@ def build_parser() -> argparse.ArgumentParser:
         "bounded-memory sketches (required for long-horizon runs)",
     )
     sweep.add_argument(
+        "--engine", default="reference", choices=ENGINES.names(),
+        help="engine backend (byte-identical results; vectorized batches "
+        "the decode-iteration hot path)",
+    )
+    sweep.add_argument(
         "--workers", type=int, default=default_workers(),
         help="worker processes (default: REPRO_WORKERS or 1)",
     )
@@ -368,7 +383,10 @@ def build_parser() -> argparse.ArgumentParser:
         "what",
         nargs="?",
         default="all",
-        choices=["all", "systems", "scenarios", "clusters", "models", "hardware", "policies"],
+        choices=[
+            "all", "systems", "scenarios", "engines", "clusters",
+            "models", "hardware", "policies",
+        ],
     )
     listing.set_defaults(func=cmd_list)
 
@@ -392,6 +410,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--workers", type=int, default=None, help="sweep-case worker processes")
     bench.add_argument("--out", default=".", help="directory for BENCH_*.json (default: .)")
     bench.add_argument("--only", default="", help="comma list of case names to run")
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="wrap each case in cProfile and write profile_<case>.pstats "
+        "next to the reports (also: REPRO_BENCH_PROFILE=1)",
+    )
     bench.add_argument(
         "--skip-scenarios", action="store_true", help="core suite only, no BENCH_scenarios.json"
     )

@@ -101,6 +101,67 @@ def _select(instances: list[ShadowInstance], now: float) -> tuple[ShadowInstance
     return best[1], best[2]
 
 
+class _FlatInstance:
+    """One instance's shadow state, flattened for the validation loop.
+
+    ``ShadowInstance``'s methods (``headroom`` / ``min_headroom`` /
+    ``decode_estimate`` / ``_select``) are the readable specification;
+    this mirror keeps the batch as parallel scalar lists so the hot loop
+    touches no dataclass attributes, and caches the two quantities the
+    loop re-derives constantly — the batch's minimum deadline (only the
+    stepped instance's changes per round) and its decode estimate.  All
+    cached values are produced by the *same float expressions* as the
+    specification methods, so every comparison the loop makes is
+    bit-identical to the naive evaluation.
+    """
+
+    __slots__ = (
+        "perf", "ready_at", "queue", "head",
+        "base", "slo", "tok", "soft", "new",
+        "B", "ctx_sum", "min_deadline", "estimate", "settle",
+    )
+
+    def __init__(self, inst: ShadowInstance) -> None:
+        self.perf = inst.perf
+        self.ready_at = inst.ready_at
+        # Pending prefills as an index cursor (no list pops).
+        self.queue = list(inst.prefill_queue)
+        self.head = 0
+        self.base = [r.deadline_base for r in inst.batch]
+        self.slo = [r.tpot_slo for r in inst.batch]
+        self.tok = [r.tokens_out for r in inst.batch]
+        self.soft = [r.soft for r in inst.batch]
+        self.new = [r.is_new for r in inst.batch]
+        self.B = len(inst.batch)
+        self.ctx_sum = sum(r.context_len for r in inst.batch)
+        self.settle = inst.settle_rounds
+        self._refresh_deadline()
+        # None marks the cached decode estimate dirty; an empty batch's
+        # estimate is 0.0 forever (shadow batches never shrink).
+        self.estimate = 0.0 if not self.B else None
+
+    def _refresh_deadline(self) -> None:
+        # min over members of (deadline_base + tpot_slo * tokens_out):
+        # the member expressions of ShadowRequest.headroom.  Headroom
+        # comparisons then use (min_deadline - now), which equals
+        # min(headroom) because x -> x - now is monotone under rounding.
+        if self.B:
+            self.min_deadline = min(
+                base + slo * t for base, slo, t in zip(self.base, self.slo, self.tok)
+            )
+        else:
+            self.min_deadline = float("inf")
+
+    def decode_estimate(self, overestimate: float) -> float:
+        if not self.B:
+            return 0.0
+        if self.estimate is None:
+            self.estimate = (
+                self.perf.tpot_seconds(self.B, self.ctx_sum / self.B) * overestimate
+            )
+        return self.estimate
+
+
 def shadow_validate(
     instances: list[ShadowInstance],
     now: float,
@@ -112,64 +173,134 @@ def shadow_validate(
     """Virtually execute the node's future and look for SLO violations.
 
     ``instances`` must already include the hypothetical new request in its
-    candidate instance's prefill queue (flagged ``is_new``).
+    candidate instance's prefill queue (flagged ``is_new``).  The inputs
+    are treated as read-only snapshots: the simulation runs on internal
+    copies (callers build throwaway shadows, so nothing observes them
+    afterwards).
     """
     time = max(now, busy_until)
     new_prefilled = False
     has_new = any(r.is_new for inst in instances for r in inst.prefill_queue + inst.batch)
 
+    flats = [_FlatInstance(inst) for inst in instances]
+    pending_prefills = sum(len(flat.queue) for flat in flats)
+
     for _ in range(max_iterations):
         # Case 3: once every prefill is absorbed, the steady-state decode
         # round across all instances must fit within one TPOT budget.
-        if not any(inst.prefill_queue for inst in instances):
-            aggregate = sum(inst.decode_estimate(overestimate) for inst in instances)
+        if not pending_prefills:
+            aggregate = 0
+            for flat in flats:
+                est = flat.estimate
+                if est is None:
+                    est = flat.decode_estimate(overestimate)
+                aggregate += est
             if aggregate > tpot_slo:
                 return ShadowVerdict.AGGREGATE_DECODE
-            if all(inst.settle_rounds >= _SETTLE_ROUNDS or not inst.batch for inst in instances):
+            if all(flat.settle >= _SETTLE_ROUNDS or not flat.B for flat in flats):
                 return ShadowVerdict.PASS
 
-        selection = _select(instances, time)
-        if selection is None:
+        # Work selection (the _select mirror): prefill urgency is the
+        # queue head's headroom, decode urgency the batch's minimum
+        # headroom; strict < keeps the first seen on ties.
+        best_u = 0.0
+        best = None
+        best_prefill = False
+        for flat in flats:
+            if flat.ready_at > time:
+                continue
+            if flat.head < len(flat.queue):
+                request = flat.queue[flat.head]
+                urgency = request.deadline_base + request.tpot_slo * request.tokens_out - time
+                if best is None or urgency < best_u:
+                    best_u = urgency
+                    best = flat
+                    best_prefill = True
+            if flat.B:
+                urgency = flat.min_deadline - time
+                if best is None or urgency < best_u:
+                    best_u = urgency
+                    best = flat
+                    best_prefill = False
+
+        if best is None:
             # Idle until the next instance becomes ready, if any.
-            future = [i.ready_at for i in instances if i.ready_at > time and i.has_work()]
+            future = [
+                flat.ready_at
+                for flat in flats
+                if flat.ready_at > time and (flat.head < len(flat.queue) or flat.B)
+            ]
             if not future:
                 return ShadowVerdict.PASS
             time = min(future)
             continue
 
-        instance, is_prefill = selection
-        if is_prefill:
-            request = instance.prefill_queue.pop(0)
-            duration = instance.perf.ttft_seconds(request.prefill_len) * overestimate
+        if best_prefill:
+            request = best.queue[best.head]
+            best.head += 1
+            duration = best.perf.ttft_seconds(request.prefill_len) * overestimate
             time += duration
-            if request.headroom(time) < 0 and not request.soft:
+            pending_prefills -= 1
+            headroom = request.deadline_base + request.tpot_slo * request.tokens_out - time
+            if headroom < 0 and not request.soft:
                 return (
                     ShadowVerdict.NEW_REQUEST_TTFT
                     if request.is_new
                     else ShadowVerdict.EXISTING_DELAYED
                 )
-            request.tokens_out += 1
-            request.context_len += 1
-            request.prefill_len = 0
-            instance.batch.append(request)
-            instance.settle_rounds = 0
+            tokens = request.tokens_out + 1
+            best.base.append(request.deadline_base)
+            best.slo.append(request.tpot_slo)
+            best.tok.append(tokens)
+            best.soft.append(request.soft)
+            best.new.append(request.is_new)
+            best.B += 1
+            best.ctx_sum += request.context_len + 1
+            # Existing members' deadlines are untouched by a join.
+            joined = request.deadline_base + request.tpot_slo * tokens
+            if joined < best.min_deadline:
+                best.min_deadline = joined
+            best.estimate = None
+            best.settle = 0
             if request.is_new:
                 new_prefilled = True
         else:
-            duration = instance.decode_estimate(overestimate)
+            duration = best.estimate
+            if duration is None:
+                duration = best.decode_estimate(overestimate)
             time += duration
-            for request in instance.batch:
-                if request.headroom(time) < 0 and not request.soft:
+            base = best.base
+            slo = best.slo
+            tok = best.tok
+            soft = best.soft
+            # One pass: violation check on the pre-increment token count,
+            # then the post-increment deadline (what _refresh_deadline
+            # would recompute — identical floats, min of the same terms).
+            new_min = float("inf")
+            for i in range(best.B):
+                b = base[i]
+                s = slo[i]
+                t = tok[i]
+                if b + s * t - time < 0 and not soft[i]:
                     return ShadowVerdict.EXISTING_DELAYED
-                request.tokens_out += 1
-                request.context_len += 1
-            instance.settle_rounds += 1
+                t += 1
+                tok[i] = t
+                deadline = b + s * t
+                if deadline < new_min:
+                    new_min = deadline
+            best.min_deadline = new_min
+            best.ctx_sum += best.B
+            best.estimate = None
+            best.settle += 1
 
     # Horizon exhausted without a violation; if the new request never even
     # got prefilled within the horizon something is deeply oversubscribed.
     if has_new and not new_prefilled:
         soft_new = all(
-            r.soft for inst in instances for r in inst.prefill_queue if r.is_new
+            r.soft
+            for flat in flats
+            for r in flat.queue[flat.head:]
+            if r.is_new
         )
         if not soft_new:
             return ShadowVerdict.NEW_REQUEST_TTFT

@@ -53,6 +53,7 @@ from repro.policies.events import (
     RequestQueued,
 )
 from repro.policies.observers import Observer, default_observers
+from repro.sim.engine import EngineBackend, resolve_engine
 from repro.sim.simulator import EventHandle, Simulator
 from repro.slo import DEFAULT_SLO, SloPolicy
 from repro.workloads.spec import Deployment, Workload
@@ -76,6 +77,7 @@ class ServingSystem:
         observers: Optional[Sequence[Observer]] = None,
         name: Optional[str] = None,
         metrics: str = "exact",
+        engine: Union[str, EngineBackend, None] = None,
     ) -> None:
         if isinstance(policies, str):
             from repro.policies.registry import build_bundle
@@ -105,6 +107,13 @@ class ServingSystem:
         )
         for observer in self.observers:
             observer.attach(self)
+        # Engine backend: owns the run's dispatch loop (reference = the
+        # plain Simulator.run; vectorized = batched decode chains with
+        # byte-identical results).  ``None`` defers to the REPRO_ENGINE
+        # environment variable, then "reference".
+        self.engine = resolve_engine(engine)
+        self.engine.bind(self)
+        self._note_decode = self.engine.note_decode if self.engine.marks_decode else None
         # Admission queue: (request, entry_serial) pairs; an entry is live
         # iff the serial matches the request's latest one in ``_queued``.
         self.queue: deque[tuple[Request, int]] = deque()
@@ -142,7 +151,7 @@ class ServingSystem:
         for observer in self.observers:
             observer.on_run_start(self, workload)
         horizon = until if until is not None else workload.duration + self.config.drain_timeout
-        self.sim.run(until=horizon)
+        self.engine.run_loop(self, horizon)
         topology = self.cluster.topology
         if topology.has_shared_links:
             # Per-link utilization is only meaningful where transfers can
@@ -440,7 +449,9 @@ class ServingSystem:
         duration *= self.policies.work.latency_factor(self, executor, item.kind)
         executor.busy = True
         executor.busy_until = self.sim.now + duration
-        self.sim.schedule(duration, self._finish_iteration, executor, item, batch_size)
+        handle = self.sim.schedule(duration, self._finish_iteration, executor, item, batch_size)
+        if batch_size and self._note_decode is not None:
+            self._note_decode(handle)
 
     def _finish_iteration(self, executor: Executor, item: WorkItem, batch_size: int) -> None:
         executor.busy = False

@@ -171,10 +171,18 @@ class MetricsCollector:
     def add_decode_tokens(self, kind: HardwareKind, tokens: int) -> None:
         self.decode_tokens[kind] += tokens
 
-    def sample_batch_size(self, batch_size: int, kind: HardwareKind | None = None) -> None:
-        self.batch_histogram[batch_size] += 1
+    def sample_batch_size(
+        self, batch_size: int, kind: HardwareKind | None = None, count: int = 1
+    ) -> None:
+        """Record ``count`` decode iterations launched at ``batch_size``.
+
+        ``count > 1`` is the batched form used by engine backends that
+        fold a whole chain of identical iterations at once; histograms
+        are commutative counters, so the fold order cannot matter.
+        """
+        self.batch_histogram[batch_size] += count
         if kind is HardwareKind.GPU:
-            self.gpu_batch_histogram[batch_size] += 1
+            self.gpu_batch_histogram[batch_size] += count
 
     def sample_memory_utilization(self, kind: HardwareKind, utilization: float) -> None:
         if self.streaming:

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.hardware.specs import HardwareSpec
 from repro.models.catalog import ModelSpec
-from repro.perf.laws import LatencyLaw
+from repro.perf.laws import DecodeKernel, LatencyLaw
 from repro.perf.profiler import QuantifiedPerf, quantify
 from repro.sim.rng import make_rng
 from repro.slo import SloPolicy
@@ -39,6 +39,7 @@ class PerfDatabase:
     jitter_sigma: float = 0.02
     seed: int = 0
     _laws: dict[_Key, LatencyLaw] = field(default_factory=dict, repr=False)
+    _kernels: dict[_Key, DecodeKernel] = field(default_factory=dict, repr=False)
     _quantified: dict[_Key, QuantifiedPerf] = field(default_factory=dict, repr=False)
     _rng: np.random.Generator = field(init=False, repr=False)
     _jitter_buf: list[float] = field(init=False, repr=False)
@@ -65,6 +66,28 @@ class PerfDatabase:
                 hardware=hardware, model=model, fraction=fraction, tp_degree=tp_degree
             )
         return self._laws[key]
+
+    def decode_kernel(
+        self,
+        hardware: HardwareSpec,
+        model: ModelSpec,
+        fraction: float = 1.0,
+        tp_degree: int = 1,
+    ) -> DecodeKernel:
+        """Hoisted decode-law coefficients (bit-identical to the law).
+
+        Engine backends that evaluate many decode iterations per
+        Python-level step fetch the kernel once per (hardware, model,
+        fraction, TP) combination and apply only its two multiply-adds
+        per tick; ``DecodeKernel.seconds`` reproduces
+        ``law.decode_seconds`` exactly.
+        """
+        key = (hardware.name, model.name, round(fraction, 6), tp_degree)
+        kernel = self._kernels.get(key)
+        if kernel is None:
+            kernel = self.law(hardware, model, fraction, tp_degree).decode_kernel()
+            self._kernels[key] = kernel
+        return kernel
 
     def quantified(
         self,
@@ -123,6 +146,70 @@ class PerfDatabase:
             pos = 0
         self._jitter_pos = pos + 1
         return buf[pos]
+
+    def jitter_block(self, count: int) -> list[float]:
+        """``count`` jitter draws, stream-identical to scalar calls.
+
+        Returns exactly the values ``count`` successive :meth:`_jitter`
+        calls would produce (the chunked buffer is consumed in order and
+        refilled with the same ``Generator.normal(size=_JITTER_CHUNK)``
+        draws), so batched consumers stay byte-compatible with scalar
+        ones.  Pinned by ``tests/perf/test_decode_kernel.py``.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if self.jitter_sigma <= 0:
+            return [1.0] * count
+        out: list[float] = []
+        while len(out) < count:
+            pos = self._jitter_pos
+            buf = self._jitter_buf
+            if pos >= len(buf):
+                buf = np.exp(
+                    self._rng.normal(0.0, self.jitter_sigma, size=_JITTER_CHUNK)
+                ).tolist()
+                self._jitter_buf = buf
+                pos = 0
+            take = min(count - len(out), len(buf) - pos)
+            out.extend(buf[pos : pos + take])
+            self._jitter_pos = pos + take
+        return out
+
+    def jitter_peek(self, count: int) -> list[float]:
+        """The next ``count`` jitter values *without* consuming them.
+
+        Speculative consumers (the vectorized engine's chain
+        fast-forward) compute how many draws they actually need from the
+        values themselves; they peek first and :meth:`jitter_commit` the
+        consumed prefix.  Refills triggered by a peek are
+        stream-identical: chunks are always generated whole, so rebasing
+        the buffer to ``buf[pos:] + chunk`` preserves the draw order
+        every scalar :meth:`_jitter` call would see.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if self.jitter_sigma <= 0:
+            return [1.0] * count
+        pos = self._jitter_pos
+        buf = self._jitter_buf
+        while len(buf) - pos < count:
+            chunk = np.exp(
+                self._rng.normal(0.0, self.jitter_sigma, size=_JITTER_CHUNK)
+            ).tolist()
+            buf = buf[pos:] + chunk
+            pos = 0
+            self._jitter_buf = buf
+            self._jitter_pos = 0
+        return buf[pos : pos + count]
+
+    def jitter_commit(self, count: int) -> None:
+        """Consume ``count`` draws previously returned by :meth:`jitter_peek`."""
+        if self.jitter_sigma <= 0:
+            return
+        pos = self._jitter_pos + count
+        if count < 0 or pos > len(self._jitter_buf):
+            raise ValueError(f"cannot commit {count} draws (peek first)")
+        self._jitter_pos = pos
 
     def execute_prefill(
         self,

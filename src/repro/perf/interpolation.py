@@ -64,7 +64,18 @@ class Interp2D:
         idx = bisect.bisect_right(xs, x) - 1
         idx = max(0, min(idx, len(xs) - 2))
         x0, x1 = xs[idx], xs[idx + 1]
-        v0 = self._row_interps[idx](y)
-        v1 = self._row_interps[idx + 1](y)
+        # Inlined row evaluation (both rows share the ys grid, so one
+        # bisect serves both): the same expressions as Interp1D.__call__.
+        ys = self.ys
+        jdx = bisect.bisect_right(ys, y) - 1
+        jdx = max(0, min(jdx, len(ys) - 2))
+        y0, y1 = ys[jdx], ys[jdx + 1]
+        u = (y - y0) / (y1 - y0)
+        row0 = self.values[idx]
+        row1 = self.values[idx + 1]
+        w0 = row0[jdx]
+        v0 = w0 + u * (row0[jdx + 1] - w0)
+        w1 = row1[jdx]
+        v1 = w1 + u * (row1[jdx + 1] - w1)
         t = (x - x0) / (x1 - x0)
         return v0 + t * (v1 - v0)

@@ -76,6 +76,32 @@ def tp_speedup(tp_degree: int) -> float:
 
 
 @dataclass(frozen=True)
+class DecodeKernel:
+    """The decode law reduced to coefficients of ``(batch_size, avg_context)``.
+
+    ``seconds`` evaluates the *same* floating-point expression as
+    :meth:`LatencyLaw.decode_seconds`, with every associativity preserved,
+    so the two are bit-identical (pinned by
+    ``tests/perf/test_decode_kernel.py``).  The point of the split is
+    batching: an engine backend hoists the per-(hardware, model) constants
+    out of its per-iteration loop and evaluates only the two
+    multiply-adds per tick.
+    """
+
+    const_ms: float  # batch-independent part of base_ms
+    per_seq_ms: float  # coefficient of batch_size
+    per_token_ms: float  # coefficient of batch_size * avg_context_len
+    slowdown: float
+    denom: float
+
+    def seconds(self, batch_size: int, avg_context_len: float) -> float:
+        base_ms = (self.const_ms + self.per_seq_ms * batch_size) + (
+            self.per_token_ms * batch_size
+        ) * avg_context_len
+        return base_ms * self.slowdown / self.denom
+
+
+@dataclass(frozen=True)
 class LatencyLaw:
     """Ground-truth iteration latency for (hardware, model, fraction, TP)."""
 
@@ -150,6 +176,34 @@ class LatencyLaw:
         )
         slowdown = self.hardware.decode_factor * fractions.gpu_decode_slowdown(self.fraction)
         return base_ms * slowdown / (1000.0 * tp_speedup(self.tp_degree))
+
+    def decode_kernel(self) -> DecodeKernel:
+        """The decode law's coefficients, hoisted for batched evaluation.
+
+        Every coefficient below reproduces one left-associated partial
+        product of :meth:`decode_seconds`, so
+        ``decode_kernel().seconds(b, c) == decode_seconds(b, c)`` holds
+        bit-for-bit — not merely to within rounding.
+        """
+        scale = self.model.compute_scale
+        if self.hardware.is_cpu:
+            return DecodeKernel(
+                const_ms=CPU_DECODE_CONST_MS + CPU_DECODE_SCALE_MS * scale,
+                per_seq_ms=CPU_DECODE_PER_SEQ_MS * scale,
+                per_token_ms=CPU_DECODE_PER_TOKEN_MS * self.model.kv_scale,
+                slowdown=self.hardware.decode_factor
+                * fractions.cpu_decode_slowdown(self.fraction),
+                denom=1000.0,
+            )
+        return DecodeKernel(
+            const_ms=GPU_DECODE_CONST_MS
+            + GPU_DECODE_WEIGHTS_MS_PER_GIB * (self.model.weight_bytes / GIB),
+            per_seq_ms=GPU_DECODE_PER_SEQ_MS * scale,
+            per_token_ms=self.model.kv_bytes_per_token / GPU_HBM_BYTES_PER_MS,
+            slowdown=self.hardware.decode_factor
+            * fractions.gpu_decode_slowdown(self.fraction),
+            denom=1000.0 * tp_speedup(self.tp_degree),
+        )
 
 
 def kv_scaling_seconds(old_bytes: float, new_bytes: float, used_bytes: float) -> float:

@@ -39,6 +39,11 @@ class QuantifiedPerf:
     sample_count: int = field(init=False, default=0)
     _ttft: Interp1D = field(init=False, repr=False)
     _tpot: Interp2D = field(init=False, repr=False)
+    # Memo tables: both estimators are pure functions of their arguments
+    # (fixed grids, no RNG), and schedulers — shadow validation above
+    # all — re-query the same (batch, context) points constantly.
+    _ttft_cache: dict = field(init=False, repr=False, default_factory=dict)
+    _tpot_cache: dict = field(init=False, repr=False, default_factory=dict)
 
     def __post_init__(self) -> None:
         max_len = self.law.model.max_context
@@ -55,13 +60,22 @@ class QuantifiedPerf:
 
     def ttft_seconds(self, input_len: int) -> float:
         """Estimated prefill time for one request."""
-        return max(0.0, self._ttft(float(input_len)))
+        cached = self._ttft_cache.get(input_len)
+        if cached is None:
+            cached = self._ttft_cache[input_len] = max(0.0, self._ttft(float(input_len)))
+        return cached
 
     def tpot_seconds(self, batch_size: int, avg_context_len: float) -> float:
         """Estimated decode-iteration time for a batch."""
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
-        return max(0.0, self._tpot(float(batch_size), float(avg_context_len)))
+        key = (batch_size, avg_context_len)
+        cached = self._tpot_cache.get(key)
+        if cached is None:
+            cached = self._tpot_cache[key] = max(
+                0.0, self._tpot(float(batch_size), float(avg_context_len))
+            )
+        return cached
 
 
 def quantify(law: LatencyLaw, max_batch: int = DEFAULT_MAX_BATCH) -> QuantifiedPerf:

@@ -111,6 +111,14 @@ class WorkSelectionPolicy(Policy):
 
     kind = "work"
 
+    #: Declares that ``latency_factor`` is a pure function of
+    #: ``(executor, kind)`` for the duration of a run — it reads no
+    #: per-iteration state.  The vectorized engine backend relies on
+    #: this to evaluate the factor once per decode chain instead of per
+    #: iteration; subclasses whose factor varies mid-run must set this
+    #: False (they then always run through the reference loop).
+    latency_factor_invariant = True
+
     def select(self, system: "ServingSystem", executor: "Executor") -> Optional[WorkItem]:
         return select_next_work(
             executor, system.sim.now, instances=system.runnable_instances(executor)

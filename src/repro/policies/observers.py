@@ -78,6 +78,13 @@ class MetricsObserver(Observer):
         def on_overhead(event: OverheadMeasured, metrics=metrics) -> None:
             metrics.add_overhead(event.name, event.seconds)
 
+        # Engine-backend contract: the tag tells the vectorized engine
+        # this handler is a pure fold into the collector, so a chain of
+        # n decode iterations may apply it as one batched fold (token
+        # counter += n·B, batch histogram bucket += n) instead of n
+        # calls.  Handlers without a recognised tag disable chaining.
+        on_iteration._iteration_metrics_fold = metrics
+
         bus.subscribe(IterationFinished, on_iteration)
         bus.subscribe(MemoryOpIssued, lambda e: self._memory_op(system, e))
         bus.subscribe(OverheadMeasured, on_overhead)

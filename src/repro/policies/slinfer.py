@@ -35,6 +35,7 @@ from repro.consolidation.preemption import plan_preemption
 from repro.core.config import SlinferConfig, SystemConfig
 from repro.engine.executor import Executor
 from repro.engine.instance import Instance, InstanceState
+from repro.engine.kvcache import BLOCK_TOKENS
 from repro.hardware.node import Node as _Node
 from repro.memory.estimator import (
     OutputLengthEstimator,
@@ -617,6 +618,55 @@ class SlinferPlacement(PlacementPolicy):
             return
         self._evict_longest_headroom(instance)
 
+    # Engine-backend contract: the vectorized engine may only fast-path
+    # decode iterations for which this handler provably no-ops; the tag
+    # names the method that bounds how many consecutive iterations are
+    # quiet.  (Assigned after the class body, on the function object.)
+    def decode_chain_quiet_steps(self, instance: Instance, max_steps: int) -> int:
+        """Largest q ≤ ``max_steps`` with :meth:`_after_iteration` a
+        no-op for the instance's next q consecutive decode iterations.
+
+        The j-th iteration grants every batch member its j-th new token,
+        so the handler's watermark check sees exactly
+        ``live(j) + batch_size·kv_bytes_per_token ≤ planned`` with
+        ``live(j)`` the block-rounded KV footprint at context ``+j``.
+        Those are the very expressions the handler evaluates (the
+        instance has no prefill backlog inside a chain, so
+        ``live_kv_bytes`` reduces to the batch sum), and the footprint
+        is non-decreasing in j, making quietness monotone — probed
+        once at ``max_steps``, else binary-searched.
+        """
+        if max_steps <= 0:
+            return 0
+        if instance.exclusive or instance.state is not InstanceState.ACTIVE:
+            return max_steps
+        if self.unloading(instance):
+            return max_steps
+        planned = self._orch(instance).planned_kv_bytes(instance)
+        growth = instance.batch_size * instance.model.kv_bytes_per_token
+        # Inlined from KVCache.used_bytes: every context footprint is a
+        # whole number of BLOCK_TOKENS-token blocks, so the byte
+        # comparison reduces to integer block counts — ``sum of
+        # ceil((c+steps)/BT) blocks ≤ floor((planned-growth)/block)``
+        # is the same predicate without a method call per batch member.
+        block_bytes = instance.kv.block_bytes
+        budget = (planned - growth) // block_bytes
+        offsets = [request.context_len + BLOCK_TOKENS - 1 for request in instance.batch]
+
+        def quiet(steps: int) -> bool:
+            return sum((c + steps) // BLOCK_TOKENS for c in offsets) <= budget
+
+        if quiet(max_steps):
+            return max_steps
+        lo, hi = 0, max_steps - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if quiet(mid):
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
     def _evict_longest_headroom(self, instance: Instance) -> None:
         system = self.system
         assert system is not None
@@ -722,3 +772,9 @@ class SlinferPlacement(PlacementPolicy):
             system.publish(NodeUnloaded(partner.node_id, system.sim.now))
         system.detach(instance)
         system.capacity_changed()
+
+
+# The vectorized engine resolves this tag (visible through the bound
+# method it finds subscribed to IterationFinished) to the quiet-steps
+# bound above — see repro.sim.engine.
+SlinferPlacement._after_iteration._chain_guard = "decode_chain_quiet_steps"

@@ -48,10 +48,12 @@ from repro.hardware.topology import Topology
 from repro.policies.observers import Observer
 from repro.policies.registry import BUNDLES, build_bundle
 from repro.registries import Registry, RegistryError
+from repro.sim.engine import ENGINES
 from repro.slo import DEFAULT_SLO, SloPolicy
 
 __all__ = [
     "CLUSTERS",
+    "ENGINES",
     "Registry",
     "RegistryError",
     "SCENARIOS",
@@ -141,12 +143,13 @@ def _bundle_system_factory(bundle_name: str) -> Callable[..., ServingSystem]:
         policy_overrides: Mapping[str, str] | Iterable[tuple[str, str]] | None = None,
         observers: Optional[list[Observer]] = None,
         metrics: str = "exact",
+        engine: Optional[str] = None,
         **bundle_kwargs,
     ) -> ServingSystem:
         bundle = build_bundle(bundle_name, overrides=policy_overrides, **bundle_kwargs)
         return ServingSystem(
             cluster, policies=bundle, slo=slo, config=config, observers=observers,
-            metrics=metrics,
+            metrics=metrics, engine=engine,
         )
 
     factory.__name__ = f"make_{bundle_name}"

@@ -47,6 +47,8 @@ def execute_spec(spec: RunSpec, workload=None, **system_kwargs: Any) -> RunResul
     # every exact-mode spec.
     if spec.metrics != "exact":
         system_kwargs.setdefault("metrics", spec.metrics)
+    if spec.engine != "reference":
+        system_kwargs.setdefault("engine", spec.engine)
     system = system_factory(spec.system)(
         build_cluster(spec.cluster, topology=spec.topology), **system_kwargs
     )

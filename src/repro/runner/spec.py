@@ -78,6 +78,11 @@ class RunSpec:
     # or "streaming" (bounded sketches, long-horizon runs).  The payload
     # shapes differ, so non-default modes fingerprint separately.
     metrics: str = "exact"
+    # Engine backend executing the simulation.  Backends are
+    # byte-identical by contract, so the reference default is omitted
+    # from the fingerprint: an engine choice never invalidates (or
+    # forks) the result cache for the same experiment.
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "scenario_params", _freeze_params(self.scenario_params))
@@ -87,6 +92,12 @@ class RunSpec:
         if self.metrics not in METRICS_MODES:
             raise ValueError(
                 f"unknown metrics mode {self.metrics!r} (known: {', '.join(METRICS_MODES)})"
+            )
+        from repro.sim.engine import ENGINES
+
+        if self.engine not in ENGINES.names():
+            raise ValueError(
+                f"unknown engine {self.engine!r} (known: {', '.join(ENGINES.names())})"
             )
 
     # ------------------------------------------------------------------
@@ -129,6 +140,11 @@ class RunSpec:
         # exactly as before the streaming subsystem existed.
         if self.metrics != "exact":
             payload["metrics"] = self.metrics
+        # Backends are byte-identical, so the engine is part of *how* a
+        # spec runs, not *what* it measures: omitted when reference so
+        # fingerprints (and the cache) are engine-independent.
+        if self.engine != "reference":
+            payload["engine"] = self.engine
         return payload
 
     @classmethod
@@ -146,11 +162,20 @@ class RunSpec:
             scenario_params=payload.get("scenario_params"),
             policy_overrides=payload.get("policy_overrides") or (),
             metrics=payload.get("metrics", "exact"),
+            engine=payload.get("engine", "reference"),
         )
 
     def fingerprint(self) -> str:
-        """Stable content hash of the spec (the cache key)."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        """Stable content hash of the spec (the cache key).
+
+        The engine axis is excluded: backends are byte-identical, so a
+        cached result computed under either backend answers a spec
+        pinned to the other (``to_dict`` keeps the key so worker
+        processes still run the requested backend).
+        """
+        payload = self.to_dict()
+        payload.pop("engine", None)
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def label(self) -> str:
@@ -163,6 +188,8 @@ class RunSpec:
             system += "[" + ",".join(f"{k}={v}" for k, v in self.policy_overrides) + "]"
         if self.metrics != "exact":
             system += f" metrics={self.metrics}"
+        if self.engine != "reference":
+            system += f" engine={self.engine}"
         cluster = self.cluster
         if self.topology is not None:
             cluster += f"/{self.topology}"
@@ -219,6 +246,7 @@ def expand_grid(
     scenario_params: dict[str, Any] | None = None,
     policies: dict[str, Sequence[str]] | None = None,
     metrics: str = "exact",
+    engine: str = "reference",
 ) -> list[RunSpec]:
     """The cross-product of the given axes, in deterministic order.
 
@@ -253,6 +281,7 @@ def expand_grid(
                                             scenario_params=scenario_params,
                                             policy_overrides=overrides,
                                             metrics=metrics,
+                                            engine=engine,
                                         )
                                     )
     return specs

@@ -6,10 +6,16 @@ schedulers, memory operations) is expressed as callbacks scheduled here, which
 keeps each serving system single-threaded and fully deterministic.
 """
 
+# NOTE: repro.sim.engine is deliberately NOT imported here — it pulls
+# in the scheduler/policy layers, which themselves import this package
+# during startup.  Import engine backends via ``repro.sim.engine`` (or
+# the re-export in ``repro.registry``).
 from repro.sim.rng import make_rng, spawn_rngs
 from repro.sim.simulator import EventHandle, SimulationError, Simulator
+from repro.sim.state_table import DecodeStateTable
 
 __all__ = [
+    "DecodeStateTable",
     "EventHandle",
     "SimulationError",
     "Simulator",

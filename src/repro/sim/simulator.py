@@ -21,7 +21,7 @@ class SimulationError(RuntimeError):
 class EventHandle:
     """A scheduled callback that can be cancelled before it fires."""
 
-    __slots__ = ("time", "callback", "args", "cancelled", "fired")
+    __slots__ = ("time", "callback", "args", "cancelled", "fired", "chain")
 
     def __init__(self, time: float, callback: Callable[..., Any], args: tuple):
         self.time = time
@@ -29,6 +29,10 @@ class EventHandle:
         self.args = args
         self.cancelled = False
         self.fired = False
+        # Engine-backend annotation (see repro.sim.engine): backends that
+        # fast-path runs of homogeneous events stash their per-event state
+        # here.  Always None under the reference backend.
+        self.chain = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Cancelling a fired event is a no-op."""
@@ -59,6 +63,7 @@ class Simulator:
         self._heap: list[tuple[float, int, EventHandle]] = []
         self._sequence = itertools.count()
         self._events_processed = 0
+        self._compact_at = 64
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -70,7 +75,19 @@ class Simulator:
                 f"cannot schedule event at t={time:.6f} before now={self.now:.6f}"
             )
         handle = EventHandle(time, callback, args)
-        heapq.heappush(self._heap, (time, next(self._sequence), handle))
+        heap = self._heap
+        heapq.heappush(heap, (time, next(self._sequence), handle))
+        # Lazy cancellation leaves tombstones below the heap head; under
+        # churny workloads (keepalive resets, queue drops) they can come
+        # to dominate.  When the heap outgrows the amortised threshold,
+        # rebuild it from the live entries — in place, because run loops
+        # hold a local alias to the list.
+        if len(heap) >= self._compact_at:
+            live = [entry for entry in heap if not entry[2].cancelled]
+            if 2 * len(live) <= len(heap):
+                heap[:] = live
+                heapq.heapify(heap)
+            self._compact_at = max(64, 2 * len(heap))
         return handle
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:

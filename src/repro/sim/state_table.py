@@ -1,0 +1,157 @@
+"""Array-of-struct decode state for engine backends.
+
+The vectorized engine keeps the per-request fields that decode
+iterations touch — token counts, SLO deadline coefficients, context
+and KV sizing, lifecycle phase — in parallel NumPy columns indexed by
+a *slot*.  Slots are recycled through a free-list as requests complete
+or drop, so a long-horizon run's table stays sized to the in-flight
+population rather than the trace length.
+
+The table is a mirror, not the source of truth: the scalar
+:class:`~repro.engine.request.Request` objects remain authoritative
+(the reference backend and every policy read them directly).
+``ensure_rows`` refreshes the mirrored fields from the objects at each
+chain construction, and the engine writes batched results back through
+both (``add_tokens`` plus the object sync in its flush).
+
+Numeric contract: ``deadline_base`` stores the left-associated partial
+sum ``(arrival + ttft_slo) + grace`` of
+:attr:`Request.next_token_deadline`, so ``deadline_base + tpot * n``
+reproduces the property bit-for-bit for any token count ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.request import Request
+
+#: slots allocated up front; the table doubles when they run out
+_INITIAL_CAPACITY = 256
+
+#: ``phase`` column values
+PHASE_FREE = 0
+PHASE_ACTIVE = 1
+
+#: the mirrored columns, in (name, dtype) order
+_COLUMNS = (
+    ("deadline_base", np.float64),
+    ("tpot", np.float64),
+    ("tokens_out", np.int64),
+    ("output_len", np.int64),
+    ("context0", np.int64),
+    ("kv_token_bytes", np.float64),
+    ("phase", np.int8),
+)
+
+
+class DecodeStateTable:
+    """Slot-addressed NumPy mirror of in-flight decode requests."""
+
+    __slots__ = (
+        "capacity",
+        "deadline_base",
+        "tpot",
+        "tokens_out",
+        "output_len",
+        "context0",
+        "kv_token_bytes",
+        "phase",
+        "_free",
+        "_slot_of",
+        "_holder",
+    )
+
+    def __init__(self, capacity: int = _INITIAL_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        for name, dtype in _COLUMNS:
+            setattr(self, name, np.zeros(capacity, dtype=dtype))
+        # Pop from the end so low slots are handed out first.
+        self._free: list[int] = list(range(capacity - 1, -1, -1))
+        self._slot_of: dict[int, int] = {}
+        self._holder: list["Request | None"] = [None] * capacity
+
+    # ------------------------------------------------------------------
+    # Slot lifecycle
+    # ------------------------------------------------------------------
+    def _grow(self) -> None:
+        old = self.capacity
+        new = old * 2
+        for name, dtype in _COLUMNS:
+            grown = np.zeros(new, dtype=dtype)
+            grown[:old] = getattr(self, name)
+            setattr(self, name, grown)
+        self._holder.extend([None] * old)
+        self._free.extend(range(new - 1, old - 1, -1))
+        self.capacity = new
+
+    def acquire(self, request: "Request") -> int:
+        """Assign a slot to ``request`` (reusing a freed one if possible)."""
+        if not self._free:
+            self._grow()
+        slot = self._free.pop()
+        self._slot_of[request.req_id] = slot
+        self._holder[slot] = request
+        self.phase[slot] = PHASE_ACTIVE
+        return slot
+
+    def release(self, request: "Request") -> None:
+        """Return the request's slot (if any) to the free-list."""
+        slot = self._slot_of.pop(request.req_id, None)
+        if slot is None:
+            return
+        self._holder[slot] = None
+        self.phase[slot] = PHASE_FREE
+        self.tokens_out[slot] = 0
+        self._free.append(slot)
+
+    def slot_for(self, request: "Request") -> int | None:
+        return self._slot_of.get(request.req_id)
+
+    @property
+    def active_count(self) -> int:
+        return len(self._slot_of)
+
+    # ------------------------------------------------------------------
+    # Batched access
+    # ------------------------------------------------------------------
+    def ensure_rows(
+        self, requests: Sequence["Request"], kv_token_bytes: float = 0.0
+    ) -> np.ndarray:
+        """Slots for ``requests`` (acquiring as needed), fields refreshed.
+
+        Mutable fields (grace-adjusted deadline base, token count) are
+        re-read from the request objects every call: rows may be stale
+        between chains — scalar events mutate the objects directly —
+        and refreshing here is what keeps the mirror coherent without
+        hooking every scalar write.
+        """
+        slots = np.empty(len(requests), dtype=np.int64)
+        get = self._slot_of.get
+        deadline_base = self.deadline_base
+        tpot = self.tpot
+        tokens_out = self.tokens_out
+        output_len = self.output_len
+        context0 = self.context0
+        kv_col = self.kv_token_bytes
+        for i, request in enumerate(requests):
+            slot = get(request.req_id)
+            if slot is None:
+                slot = self.acquire(request)
+            deadline_base[slot] = (request.arrival + request.ttft_slo) + request.grace
+            tpot[slot] = request.tpot_slo
+            tokens_out[slot] = request.tokens_out
+            output_len[slot] = request.output_len
+            context0[slot] = request.input_len
+            kv_col[slot] = kv_token_bytes
+            slots[i] = slot
+        return slots
+
+    def add_tokens(self, slots: np.ndarray, count: int) -> None:
+        """Batched token grant: every slot generated ``count`` more tokens."""
+        self.tokens_out[slots] += count

@@ -581,6 +581,53 @@ def cold_churn(
     )
 
 
+@SCENARIOS.register("decode-marathon")
+def decode_marathon(
+    model: ModelSpec,
+    n_models: int,
+    duration: float,
+    requests_per_model: float,
+    seed: int,
+    *,
+    input_len: int = 64,
+    output_len: int = 3500,
+    stagger: float = 15.0,
+) -> Workload:
+    """Sustained long-decode streams: the chained-decode regime.
+
+    Short prompts, near-maximum-length outputs, and a gentle staggered
+    trickle of arrivals keep each instance decoding a stable batch for
+    the whole window, so virtually every simulated event is a decode
+    iteration on unchanged state.  This is the regime the vectorized
+    engine's batched fast-forward targets: the ``engine-vectorized``
+    bench case runs it on a single-GPU cluster, and the parity suite
+    pins the batched path byte-identical to the reference engine.
+    """
+    if stagger <= 0:
+        raise ValueError("stagger must be positive")
+    rng = make_rng(seed, "decode-marathon")
+    models = replica_models(model, n_models)
+    out_len = max(1, min(output_len, model.max_context - input_len - 1))
+    count = max(1, int(round(requests_per_model)))
+
+    requests: list[RequestSpec] = []
+    for index, name in enumerate(models):
+        phase = stagger * index / max(1, n_models)
+        for j in range(count):
+            time = phase + j * stagger + float(rng.uniform(0.0, 0.25 * stagger))
+            if time >= duration:
+                break
+            requests.append(RequestSpec(name, time, input_len, out_len))
+
+    deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
+    return Workload(
+        name=f"decode-marathon-{n_models}m",
+        deployments=deployments,
+        requests=requests,
+        duration=duration,
+    )
+
+
 @SCENARIOS.register("cpu-harvest")
 def cpu_harvest(
     model: ModelSpec,

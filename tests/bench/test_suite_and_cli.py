@@ -200,3 +200,51 @@ def test_core_suite_covers_the_acceptance_cases():
 
     assert len(CORE_CASES) >= 5
     assert "core-loop" in CORE_CASES
+
+
+def test_profile_writes_pstats_next_to_reports(tmp_path):
+    import pstats
+
+    config = BenchConfig(scale="smoke", repeats=1, warmup=0, profile=True)
+    run_bench(config, out_dir=tmp_path, only=_FAST)
+    path = tmp_path / "profile_workload-synthesis.pstats"
+    assert path.exists()
+    # The dump must be a loadable pstats file with real samples in it.
+    stats = pstats.Stats(str(path))
+    assert stats.total_calls > 0
+
+
+def test_profile_off_by_default(tmp_path):
+    run_bench(_fast_config(), out_dir=tmp_path, only=_FAST)
+    assert not list(tmp_path.glob("*.pstats"))
+
+
+def test_profile_env_seam(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_PROFILE", "1")
+    assert BenchConfig.from_env().profile
+    monkeypatch.setenv("REPRO_BENCH_PROFILE", "0")
+    assert not BenchConfig.from_env().profile
+    monkeypatch.delenv("REPRO_BENCH_PROFILE")
+    assert not BenchConfig.from_env().profile
+
+
+def test_cli_bench_profile_flag(tmp_path):
+    code = main(
+        [
+            "bench",
+            "--scale", "smoke",
+            "--repeats", "1",
+            "--warmup", "0",
+            "--only", "workload-synthesis",
+            "--profile",
+            "--out", str(tmp_path),
+        ]
+    )
+    assert code == 0
+    assert (tmp_path / "profile_workload-synthesis.pstats").exists()
+
+
+def test_engine_vectorized_is_a_core_case():
+    from repro.bench.cases import CORE_CASES
+
+    assert "engine-vectorized" in CORE_CASES

@@ -82,3 +82,54 @@ def test_tight_slo_shrinks_cpu_envelope(perf_db):
     assert perf_db.cpu_can_serve(XEON_GEN4_32C, LLAMA2_7B, 512, slo_100)
     assert not perf_db.cpu_can_serve(XEON_GEN4_32C, LLAMA2_13B, 512, slo_100)
     assert not perf_db.cpu_can_serve(XEON_GEN4_32C, LLAMA2_7B, 512, slo_50)
+
+
+# ----------------------------------------------------------------------
+# Jitter peek/commit (the vectorized engine's batched-draw protocol)
+# ----------------------------------------------------------------------
+def test_jitter_peek_does_not_consume():
+    db = PerfDatabase(jitter_sigma=0.02, seed=7)
+    peeked = db.jitter_peek(5)
+    assert db.jitter_peek(5) == peeked
+    assert [db._jitter() for _ in range(5)] == peeked
+
+
+def test_jitter_commit_advances_the_stream():
+    reference = PerfDatabase(jitter_sigma=0.02, seed=7)
+    expected = [reference._jitter() for _ in range(10)]
+    db = PerfDatabase(jitter_sigma=0.02, seed=7)
+    head = db.jitter_peek(6)
+    db.jitter_commit(4)  # take 4 of the 6 peeked draws
+    tail = [db._jitter() for _ in range(6)]
+    assert head[:4] + tail == expected
+
+
+def test_jitter_peek_refill_preserves_stream_content():
+    # Peeking past the buffered chunk must splice refills exactly where
+    # sequential consumption would have drawn them.
+    reference = PerfDatabase(jitter_sigma=0.02, seed=3)
+    expected = [reference._jitter() for _ in range(2500)]
+    db = PerfDatabase(jitter_sigma=0.02, seed=3)
+    taken: list[float] = []
+    while len(taken) < 2500:
+        chunk = db.jitter_peek(700)
+        db.jitter_commit(700)
+        taken.extend(chunk)
+    assert taken[:2500] == expected
+
+
+def test_jitter_commit_requires_buffered_draws():
+    db = PerfDatabase(jitter_sigma=0.02, seed=7)
+    with pytest.raises(ValueError):
+        db.jitter_commit(1)  # nothing buffered yet
+    db.jitter_peek(3)
+    with pytest.raises(ValueError):
+        db.jitter_commit(len(db._jitter_buf) + 1)
+    with pytest.raises(ValueError):
+        db.jitter_peek(-1)
+
+
+def test_jitter_peek_without_sigma_is_identity():
+    db = PerfDatabase(jitter_sigma=0.0, seed=7)
+    assert db.jitter_peek(4) == [1.0] * 4
+    db.jitter_commit(4)  # no-op, must not raise

@@ -1,0 +1,66 @@
+"""The SLINFER decode-chain quiet guard's inlined KV predicate.
+
+``SlinferPlacement.decode_chain_quiet_steps`` bounds how many decode
+iterations the vectorized engine may fast-path before the watermark
+handler stops being a no-op.  Its hot predicate is an integer
+block-count inlining of the byte comparison the handler itself makes;
+this module pins the two forms to each other exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.kvcache import BLOCK_TOKENS, KVCache
+from repro.models import LLAMA2_7B
+from repro.policies.slinfer import SlinferPlacement
+
+
+def _byte_form(kv: KVCache, contexts, steps: int, budget_bytes: int) -> bool:
+    """The handler's own comparison: block-rounded bytes vs the budget."""
+    return sum(kv.used_bytes(c + steps) for c in contexts) <= budget_bytes
+
+
+def _block_form(contexts, steps: int, budget_bytes: int, block_bytes: int) -> bool:
+    """The inlined predicate from decode_chain_quiet_steps."""
+    budget = budget_bytes // block_bytes
+    return sum((c + BLOCK_TOKENS - 1 + steps) // BLOCK_TOKENS for c in contexts) <= budget
+
+
+def test_block_count_predicate_matches_byte_comparison():
+    kv = KVCache(model=LLAMA2_7B)
+    rng = random.Random(11)
+    for _ in range(300):
+        batch = rng.randint(1, 12)
+        contexts = [rng.randint(1, 4096) for _ in range(batch)]
+        steps = rng.randint(0, 512)
+        # Budgets straddling the decision boundary, including negative
+        # (growth exceeding the plan) and sub-block remainders.
+        exact = sum(kv.used_bytes(c + steps) for c in contexts)
+        for budget in (
+            exact - kv.block_bytes,
+            exact - 1,
+            exact,
+            exact + 1,
+            exact + kv.block_bytes - 1,
+            exact + kv.block_bytes,
+            -1,
+            0,
+        ):
+            assert _byte_form(kv, contexts, steps, budget) == _block_form(
+                contexts, steps, budget, kv.block_bytes
+            ), (contexts, steps, budget)
+
+
+def test_quietness_is_monotone_in_steps():
+    # decode_chain_quiet_steps binary-searches on this monotonicity.
+    kv = KVCache(model=LLAMA2_7B)
+    contexts = [100, 250, 777]
+    budget = sum(kv.used_bytes(c + 40) for c in contexts)
+    results = [_block_form(contexts, s, budget, kv.block_bytes) for s in range(0, 200)]
+    assert results[0] is True
+    assert results == sorted(results, reverse=True)
+
+
+def test_after_iteration_declares_the_guard():
+    assert SlinferPlacement._after_iteration._chain_guard == "decode_chain_quiet_steps"

@@ -1,0 +1,52 @@
+"""The spec-level engine axis: serialization, fingerprints, grids.
+
+The contract (see ``RunSpec.engine``): backends are byte-identical, so
+the engine names *how* a spec runs, never *what* it measures — the
+default serializes invisibly (old payloads keep loading) and the
+fingerprint ignores the axis entirely (one cache entry serves both
+backends).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import RunSpec, expand_grid
+
+
+def _spec(**kwargs) -> RunSpec:
+    return RunSpec(system="slinfer", scenario="azure", n_models=2, seed=1, **kwargs)
+
+
+def test_reference_engine_omitted_from_payload():
+    assert "engine" not in _spec().to_dict()
+
+
+def test_vectorized_engine_round_trips():
+    spec = _spec(engine="vectorized")
+    payload = spec.to_dict()
+    assert payload["engine"] == "vectorized"
+    assert RunSpec.from_dict(payload) == spec
+    assert RunSpec.from_dict(_spec().to_dict()).engine == "reference"
+
+
+def test_fingerprint_is_engine_independent():
+    # Byte-identical backends share cache entries: pinning the engine
+    # must not fork (or invalidate) previously computed results.
+    assert _spec().fingerprint() == _spec(engine="vectorized").fingerprint()
+
+
+def test_label_names_non_default_engine():
+    assert "engine=vectorized" in _spec(engine="vectorized").label()
+    assert "engine=" not in _spec().label()
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="unknown engine"):
+        _spec(engine="warp-drive")
+
+
+def test_expand_grid_threads_engine():
+    specs = expand_grid(["slinfer"], n_models=(2,), seeds=(1, 2), engine="vectorized")
+    assert specs
+    assert all(spec.engine == "vectorized" for spec in specs)

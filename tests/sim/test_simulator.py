@@ -117,3 +117,43 @@ def test_callback_args_passed(sim):
     sim.schedule(1.0, lambda a, b: seen.append((a, b)), 1, "x")
     sim.run()
     assert seen == [(1, "x")]
+
+
+# ----------------------------------------------------------------------
+# Tombstone compaction under churn
+# ----------------------------------------------------------------------
+def test_heap_compaction_bounds_tombstones(sim):
+    """Schedule-then-cancel churn must not grow the heap without bound.
+
+    Lazy cancellation leaves tombstones below the heap head; the
+    amortised compaction sweep rebuilds the heap once they dominate.
+    Without it, this pattern (keepalive resets: one live timer per
+    cycle, the previous one cancelled) accumulates every dead entry
+    until its own pop — a memory regression this test pins.
+    """
+    churn = 20_000
+    live = sim.schedule(1e9, lambda: None)
+    for _ in range(churn):
+        live.cancel()
+        live = sim.schedule(1e9, lambda: None)
+    # Far fewer entries than cancellations: bounded by the compaction
+    # threshold's doubling schedule, not by churn volume.
+    assert len(sim._heap) < 2_000
+    assert sim.pending_events == 1
+
+
+def test_compaction_preserves_order_and_counts(sim):
+    order = []
+    cancelled = []
+    for i in range(5_000):
+        handle = sim.schedule(float(i % 97) + 1.0, order.append, i)
+        if i % 3 != 0:
+            handle.cancel()
+            cancelled.append(i)
+    fired = sim.run()
+    assert fired == 5_000 - len(cancelled)
+    assert len(order) == fired
+    assert not set(order) & set(cancelled)
+    # Fired in (time, scheduling-order) order despite in-place rebuilds.
+    times = [(i % 97, i) for i in order]
+    assert times == sorted(times)

@@ -1,0 +1,122 @@
+"""Engine-backend contract: byte-identical reports, conserved requests.
+
+The vectorized backend's entire license to exist is observational
+equivalence with the reference loop (see ``repro.sim.engine``).  This
+module enforces the contract where it is broadest: every registered
+scenario runs under **both** backends and must produce
+
+1. **parity** — byte-identical canonical reports (volatile wall-clock
+   fields excluded), and
+2. **conservation** — no request created or destroyed by the machinery
+   (admitted = completed + dropped + in-flight) and no instance holding
+   more live KV-cache than it has allocated at finalize.
+
+Each (scenario, engine) pair simulates once; the results are cached at
+module scope so parity and conservation read the same run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.request import RequestState
+from repro.registry import SCENARIOS, build_cluster, system_factory
+from repro.runner import RunSpec, build_workload
+
+#: scenarios whose point is a particular hardware shape (mirrors the
+#: bench scenario suite); everything else runs on cpu2-gpu2
+_SCENARIO_CLUSTERS = {
+    "het-fleet": "het-gpu",
+    "cold-churn": "rack-oversub",
+    "cpu-harvest": "harvest16",
+}
+
+#: long-horizon scenarios exist for streaming metrics; exact mode would
+#: be slower without exercising anything extra here
+_STREAMING_SCENARIOS = frozenset({"diurnal-week", "million-burst"})
+
+ENGINES_UNDER_TEST = ("reference", "vectorized")
+
+_runs: dict[tuple[str, str], tuple[object, object, object]] = {}
+
+
+def _spec(scenario: str) -> RunSpec:
+    return RunSpec(
+        system="slinfer",
+        scenario=scenario,
+        n_models=4,
+        cluster=_SCENARIO_CLUSTERS.get(scenario, "cpu2-gpu2"),
+        seed=1,
+        scale="smoke",
+        metrics="streaming" if scenario in _STREAMING_SCENARIOS else "exact",
+    )
+
+
+def _run(scenario: str, engine: str):
+    """(system, workload, report) for one backend, simulated once."""
+    key = (scenario, engine)
+    if key not in _runs:
+        spec = _spec(scenario)
+        workload = build_workload(spec)
+        system = system_factory("slinfer")(
+            build_cluster(spec.cluster), metrics=spec.metrics, engine=engine
+        )
+        report = system.run(workload)
+        _runs[key] = (system, workload, report)
+    return _runs[key]
+
+
+def _canonical(report) -> str:
+    return json.dumps(report.to_dict(include_volatile=False), sort_keys=True)
+
+
+def assert_conservation(system, workload, report) -> None:
+    """The invariants any correct backend must leave behind.
+
+    Request conservation is checked on the report (exact mode walks the
+    per-request ledger; streaming mode checks the folded counters), KV
+    bounds on the live instances the system still holds.
+    """
+    total = report.total_requests
+    assert total == workload.total_requests
+    if report.metrics_mode == "exact":
+        by_state = {}
+        for request in report.requests:
+            by_state[request.state] = by_state.get(request.state, 0) + 1
+        completed = by_state.get(RequestState.COMPLETED, 0)
+        dropped = by_state.get(RequestState.DROPPED, 0)
+        in_flight = total - completed - dropped
+        assert completed == report.completed_count
+        assert dropped == report.dropped_count
+        assert in_flight == sum(
+            count
+            for state, count in by_state.items()
+            if state not in (RequestState.COMPLETED, RequestState.DROPPED)
+        )
+    else:
+        assert report.completed_count + report.dropped_count <= total
+
+    for executor in system.executors:
+        for instance in executor.instances:
+            live = instance.live_kv_bytes()
+            assert live <= instance.kv.committed_bytes, (
+                f"instance {instance.inst_id} holds {live} live KV bytes "
+                f"with only {instance.kv.committed_bytes} allocated"
+            )
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS.names())
+def test_backends_byte_identical(scenario):
+    _, _, reference = _run(scenario, "reference")
+    _, _, vectorized = _run(scenario, "vectorized")
+    assert reference.events_processed == vectorized.events_processed
+    assert _canonical(reference) == _canonical(vectorized)
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS.names())
+@pytest.mark.parametrize("engine", ENGINES_UNDER_TEST)
+def test_conservation_invariants(scenario, engine):
+    system, workload, report = _run(scenario, engine)
+    assert_conservation(system, workload, report)

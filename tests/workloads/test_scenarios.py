@@ -23,6 +23,7 @@ def build(name, n_models=16, duration=600.0, requests_per_model=24.0, seed=3, **
         "het-fleet",
         "cold-churn",
         "cpu-harvest",
+        "decode-marathon",
     ],
 )
 def test_scenarios_build_valid_workloads(name):
@@ -44,6 +45,7 @@ def test_scenarios_build_valid_workloads(name):
         "het-fleet",
         "cold-churn",
         "cpu-harvest",
+        "decode-marathon",
     ],
 )
 def test_scenarios_deterministic_per_seed(name):
@@ -219,3 +221,26 @@ def test_dataset_param_selects_length_distribution():
     assert mean_out(code) < mean_out(conv)
     with pytest.raises(KeyError):
         build("azure", dataset="no-such-dataset")
+
+
+def test_decode_marathon_is_decode_dominated():
+    workload = build("decode-marathon", n_models=4, requests_per_model=8.0)
+    for request in workload.requests:
+        # Short prompts, near-max outputs clamped inside the context
+        # window: the run spends virtually all its events decoding.
+        assert request.input_len == 64
+        assert request.output_len >= 100 * request.input_len // 10
+        assert request.input_len + request.output_len < LLAMA2_7B.max_context
+    # A staggered trickle, not a burst: per-model arrivals are spread
+    # at least half the stagger apart.
+    by_model = {}
+    for request in workload.requests:
+        by_model.setdefault(request.deployment, []).append(request.arrival)
+    for arrivals in by_model.values():
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        assert all(gap > 7.5 for gap in gaps)
+
+
+def test_decode_marathon_rejects_bad_stagger():
+    with pytest.raises(ValueError):
+        build("decode-marathon", stagger=0.0)
