@@ -8,9 +8,10 @@ Two suites, written to two trajectory files:
   that churns the admission queue, a policy-matrix sweep, workload
   synthesis throughput, the streaming-metrics pipeline (the
   ``core-loop`` spec under bounded-memory collection plus raw sketch
-  ingest — ``metrics-streaming`` / ``metrics-sketch-insert``), and the
+  ingest — ``metrics-streaming`` / ``metrics-sketch-insert``), the
   vectorized engine backend on a decode-dominated run
-  (``engine-vectorized``).
+  (``engine-vectorized``), and the prefix-sharing block map on the
+  shared-sysprompt workload (``prefix-share``).
 * **scenarios** (``BENCH_scenarios.json``) — every registered workload
   scenario executed end-to-end at the configured scale, so opening a new
   workload automatically extends the measured trajectory.
@@ -211,6 +212,26 @@ def _engine_vectorized(config: BenchConfig) -> int:
     return execute_spec(spec, workload=workload).report.events_processed
 
 
+def _prefix_share(config: BenchConfig) -> int:
+    """The prefix-sharing block map under its canonical workload.
+
+    ``shared-sysprompt`` session trains drive the whole admit → radix
+    walk → refcount → commit → evict path on every request, so this case
+    times the block-map machinery itself on top of the serving loop.
+    The hit rate lands in the report's ``kv_sharing`` block and is
+    anchored (>0.5) by the calibration test, not here."""
+    spec = RunSpec(
+        system="slinfer",
+        scenario="shared-sysprompt",
+        n_models=8,
+        cluster="cpu2-gpu2",
+        seed=1,
+        scale=config.scale,
+        kv_sharing="on",
+    )
+    return execute_spec(spec).report.events_processed
+
+
 def _streaming_footprint_meta(config: BenchConfig) -> dict[str, int]:
     """Bounded-footprint evidence recorded next to the timing numbers.
 
@@ -243,6 +264,7 @@ CORE_CASES: dict[str, Callable[[BenchConfig], int]] = {
     "metrics-sketch-insert": _metrics_sketch_insert,
     "topology-contention": _topology_contention,
     "engine-vectorized": _engine_vectorized,
+    "prefix-share": _prefix_share,
 }
 
 #: untimed per-case annotations attached to the written report
@@ -312,6 +334,10 @@ _SCENARIO_CLUSTERS = {
     "cpu-harvest": "harvest16",
 }
 
+#: prefix workloads benched with the block map on — the sharing path is
+#: what those scenarios exist to exercise
+_SHARING_SCENARIOS = frozenset({"shared-sysprompt", "agentic-loop", "prefix-mix"})
+
 
 def run_scenario_suite(
     config: BenchConfig,
@@ -331,6 +357,7 @@ def run_scenario_suite(
             seed=1,
             scale=config.scale,
             metrics="streaming" if scenario in _STREAMING_SCENARIOS else "exact",
+            kv_sharing="on" if scenario in _SHARING_SCENARIOS else "off",
         )
         # The trace is synthesized once, outside the timed region: these
         # cases measure the serving loop (the dedicated

@@ -42,6 +42,7 @@ from repro.registry import (
     SYSTEMS,
     TOPOLOGIES,
     build_cluster,
+    resolve_scenario,
 )
 from repro.runner import (
     ResultCache,
@@ -85,7 +86,7 @@ def _validate_names(systems=(), scenarios=(), clusters=(), models=(), topologies
     for name in systems:
         SYSTEMS.get(name)
     for name in scenarios:
-        SCENARIOS.get(name)
+        resolve_scenario(name)
     for name in clusters:
         build_cluster(name)
     for name in topologies:
@@ -157,6 +158,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         policies=_parse_policy_axes(args.policy or []),
         metrics=args.metrics,
         engine=args.engine,
+        kv_sharing=args.kv_sharing,
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     executor = SweepExecutor(workers=args.workers, cache=cache)
@@ -227,9 +229,13 @@ def cmd_list(args: argparse.Namespace) -> int:
         for name in SYSTEMS.names():
             print(f"  {name}")
     if what in ("all", "scenarios"):
-        print("scenarios:")
+        print("scenarios (plus ad-hoc 'prefix-mix{P}' for a P%-shared prefix mix):")
         for name in SCENARIOS.names():
             print(f"  {name}")
+    if what in ("all", "kv-sharing"):
+        print("kv sharing (use with 'sweep --kv-sharing MODE'):")
+        print("  off: per-request KV accounting (default; byte-identical to prior runs)")
+        print("  on: prefix-sharing block map (radix cache, copy-on-write, LRU eviction)")
     if what in ("all", "engines"):
         print("engines (byte-identical backends; use with 'sweep --engine NAME'):")
         for name in ENGINES.names():
@@ -367,6 +373,12 @@ def build_parser() -> argparse.ArgumentParser:
         "the decode-iteration hot path)",
     )
     sweep.add_argument(
+        "--kv-sharing", dest="kv_sharing", default="off", choices=["off", "on"],
+        help="prefix-sharing block-map KV subsystem (radix prefix cache, "
+        "copy-on-write, supply-coupled admission); changes results, so "
+        "on-mode specs fingerprint separately",
+    )
+    sweep.add_argument(
         "--workers", type=int, default=default_workers(),
         help="worker processes (default: REPRO_WORKERS or 1)",
     )
@@ -385,7 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
         choices=[
             "all", "systems", "scenarios", "engines", "clusters",
-            "models", "hardware", "policies",
+            "models", "hardware", "policies", "kv-sharing",
         ],
     )
     listing.set_defaults(func=cmd_list)

@@ -36,6 +36,7 @@ from repro.engine.instance import Instance, InstanceState
 from repro.engine.request import Request, RequestState
 from repro.hardware.cluster import Cluster
 from repro.hardware.node import Node
+from repro.kv import KvShareAdmission, KvShareStore
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.report import RunReport
 from repro.perf.database import PerfDatabase
@@ -78,11 +79,21 @@ class ServingSystem:
         name: Optional[str] = None,
         metrics: str = "exact",
         engine: Union[str, EngineBackend, None] = None,
+        kv_sharing: str = "off",
     ) -> None:
         if isinstance(policies, str):
             from repro.policies.registry import build_bundle
 
             policies = build_bundle(policies)
+        if kv_sharing not in ("off", "on"):
+            raise ValueError(f"unknown kv_sharing mode {kv_sharing!r}")
+        self.kv_sharing = kv_sharing
+        if kv_sharing == "on":
+            # Couple admission to block supply; no label suffix — the
+            # sharing axis is carried by the run spec, not the bundle name.
+            policies = policies.with_policies(
+                admission=KvShareAdmission(policies.admission)
+            )
         self.policies = policies
         self.name = name if name is not None else policies.name
         self.cluster = cluster
@@ -194,6 +205,8 @@ class ServingSystem:
             output_len=spec.output_len,
             ttft_slo=self.slo.ttft(spec.input_len),
             tpot_slo=self.slo.tpot,
+            prefix_id=spec.prefix_id,
+            prefix_len=spec.prefix_len,
         )
         self.bus.publish(RequestArrived(request, self.sim.now))
         if not self.try_place(request):
@@ -321,6 +334,8 @@ class ServingSystem:
             created_at=self.sim.now,
             exclusive=exclusive,
         )
+        if self.kv_sharing == "on":
+            instance.kv_share = KvShareStore(instance, self.metrics)
         self.policies.admission.on_instance_created(self, instance)
         return instance
 
@@ -333,6 +348,8 @@ class ServingSystem:
         self.bus.publish(InstanceLoaded(instance, self.sim.now))
 
     def detach(self, instance: Instance) -> None:
+        if instance.kv_share is not None:
+            instance.kv_share.clear()
         executor = self._executor_of.pop(instance.inst_id)
         executor.remove_instance(instance)
         hint = self._work_hints.get(executor.exec_id)
@@ -402,6 +419,10 @@ class ServingSystem:
     def dispatch(self, request: Request, instance: Instance) -> None:
         """Hand a (new or migrating) request to an instance."""
         request.state = RequestState.PENDING_PREFILL
+        if instance.kv_share is not None:
+            # Match the prompt against the instance's prefix cache: hits
+            # are shared refcount-bumped and shorten the pending prefill.
+            instance.kv_share.admit(request)
         instance.enqueue(request)
         self._mark_maybe_runnable(instance)
         if instance.state is InstanceState.LOADING:
@@ -477,6 +498,10 @@ class ServingSystem:
         if request.state is not RequestState.PENDING_PREFILL or request not in instance.prefill_pending:
             return  # dropped or migrated while the iteration ran
         instance.prefill_pending.remove(request)
+        if instance.kv_share is not None:
+            # The prompt's KV now exists: promote its full blocks into
+            # the prefix index so later requests can share them.
+            instance.kv_share.commit(request)
         request.prefill_len = 0
         request.record_tokens(self.sim.now)
         if request.done:
@@ -496,7 +521,18 @@ class ServingSystem:
             instance.decode_tokens += tokens
         return tokens
 
+    def release_shared_kv(self, instance: Instance, request: Request) -> None:
+        """Drop a departing request's shared-block references.
+
+        Policies call this wherever they take a request off an instance
+        (preemption, eviction); a no-op with sharing off, so unshared
+        control flow is untouched.
+        """
+        if instance.kv_share is not None:
+            instance.kv_share.release(request)
+
     def _complete_request(self, instance: Instance, request: Request) -> None:
+        self.release_shared_kv(instance, request)
         request.complete(self.sim.now)
         self.bus.publish(RequestCompleted(request, instance, self.sim.now))
         self.capacity_changed()

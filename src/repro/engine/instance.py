@@ -11,9 +11,12 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.engine.kvcache import KVCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kv.store import KvShareStore
 from repro.engine.request import Request
 from repro.hardware.node import Node
 from repro.models.catalog import ModelSpec
@@ -47,6 +50,9 @@ class Instance:
     keepalive_handle: object = None  # EventHandle, owned by the system
     iterations: int = 0
     decode_tokens: int = 0
+    #: prefix-sharing block map (``repro.kv``); None unless the run set
+    #: ``kv_sharing="on"`` — the default path never touches it.
+    kv_share: "Optional[KvShareStore]" = field(default=None, repr=False)
     #: executor-attachment order, assigned by ``ServingSystem.attach``;
     #: orders the serving system's incremental runnable set identically
     #: to the executor's attach-ordered instance list.
@@ -90,6 +96,10 @@ class Instance:
 
     def live_kv_bytes(self) -> int:
         """Bytes of KV-cache currently holding live context."""
+        if self.kv_share is not None:
+            # Sharing on: referenced shared blocks counted once, plus each
+            # request's private tail net of its shared prefix.
+            return self.kv_share.live_bytes()
         # Summed in ``requests`` order (batch, then pending prefills)
         # without materializing the concatenated list — this runs once
         # per iteration in the watermark check.

@@ -8,6 +8,7 @@ targets are always rounded up to whole blocks.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.models.catalog import ModelSpec
@@ -37,7 +38,10 @@ class KVCache:
         """Round a byte size up to whole cache blocks."""
         if size_bytes <= 0:
             return 0
-        blocks = -(-int(size_bytes) // self.block_bytes)  # ceil division
+        # Ceil any fractional byte tail *before* the integer ceil-division:
+        # truncating first would under-round sizes like ``block_bytes + 0.5``
+        # by a whole block.
+        blocks = -(-math.ceil(size_bytes) // self.block_bytes)  # ceil division
         return blocks * self.block_bytes
 
     def tokens_capacity(self) -> int:
@@ -68,6 +72,10 @@ class KVCache:
         if self.scaling:
             raise RuntimeError("a resize is already in flight")
         target = self.round_to_blocks(target_bytes)
+        if target == self.allocated_bytes:
+            # Zero-delta resize: nothing to allocate or copy, so no
+            # in-flight state and no scaling event — a true no-op.
+            return 0.0
         duration = kv_scaling_seconds(
             old_bytes=self.allocated_bytes,
             new_bytes=target,

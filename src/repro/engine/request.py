@@ -43,6 +43,16 @@ class Request:
     ttft_slo: float
     tpot_slo: float
 
+    # Prompt-identity hints for prefix-sharing KV (see ``repro.kv``): the
+    # first ``prefix_len`` prompt tokens are the content named by
+    # ``prefix_id`` (a ``name:len[/name:len...]`` segment path); everything
+    # beyond is unique to this request.  ``shared_tokens`` counts the
+    # (block-aligned) leading tokens currently backed by refcounted shared
+    # blocks instead of private ones; it is owned by the instance's
+    # KvShareStore and stays 0 with sharing off.
+    prefix_id: str | None = None
+    prefix_len: int = 0
+
     state: RequestState = RequestState.QUEUED
     grace: float = 0.0  # cold-start grace window (§IX-A)
     tokens_out: int = 0
@@ -53,13 +63,21 @@ class Request:
     violation_at: float | None = None  # first time a token missed its deadline
     cold_started: bool = False
     migrations: int = 0
+    shared_tokens: int = field(init=False)
 
     def __post_init__(self) -> None:
         if self.input_len <= 0:
             raise ValueError(f"request {self.req_id}: input_len must be positive")
         if self.output_len <= 0:
             raise ValueError(f"request {self.req_id}: output_len must be positive")
+        if self.prefix_len < 0 or self.prefix_len > self.input_len:
+            raise ValueError(
+                f"request {self.req_id}: prefix_len must lie in [0, input_len]"
+            )
+        if self.prefix_len > 0 and not self.prefix_id:
+            raise ValueError(f"request {self.req_id}: prefix_len > 0 needs a prefix_id")
         self.prefill_len = self.input_len
+        self.shared_tokens = 0
 
     # ------------------------------------------------------------------
     # SLO accounting (Eq. 1)

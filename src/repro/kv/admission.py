@@ -1,0 +1,70 @@
+"""The ``kv_sharing`` admission seam: block supply gates eligibility.
+
+:class:`KvShareAdmission` wraps the bundle's configured admission policy
+when a run sets ``kv_sharing="on"``.  It adds exactly two behaviours:
+
+* ``allow_instance`` additionally consults the instance's block pool —
+  a request whose context (net of prefix hits) cannot fit even after
+  reclaiming every cached block is not eligible;
+* ``admit_after_prefill`` releases the request's shared-block table when
+  the inner policy migrates it away (PD disaggregation hands the request
+  to a decode instance; its references on the prefill instance's pool
+  must not outlive it — the blocks themselves stay cached).
+
+Everything else (role bookkeeping, post-prefill routing, report labels)
+delegates to the wrapped policy, so ablations keep their names and PD
+internals stay reachable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.policies.base import AdmissionPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.system import ServingSystem
+    from repro.engine.instance import Instance
+    from repro.engine.request import Request
+    from repro.workloads.spec import Workload
+
+
+class KvShareAdmission(AdmissionPolicy):
+    """Couples any admission policy to free-block supply."""
+
+    def __init__(self, inner: AdmissionPolicy) -> None:
+        self.inner = inner
+
+    def __getattr__(self, name: str):
+        # Policy-specific extras (e.g. PdAdmission's role tables) stay
+        # reachable through the wrapper.
+        return getattr(self.inner, name)
+
+    def describe(self) -> str:
+        return self.inner.describe()
+
+    def prepare(self, system: "ServingSystem", workload: "Workload") -> None:
+        self.inner.prepare(system, workload)
+
+    def on_instance_created(self, system: "ServingSystem", instance: "Instance") -> None:
+        self.inner.on_instance_created(system, instance)
+
+    def allow_instance(
+        self, system: "ServingSystem", instance: "Instance", request: "Request"
+    ) -> bool:
+        if not self.inner.allow_instance(system, instance, request):
+            return False
+        store = instance.kv_share
+        return store is None or store.can_admit(request)
+
+    def admit_after_prefill(
+        self, system: "ServingSystem", instance: "Instance", request: "Request"
+    ) -> None:
+        from repro.engine.request import RequestState
+
+        self.inner.admit_after_prefill(system, instance, request)
+        store = instance.kv_share
+        if store is not None and request.state is RequestState.MIGRATING:
+            # The inner policy moved the request off this instance (PD
+            # hand-off): drop its block references here.
+            store.release(request)

@@ -1,0 +1,122 @@
+"""Refcounted physical KV blocks with free-list accounting.
+
+The pool tracks the *shared* (prefix-index-owned) blocks of one
+instance's paged KV cache as first-class objects with identities and
+refcounts.  Private decode tails keep the engine's derived byte
+accounting (``ceil(tokens / 16)`` blocks per request) — identity only
+matters where blocks are shared, and deriving the private side keeps the
+vectorized decode fast path free of per-token bookkeeping hooks.
+
+Capacity is *not* owned here: it is always read off the underlying
+:class:`~repro.engine.kvcache.KVCache`, whose ``allocated_bytes`` the
+memory orchestrator resizes at runtime.  The free list recycles block
+ids; the supply constraint (index blocks + private blocks ≤ capacity) is
+enforced by the store that drives allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.kvcache import KVCache
+
+
+@dataclass(slots=True)
+class Block:
+    """One physical cache block owned by the prefix index."""
+
+    block_id: int
+    key: tuple
+    refcount: int = 0
+    last_used: int = 0  # logical clock for LRU eviction
+
+    @property
+    def referenced(self) -> bool:
+        return self.refcount > 0
+
+
+@dataclass
+class BlockPool:
+    """Allocator for the shared blocks of one instance's KV cache."""
+
+    kv: KVCache
+    _next_id: int = 0
+    _free_ids: list[int] = field(default_factory=list)
+    _blocks: dict[int, Block] = field(default_factory=dict)
+    _referenced: int = 0  # blocks with refcount > 0 (distinct count)
+
+    # ------------------------------------------------------------------
+    # Capacity views
+    # ------------------------------------------------------------------
+    @property
+    def capacity_blocks(self) -> int:
+        """Physical blocks the cache currently holds (resized at runtime)."""
+        if self.kv.block_bytes == 0:
+            return 0
+        return self.kv.allocated_bytes // self.kv.block_bytes
+
+    @property
+    def allocated_blocks(self) -> int:
+        """Index-owned blocks: referenced + cached-unreferenced."""
+        return len(self._blocks)
+
+    @property
+    def referenced_blocks(self) -> int:
+        return self._referenced
+
+    @property
+    def cached_blocks(self) -> int:
+        """Unreferenced blocks kept warm for future prefix hits."""
+        return len(self._blocks) - self._referenced
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def alloc(self, key: tuple) -> Block:
+        """Take a block off the free list (or mint a fresh id)."""
+        if self._free_ids:
+            block_id = self._free_ids.pop()
+        else:
+            block_id = self._next_id
+            self._next_id += 1
+        block = Block(block_id=block_id, key=key)
+        self._blocks[block_id] = block
+        return block
+
+    def release(self, block: Block) -> None:
+        """Return an unreferenced block to the free list."""
+        if block.refcount != 0:
+            raise RuntimeError(f"block {block.block_id} released with refcount {block.refcount}")
+        del self._blocks[block.block_id]
+        self._free_ids.append(block.block_id)
+
+    # ------------------------------------------------------------------
+    # Refcounting
+    # ------------------------------------------------------------------
+    def ref(self, block: Block) -> None:
+        block.refcount += 1
+        if block.refcount == 1:
+            self._referenced += 1
+
+    def unref(self, block: Block) -> None:
+        if block.refcount <= 0:
+            raise RuntimeError(f"block {block.block_id} unreferenced below zero")
+        block.refcount -= 1
+        if block.refcount == 0:
+            self._referenced -= 1
+
+    # ------------------------------------------------------------------
+    # Invariants (exercised by the conservation tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        referenced = sum(1 for block in self._blocks.values() if block.refcount > 0)
+        if referenced != self._referenced:
+            raise AssertionError(
+                f"referenced counter {self._referenced} != recount {referenced}"
+            )
+        for block in self._blocks.values():
+            if block.refcount < 0:
+                raise AssertionError(f"block {block.block_id} has negative refcount")
+        live_ids = set(self._blocks)
+        if live_ids & set(self._free_ids):
+            raise AssertionError("free list overlaps allocated blocks")

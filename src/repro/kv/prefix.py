@@ -1,0 +1,200 @@
+"""Radix-tree prefix index over block-content keys.
+
+Prompt content in the simulator is synthetic, so identity comes from the
+workload: a request's ``prefix_id`` is a segment path
+(``name:len[/name:len...]``) naming the content of its first
+``prefix_len`` prompt tokens; everything beyond is unique to the
+request.  Two prompts share a token position exactly when the same named
+segment covers it at the same offset, which reduces block-content
+equality to a small tuple key per 16-token block:
+
+    key(b) = ((name, start) for every segment overlapping block b)
+
+The index is a radix tree of those keys — depth ``b`` nodes hold block
+``b`` of some prompt, and a path from the root spells out a cached
+prefix.  Matching walks the arriving request's keys from the root;
+every hit is refcount-bumped by the caller.  Divergence *inside* a block
+(the cached block and the request agree on the block's leading segment
+but not its full content) is the copy-on-write case: the request clones
+the partially-matching block into private space rather than sharing it.
+
+Eviction is LRU over unreferenced leaves: interior blocks stay pinned by
+their descendants, so the cache always holds whole prefixes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.engine.kvcache import BLOCK_TOKENS
+from repro.kv.blockpool import Block, BlockPool
+
+
+def parse_segments(prefix_id: str, prefix_len: int) -> tuple[tuple[str, int, int], ...]:
+    """``"sys:128/turn:64"`` → ``(("sys", 0, 128), ("turn", 128, 192))``.
+
+    Segment lengths must cover ``prefix_len`` exactly — the path *is* the
+    content description of those tokens.
+    """
+    segments: list[tuple[str, int, int]] = []
+    start = 0
+    for part in prefix_id.split("/"):
+        name, sep, raw_len = part.rpartition(":")
+        if not sep or not name:
+            raise ValueError(f"malformed prefix segment {part!r} in {prefix_id!r}")
+        length = int(raw_len)
+        if length <= 0:
+            raise ValueError(f"non-positive segment length in {prefix_id!r}")
+        segments.append((name, start, start + length))
+        start += length
+    if start != prefix_len:
+        raise ValueError(
+            f"prefix_id {prefix_id!r} covers {start} tokens, prefix_len is {prefix_len}"
+        )
+    return tuple(segments)
+
+
+def block_key(segments: tuple[tuple[str, int, int], ...], block: int) -> tuple:
+    """Content key of 16-token block ``block``: its overlapping segments."""
+    lo = block * BLOCK_TOKENS
+    hi = lo + BLOCK_TOKENS
+    return tuple((name, start) for name, start, end in segments if start < hi and end > lo)
+
+
+@dataclass(slots=True)
+class PrefixNode:
+    """One cached block at depth ``b`` of some prompt's block chain."""
+
+    key: tuple
+    block: Block
+    parent: "PrefixNode | None"
+    children: dict[tuple, "PrefixNode"] = field(default_factory=dict)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class PrefixIndex:
+    """The radix tree; node blocks live in (and are freed to) ``pool``."""
+
+    def __init__(self, pool: BlockPool) -> None:
+        self.pool = pool
+        self.root = PrefixNode(key=(), block=Block(block_id=-1, key=()), parent=None)
+        self._count = 0  # nodes excluding the root
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def walk(self, keys: list[tuple]) -> list[PrefixNode]:
+        """Longest cached chain matching ``keys``, root-down."""
+        node = self.root
+        matched: list[PrefixNode] = []
+        for key in keys:
+            child = node.children.get(key)
+            if child is None:
+                break
+            matched.append(child)
+            node = child
+        return matched
+
+    def diverges_mid_block(
+        self,
+        tail: PrefixNode,
+        partial_pair: tuple[str, int] | None,
+        full_key: tuple | None,
+    ) -> bool:
+        """Does a cached sibling partially match the first unmatched block?
+
+        ``partial_pair`` is the ``(name, start)`` of the segment opening
+        that block in the arriving request; ``full_key`` its complete key
+        when the block lies wholly inside the named prefix (``None`` when
+        the prompt ends mid-block).  A cached child agreeing on the
+        opening segment but not on the full content is the COW case.
+        """
+        if partial_pair is None:
+            return False
+        for key, _child in tail.children.items():
+            if key and key[0] == partial_pair and key != full_key:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def extend(self, parent: PrefixNode, key: tuple) -> PrefixNode:
+        """Add (or return) the child of ``parent`` for ``key``.
+
+        A genuinely new node allocates its block from the pool — the
+        caller is responsible for having checked block supply first.
+        """
+        child = parent.children.get(key)
+        if child is None:
+            child = PrefixNode(key=key, block=self.pool.alloc(key), parent=parent)
+            parent.children[key] = child
+            self._count += 1
+        return child
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def evict(self, blocks_needed: int) -> int:
+        """Free up to ``blocks_needed`` blocks, LRU over unreferenced leaves.
+
+        Evicting a leaf may expose its parent as the next candidate, so
+        the scan runs a heap seeded with the current candidates and
+        re-offers parents as they become leaves.  Returns blocks freed.
+        """
+        if blocks_needed <= 0:
+            return 0
+        seq = 0
+        heap: list[tuple[int, int, PrefixNode]] = []
+
+        def offer(node: PrefixNode) -> None:
+            nonlocal seq
+            if node.parent is not None and node.is_leaf and not node.block.referenced:
+                heapq.heappush(heap, (node.block.last_used, seq, node))
+                seq += 1
+
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            stack.extend(node.children.values())
+            offer(node)
+
+        freed = 0
+        while freed < blocks_needed and heap:
+            _, _, node = heapq.heappop(heap)
+            # Staleness check: the node may have been re-shared or already
+            # detached since it was offered.
+            if node.parent is None or not node.is_leaf or node.block.referenced:
+                continue
+            parent = node.parent
+            self._detach(node)
+            freed += 1
+            offer(parent)
+        return freed
+
+    def _detach(self, node: PrefixNode) -> None:
+        parent = node.parent
+        assert parent is not None and not node.children
+        del parent.children[node.key]
+        node.parent = None
+        self.pool.release(node.block)
+        self._count -= 1
+
+    def clear(self) -> None:
+        """Drop every cached block (instance teardown)."""
+        stack = list(self.root.children.values())
+        while stack:
+            node = stack.pop()
+            stack.extend(node.children.values())
+            node.children.clear()
+            node.parent = None
+            self.pool.release(node.block)
+        self.root.children.clear()
+        self._count = 0

@@ -1,0 +1,255 @@
+"""Per-instance facade over the block pool and prefix index.
+
+The serving system drives exactly four lifecycle hooks, all on the
+scalar event path (so reference and vectorized backends see identical
+state at identical times — the store never subscribes to the event bus
+and never mutates on reads):
+
+* :meth:`admit` — at dispatch: match the prompt against the radix tree,
+  refcount-bump the hits, shorten the pending prefill by the matched
+  (block-aligned) tokens;
+* :meth:`commit` — at prefill completion: promote the prompt's full
+  blocks into the index so later requests can share them;
+* :meth:`release` — whenever the request leaves the instance
+  (completion, preemption/eviction, PD migrate-away): drop its
+  references, leaving the blocks cached for future hits;
+* :meth:`clear` — at instance teardown.
+
+Byte accounting: live KV = referenced shared blocks + each resident
+request's *private* tail, derived as ``ceil((context − shared) / 16)``
+blocks.  Shared token counts are always block-aligned, which keeps the
+vectorized engine's block-boundary fast-forward arithmetic exact
+(``ceil((c + j − s)/16) = ceil((c + j)/16) − s/16``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine.kvcache import BLOCK_TOKENS
+from repro.kv.blockpool import BlockPool
+from repro.kv.prefix import PrefixIndex, PrefixNode, block_key, parse_segments
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.instance import Instance
+    from repro.engine.request import Request
+    from repro.metrics.collector import MetricsCollector
+
+
+def _blocks_for(tokens: int) -> int:
+    return -(-tokens // BLOCK_TOKENS)
+
+
+class KvShareStore:
+    """Prefix-sharing state of one instance."""
+
+    def __init__(self, instance: "Instance", metrics: "MetricsCollector") -> None:
+        self.instance = instance
+        self.metrics = metrics
+        self.pool = BlockPool(kv=instance.kv)
+        self.index = PrefixIndex(self.pool)
+        self._tables: dict[int, list[PrefixNode]] = {}  # req_id -> referenced chain
+        self._segments: dict[tuple[str, int], tuple] = {}  # parse memo
+        self._clock = 0  # logical LRU clock, ticks per admit/commit
+
+    # ------------------------------------------------------------------
+    # Key derivation
+    # ------------------------------------------------------------------
+    def _segs(self, request: "Request") -> tuple:
+        key = (request.prefix_id, request.prefix_len)
+        segs = self._segments.get(key)
+        if segs is None:
+            segs = parse_segments(request.prefix_id, request.prefix_len)
+            self._segments[key] = segs
+        return segs
+
+    def _prompt_keys(self, request: "Request") -> list[tuple]:
+        """Keys of the prompt's shareable (full, named-prefix) blocks."""
+        if request.prefix_len < BLOCK_TOKENS:
+            return []
+        segs = self._segs(request)
+        return [block_key(segs, b) for b in range(request.prefix_len // BLOCK_TOKENS)]
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+    def probe(self, request: "Request") -> int:
+        """Matched *tokens* for ``request``, with no side effects."""
+        if not request.prefix_id:
+            return 0
+        return len(self.index.walk(self._prompt_keys(request))) * BLOCK_TOKENS
+
+    def admit(self, request: "Request") -> None:
+        """Match the prompt at dispatch and share every hit block."""
+        if request.req_id in self._tables:
+            return  # re-dispatch to the same instance keeps its table
+        self._clock += 1
+        keys = self._prompt_keys(request)
+        matched = self.index.walk(keys) if keys else []
+        tail = matched[-1] if matched else self.index.root
+        cow = self._cow_on_divergence(request, tail, len(matched))
+        for node in matched:
+            node.block.last_used = self._clock
+            self.pool.ref(node.block)
+        self._tables[request.req_id] = matched
+        request.shared_tokens = len(matched) * BLOCK_TOKENS
+        if request.shared_tokens:
+            # The matched prefix needs no recomputation; at least one
+            # token always runs (the batch attach / last-token compute).
+            request.prefill_len = max(
+                1, min(request.prefill_len, request.context_len - request.shared_tokens)
+            )
+        metrics = self.metrics
+        metrics.prefix_lookups += 1
+        metrics.prefix_lookup_tokens += request.input_len
+        metrics.prefix_hit_tokens += request.shared_tokens
+        metrics.shared_block_refs += len(matched)
+        metrics.logical_prompt_blocks += _blocks_for(request.input_len)
+        if cow:
+            metrics.cow_blocks += 1
+
+    def _cow_on_divergence(
+        self, request: "Request", tail: PrefixNode, matched: int
+    ) -> bool:
+        """COW check for the first unmatched block of the prompt."""
+        if not request.prefix_id:
+            return False
+        boundary = matched * BLOCK_TOKENS
+        if boundary >= request.prefix_len:
+            return False  # named prefix fully matched (or ends block-aligned)
+        segs = self._segs(request)
+        partial_pair = next(
+            ((name, start) for name, start, end in segs if start <= boundary < end),
+            None,
+        )
+        prefix_blocks = request.prefix_len // BLOCK_TOKENS
+        full_key = block_key(segs, matched) if matched < prefix_blocks else None
+        return self.index.diverges_mid_block(tail, partial_pair, full_key)
+
+    def commit(self, request: "Request") -> None:
+        """Promote the freshly prefilled prompt's full blocks into the index."""
+        nodes = self._tables.get(request.req_id)
+        if nodes is None or not request.prefix_id:
+            return
+        keys = self._prompt_keys(request)
+        if len(nodes) >= len(keys):
+            return
+        self._clock += 1
+        parent = nodes[-1] if nodes else self.index.root
+        for key in keys[len(nodes) :]:
+            if key not in parent.children and not self._reserve(1):
+                break  # no supply even after eviction: tail stays private
+            child = self.index.extend(parent, key)
+            child.block.last_used = self._clock
+            self.pool.ref(child.block)
+            nodes.append(child)
+            # Promote incrementally: each block leaves the request's
+            # private tail as it enters the shared index, so the byte
+            # accounting stays flat through the loop.
+            request.shared_tokens = len(nodes) * BLOCK_TOKENS
+            parent = child
+
+    def release(self, request: "Request") -> None:
+        """Drop the request's references; blocks stay cached for reuse."""
+        nodes = self._tables.pop(request.req_id, None)
+        if nodes is None:
+            return
+        for node in nodes:
+            self.pool.unref(node.block)
+        request.shared_tokens = 0
+
+    def clear(self) -> None:
+        """Instance teardown: forget every table and cached block."""
+        for req_id in list(self._tables):
+            for node in self._tables.pop(req_id):
+                self.pool.unref(node.block)
+        self.index.clear()
+
+    # ------------------------------------------------------------------
+    # Supply accounting
+    # ------------------------------------------------------------------
+    @property
+    def referenced_blocks(self) -> int:
+        return self.pool.referenced_blocks
+
+    def private_blocks(self) -> int:
+        """Derived decode/prompt tails of every resident request."""
+        instance = self.instance
+        total = 0
+        for request in instance.batch:
+            total += _blocks_for(request.context_len - request.shared_tokens)
+        for request in instance.prefill_pending:
+            total += _blocks_for(request.context_len - request.shared_tokens)
+        return total
+
+    def free_blocks(self) -> int:
+        """Unclaimed supply (cached-unreferenced blocks are reclaimable)."""
+        return self.pool.capacity_blocks - self.pool.allocated_blocks - self.private_blocks()
+
+    def _reserve(self, blocks: int) -> bool:
+        """Make room for ``blocks`` new index blocks, evicting LRU cache."""
+        shortfall = blocks - self.free_blocks()
+        if shortfall > 0:
+            self.index.evict(shortfall)
+        return self.free_blocks() >= blocks
+
+    def can_admit(self, request: "Request") -> bool:
+        """Block-supply veto consulted by :class:`KvShareAdmission`.
+
+        A cold pool (still loading) or one mid-resize defers to the
+        system's own sizing machinery; otherwise the request's context
+        net of prefix hits must fit the pool even after reclaiming every
+        cached block.
+        """
+        capacity = self.pool.capacity_blocks
+        if capacity == 0 or self.instance.kv.scaling:
+            return True
+        net_tokens = max(request.context_len, request.input_len) - self.probe(request)
+        needed = _blocks_for(max(0, net_tokens))
+        supply = capacity - self.pool.referenced_blocks - self.private_blocks()
+        return needed <= supply
+
+    def live_bytes(self) -> int:
+        """Sharing-aware live footprint: referenced shared + private tails.
+
+        Cached-unreferenced blocks are reclaimable and deliberately
+        excluded — they never create memory pressure.
+        """
+        blocks = self.pool.referenced_blocks + self.private_blocks()
+        return blocks * self.instance.kv.block_bytes
+
+    # ------------------------------------------------------------------
+    # Invariants (exercised by the conservation tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        pool = self.pool
+        pool.check_invariants()
+        if len(self.index) != pool.allocated_blocks:
+            raise AssertionError("index node count disagrees with pool allocation")
+        table_refs = sum(len(nodes) for nodes in self._tables.values())
+        total_refcount = sum(
+            node.block.refcount for node in self._walk_nodes()
+        )
+        if table_refs != total_refcount:
+            raise AssertionError(
+                f"table references {table_refs} != total refcount {total_refcount}"
+            )
+        # Conservation: free + referenced + cached + private == capacity.
+        free = self.free_blocks()
+        if free + pool.allocated_blocks + self.private_blocks() != pool.capacity_blocks:
+            raise AssertionError("block conservation identity violated")
+        # After reclaiming cache, the pool must not be oversubscribed.
+        if free < 0:
+            self.index.evict(-free)
+            if self.free_blocks() < 0:
+                raise AssertionError(
+                    f"pool oversubscribed by {-self.free_blocks()} blocks "
+                    "even with the cache fully evicted"
+                )
+
+    def _walk_nodes(self):
+        stack = list(self.index.root.children.values())
+        while stack:
+            node = stack.pop()
+            stack.extend(node.children.values())
+            yield node

@@ -107,6 +107,15 @@ class MetricsCollector:
     evictions: int = 0  # §VII-D underestimation evictions only
     preemptions: int = 0
     cold_starts: int = 0
+    # Prefix-sharing counters (``repro.kv``); plain ints so both metrics
+    # modes carry them unchanged.  All stay 0 with sharing off, which
+    # keeps default report payloads byte-identical.
+    prefix_lookups: int = 0
+    prefix_lookup_tokens: int = 0
+    prefix_hit_tokens: int = 0
+    shared_block_refs: int = 0
+    logical_prompt_blocks: int = 0
+    cow_blocks: int = 0
     # Streaming-mode state (unused in exact mode).
     _pending: dict[int, Request] = field(default_factory=dict, repr=False)
     _aggregate: RequestAggregate | None = field(default=None, repr=False)
@@ -259,6 +268,12 @@ class MetricsCollector:
             evictions=self.evictions,
             preemptions=self.preemptions,
             cold_starts=self.cold_starts,
+            prefix_lookups=self.prefix_lookups,
+            prefix_lookup_tokens=self.prefix_lookup_tokens,
+            prefix_hit_tokens=self.prefix_hit_tokens,
+            shared_block_refs=self.shared_block_refs,
+            logical_prompt_blocks=self.logical_prompt_blocks,
+            cow_blocks=self.cow_blocks,
             metrics_mode=self.mode,
             request_aggregate=aggregate if self.streaming else None,
             memory_sketches=(

@@ -107,6 +107,15 @@ class RunReport:
     evictions: int = 0
     preemptions: int = 0
     cold_starts: int = 0
+    # Prefix-sharing counters (``repro.kv``), carried identically in both
+    # metrics modes; all 0 — and omitted from the payload — with sharing
+    # off, so default fixtures and fingerprints are untouched.
+    prefix_lookups: int = 0
+    prefix_lookup_tokens: int = 0
+    prefix_hit_tokens: int = 0
+    shared_block_refs: int = 0
+    logical_prompt_blocks: int = 0
+    cow_blocks: int = 0
     # Run-cost accounting (set by BaseServingSystem.run).
     wall_seconds: float = 0.0
     events_processed: int = 0
@@ -255,6 +264,32 @@ class RunReport:
         """Bytes moved across all tracked links (loads + KV migrations)."""
         return sum(stats.get("bytes", 0.0) for stats in self.link_utilization.values())
 
+    # ------------------------------------------------------------------
+    # Prefix sharing (``kv_sharing="on"`` runs)
+    # ------------------------------------------------------------------
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Prompt tokens served from the prefix cache / tokens looked up."""
+        if self.prefix_lookup_tokens <= 0:
+            return 0.0
+        return self.prefix_hit_tokens / self.prefix_lookup_tokens
+
+    @property
+    def shared_block_ratio(self) -> float:
+        """Prompt blocks satisfied by shared references / logical blocks."""
+        if self.logical_prompt_blocks <= 0:
+            return 0.0
+        return self.shared_block_refs / self.logical_prompt_blocks
+
+    _KV_SHARING_FIELDS = (
+        "prefix_lookups",
+        "prefix_lookup_tokens",
+        "prefix_hit_tokens",
+        "shared_block_refs",
+        "logical_prompt_blocks",
+        "cow_blocks",
+    )
+
     @property
     def scaling_time_fraction(self) -> float:
         """Share of instance lifetime spent resizing KV (Fig. 31 overhead)."""
@@ -328,6 +363,13 @@ class RunReport:
                 link_id: dict(stats)
                 for link_id, stats in sorted(self.link_utilization.items())
             }
+        # Prefix-sharing counters only exist when sharing ran, and the
+        # key is omitted when all are zero, so unshared payloads (and the
+        # golden fixtures) serialize byte-identically.
+        if any(getattr(self, name) for name in self._KV_SHARING_FIELDS):
+            payload["kv_sharing"] = {
+                name: getattr(self, name) for name in self._KV_SHARING_FIELDS
+            }
         # Streaming keys appear only in streaming mode, so exact payloads
         # (and their cache fingerprints / golden fixtures) are unchanged.
         if self.metrics_mode != "exact":
@@ -360,6 +402,7 @@ class RunReport:
             name: OverheadStat(count=row[0], total_seconds=row[1], mean_seconds=row[2])
             for name, row in payload.get("overhead_stats", {}).items()
         }
+        kv_sharing = payload.get("kv_sharing", {})
         return cls(
             system=payload["system"],
             duration=payload["duration"],
@@ -386,6 +429,12 @@ class RunReport:
             evictions=payload["evictions"],
             preemptions=payload["preemptions"],
             cold_starts=payload["cold_starts"],
+            prefix_lookups=kv_sharing.get("prefix_lookups", 0),
+            prefix_lookup_tokens=kv_sharing.get("prefix_lookup_tokens", 0),
+            prefix_hit_tokens=kv_sharing.get("prefix_hit_tokens", 0),
+            shared_block_refs=kv_sharing.get("shared_block_refs", 0),
+            logical_prompt_blocks=kv_sharing.get("logical_prompt_blocks", 0),
+            cow_blocks=kv_sharing.get("cow_blocks", 0),
             wall_seconds=payload.get("wall_seconds", 0.0),
             events_processed=payload["events_processed"],
             metrics_mode=payload.get("metrics_mode", "exact"),
@@ -508,6 +557,12 @@ def merge_run_reports(reports: Iterable["RunReport"]) -> "RunReport":
         evictions=sum(report.evictions for report in reports),
         preemptions=sum(report.preemptions for report in reports),
         cold_starts=sum(report.cold_starts for report in reports),
+        prefix_lookups=sum(report.prefix_lookups for report in reports),
+        prefix_lookup_tokens=sum(report.prefix_lookup_tokens for report in reports),
+        prefix_hit_tokens=sum(report.prefix_hit_tokens for report in reports),
+        shared_block_refs=sum(report.shared_block_refs for report in reports),
+        logical_prompt_blocks=sum(report.logical_prompt_blocks for report in reports),
+        cow_blocks=sum(report.cow_blocks for report in reports),
         wall_seconds=sum(report.wall_seconds for report in reports),
         events_processed=sum(report.events_processed for report in reports),
         metrics_mode=first.metrics_mode,

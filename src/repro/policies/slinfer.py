@@ -214,6 +214,7 @@ class SlinferPlacement(PlacementPolicy):
         orch = self._orch(instance)
         average_out = self.estimator.average(instance.deployment)
         require = kv_required_bytes(instance, average_out, extra_requests=[request])
+        require -= self._shared_kv_discount(instance, request)
         planned = orch.planned_kv_bytes(instance)
         target: Optional[int] = None
         if planned < require:
@@ -233,6 +234,26 @@ class SlinferPlacement(PlacementPolicy):
                 orch.request_scale(instance, target)
         system.dispatch(request, instance)
         return True
+
+    def _shared_kv_discount(self, instance: Instance, request: "Request") -> int:
+        """Bytes of the demand estimate already covered by shared blocks.
+
+        With prefix sharing on, resident requests' shared prefixes are
+        single physical copies, and the incoming request's cached-prefix
+        hit (a side-effect-free probe) will not allocate either — so the
+        Eq. 2 demand the scaler must cover shrinks by exactly those
+        tokens.  Shared token counts are block-aligned, so the discount
+        is block-exact.  Zero with sharing off.
+        """
+        store = instance.kv_share
+        if store is None:
+            return 0
+        tokens = store.probe(request)
+        for resident in instance.batch:
+            tokens += resident.shared_tokens
+        for resident in instance.prefill_pending:
+            tokens += resident.shared_tokens
+        return tokens * instance.model.kv_bytes_per_token
 
     # ------------------------------------------------------------------
     # Shadow validation plumbing
@@ -436,6 +457,7 @@ class SlinferPlacement(PlacementPolicy):
         for victim in plan.victims:
             for victim_request in victim.requests:
                 victim.remove(victim_request)
+                system.release_shared_kv(victim, victim_request)
                 victim_request.begin_migration()
                 source_nodes[victim_request.req_id] = victim.node
                 system.metrics.migrations += 1
@@ -651,7 +673,20 @@ class SlinferPlacement(PlacementPolicy):
         # is the same predicate without a method call per batch member.
         block_bytes = instance.kv.block_bytes
         budget = (planned - growth) // block_bytes
-        offsets = [request.context_len + BLOCK_TOKENS - 1 for request in instance.batch]
+        store = instance.kv_share
+        if store is not None:
+            # Sharing-aware live footprint: referenced shared blocks are a
+            # fixed term inside a chain (admissions break chains), so they
+            # move to the budget side; each member's growing term is its
+            # *private* tail.  Shared tokens are block-aligned, making
+            # ``ceil((c + j − s)/BT) = ceil((c + j)/BT) − s/BT`` exact.
+            budget -= store.referenced_blocks
+            offsets = [
+                request.context_len - request.shared_tokens + BLOCK_TOKENS - 1
+                for request in instance.batch
+            ]
+        else:
+            offsets = [request.context_len + BLOCK_TOKENS - 1 for request in instance.batch]
 
         def quiet(steps: int) -> bool:
             return sum((c + steps) // BLOCK_TOKENS for c in offsets) <= budget
@@ -674,6 +709,7 @@ class SlinferPlacement(PlacementPolicy):
             return
         victim = max(instance.batch, key=lambda r: r.headroom(system.sim.now))
         instance.batch.remove(victim)
+        system.release_shared_kv(instance, victim)
         victim.begin_migration()
         system.metrics.migrations += 1
         system.metrics.evictions += 1

@@ -62,6 +62,7 @@ __all__ = [
     "TOPOLOGIES",
     "apply_topology",
     "build_cluster",
+    "resolve_scenario",
     "system_factory",
     "systems_named",
 ]
@@ -88,6 +89,36 @@ def systems_named(*names: str) -> list[tuple[str, Callable[..., ServingSystem]]]
 
 _CLUSTER_PATTERN = re.compile(r"^cpu(\d+)-gpu(\d+)$")
 _HARVEST_PATTERN = re.compile(r"^harvest(\d+)$")
+_PREFIX_MIX_PATTERN = re.compile(r"^prefix-mix(\d{1,3})$")
+
+
+def resolve_scenario(name: str) -> Callable[..., object]:
+    """Scenario factory by registered name or an ad-hoc pattern.
+
+    Beyond the registry, ``prefix-mix{P}`` (e.g. ``prefix-mix75``) pins
+    the prefix-mix scenario's shared-request fraction to ``P`` percent —
+    the hit-rate sensitivity axis for ``--kv-sharing`` sweeps, mirroring
+    the ``cpu{N}-gpu{M}`` cluster pattern.
+    """
+    if name in SCENARIOS:
+        return SCENARIOS.get(name)
+    match = _PREFIX_MIX_PATTERN.match(name)
+    if match:
+        percent = int(match.group(1))
+        if percent > 100:
+            raise RegistryError(f"{name}: shared fraction must be in 0..100 percent")
+        base = SCENARIOS.get("prefix-mix")
+
+        def factory(model, n_models, duration, requests_per_model, seed, **params):
+            params.setdefault("share", percent / 100.0)
+            return base(model, n_models, duration, requests_per_model, seed, **params)
+
+        factory.__name__ = f"prefix_mix_{percent}"
+        return factory
+    known = ", ".join(SCENARIOS.names())
+    raise RegistryError(
+        f"unknown scenario {name!r} (known: {known}; or use the 'prefix-mix{{P}}' form)"
+    )
 
 
 def apply_topology(cluster: Cluster, topology: Optional[str]) -> Cluster:
@@ -144,12 +175,13 @@ def _bundle_system_factory(bundle_name: str) -> Callable[..., ServingSystem]:
         observers: Optional[list[Observer]] = None,
         metrics: str = "exact",
         engine: Optional[str] = None,
+        kv_sharing: str = "off",
         **bundle_kwargs,
     ) -> ServingSystem:
         bundle = build_bundle(bundle_name, overrides=policy_overrides, **bundle_kwargs)
         return ServingSystem(
             cluster, policies=bundle, slo=slo, config=config, observers=observers,
-            metrics=metrics, engine=engine,
+            metrics=metrics, engine=engine, kv_sharing=kv_sharing,
         )
 
     factory.__name__ = f"make_{bundle_name}"

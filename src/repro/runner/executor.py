@@ -49,6 +49,8 @@ def execute_spec(spec: RunSpec, workload=None, **system_kwargs: Any) -> RunResul
         system_kwargs.setdefault("metrics", spec.metrics)
     if spec.engine != "reference":
         system_kwargs.setdefault("engine", spec.engine)
+    if spec.kv_sharing != "off":
+        system_kwargs.setdefault("kv_sharing", spec.kv_sharing)
     system = system_factory(spec.system)(
         build_cluster(spec.cluster, topology=spec.topology), **system_kwargs
     )

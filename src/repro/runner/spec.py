@@ -21,7 +21,7 @@ from typing import Any, Iterable, Sequence
 
 from repro.metrics.report import OverheadStat, RunReport
 from repro.models.catalog import get_model
-from repro.registry import SCENARIOS
+from repro.registry import resolve_scenario
 from repro.runner.scale import get_scale
 from repro.workloads.azure_serverless import REQUESTS_PER_MODEL_30MIN
 from repro.workloads.spec import Workload
@@ -83,6 +83,11 @@ class RunSpec:
     # from the fingerprint: an engine choice never invalidates (or
     # forks) the result cache for the same experiment.
     engine: str = "reference"
+    # Prefix-sharing block-map subsystem ("off"/"on").  Unlike the
+    # engine axis, sharing *changes results* (prefill work shrinks on
+    # cache hits), so "on" is part of the fingerprint; "off" is omitted
+    # from the payload so pre-sharing fingerprints stay valid.
+    kv_sharing: str = "off"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "scenario_params", _freeze_params(self.scenario_params))
@@ -98,6 +103,10 @@ class RunSpec:
         if self.engine not in ENGINES.names():
             raise ValueError(
                 f"unknown engine {self.engine!r} (known: {', '.join(ENGINES.names())})"
+            )
+        if self.kv_sharing not in ("off", "on"):
+            raise ValueError(
+                f"unknown kv_sharing mode {self.kv_sharing!r} (known: off, on)"
             )
 
     # ------------------------------------------------------------------
@@ -145,6 +154,11 @@ class RunSpec:
         # fingerprints (and the cache) are engine-independent.
         if self.engine != "reference":
             payload["engine"] = self.engine
+        # Prefix sharing alters the measured results, so (unlike the
+        # engine key) it stays in the fingerprint when on; the off
+        # default is omitted for pre-sharing payload compatibility.
+        if self.kv_sharing != "off":
+            payload["kv_sharing"] = self.kv_sharing
         return payload
 
     @classmethod
@@ -163,6 +177,7 @@ class RunSpec:
             policy_overrides=payload.get("policy_overrides") or (),
             metrics=payload.get("metrics", "exact"),
             engine=payload.get("engine", "reference"),
+            kv_sharing=payload.get("kv_sharing", "off"),
         )
 
     def fingerprint(self) -> str:
@@ -190,6 +205,8 @@ class RunSpec:
             system += f" metrics={self.metrics}"
         if self.engine != "reference":
             system += f" engine={self.engine}"
+        if self.kv_sharing != "off":
+            system += f" kv={self.kv_sharing}"
         cluster = self.cluster
         if self.topology is not None:
             cluster += f"/{self.topology}"
@@ -201,7 +218,7 @@ class RunSpec:
 
 def build_workload(spec: RunSpec) -> Workload:
     """Materialize the spec's workload through the scenario registry."""
-    factory = SCENARIOS.get(spec.scenario)
+    factory = resolve_scenario(spec.scenario)
     return factory(
         get_model(spec.model),
         spec.n_models,
@@ -247,6 +264,7 @@ def expand_grid(
     policies: dict[str, Sequence[str]] | None = None,
     metrics: str = "exact",
     engine: str = "reference",
+    kv_sharing: str = "off",
 ) -> list[RunSpec]:
     """The cross-product of the given axes, in deterministic order.
 
@@ -282,6 +300,7 @@ def expand_grid(
                                             policy_overrides=overrides,
                                             metrics=metrics,
                                             engine=engine,
+                                            kv_sharing=kv_sharing,
                                         )
                                     )
     return specs

@@ -44,6 +44,15 @@ Scenarios:
   At week-scale durations the default parameters produce millions of
   requests — the paper's "heavy traffic" regime, feasible (metrics-wise)
   only under ``metrics="streaming"``.
+* ``shared-sysprompt`` — every deployment's prompts open with the same
+  long per-deployment system prompt; the prefix-sharing regime where a
+  radix KV cache (``--kv-sharing on``) collapses most prefill work.
+* ``agentic-loop`` — multi-turn agent sessions re-submitting a growing
+  context each turn; the path-structured sharing regime (each turn's
+  prompt extends the previous turn's radix path).
+* ``prefix-mix`` — a tunable fraction of requests carry a common
+  per-deployment prefix; the hit-rate sensitivity axis (the ad-hoc
+  ``prefix-mix{P}`` spelling pins the fraction to ``P`` percent).
 """
 
 from __future__ import annotations
@@ -622,6 +631,236 @@ def decode_marathon(
     deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
     return Workload(
         name=f"decode-marathon-{n_models}m",
+        deployments=deployments,
+        requests=requests,
+        duration=duration,
+    )
+
+
+# ----------------------------------------------------------------------
+# Prefix-sharing workloads (pair with ``--kv-sharing on``)
+# ----------------------------------------------------------------------
+@SCENARIOS.register("shared-sysprompt")
+def shared_sysprompt(
+    model: ModelSpec,
+    n_models: int,
+    duration: float,
+    requests_per_model: float,
+    seed: int,
+    *,
+    sys_tokens: int = 1024,
+    user_tokens: int = 160,
+    output_tokens: int = 96,
+    train_len: int = 10,
+    headway: float = 5.0,
+    zipf_exponent: float = 1.2,
+) -> Workload:
+    """Prompts dominated by one long per-deployment system prompt.
+
+    Every request to deployment ``d`` opens with ``d``'s ``sys_tokens``
+    system prompt (the same content every time, named
+    ``{d}-sys:{sys_tokens}``), followed by a short user turn.  Arrivals
+    come in session trains — up to ``train_len`` requests ``headway``
+    seconds apart — so an instance stays warm across a train instead of
+    being keep-alive-reclaimed between sparse arrivals.  With sharing
+    on, a train's leader (and any follower landing before the leader's
+    prefill commits) prefills the system prompt; the rest hit the radix
+    cache, so the prefix hit rate approaches
+    ``sys_tokens / mean(input_len)`` — the regime the
+    ``prefix_hit_rate > 0.5`` calibration anchor pins.  Sharing off, it
+    is an ordinary bursty workload.
+    """
+    if sys_tokens <= 0 or user_tokens <= 0 or output_tokens <= 0:
+        raise ValueError("token parameters must be positive")
+    if train_len < 1 or headway <= 0:
+        raise ValueError("train_len must be >= 1 and headway positive")
+    rate_rng = make_rng(seed, "shared-sysprompt-rates")
+    arrival_rng = make_rng(seed, "shared-sysprompt-arrivals")
+    length_rng = make_rng(seed, "shared-sysprompt-lengths")
+
+    models = replica_models(model, n_models)
+    weights = _zipf_weights(n_models, zipf_exponent, rate_rng)
+    total_target = requests_per_model * n_models
+
+    requests: list[RequestSpec] = []
+    for name, weight in zip(models, weights):
+        count = int(arrival_rng.poisson(total_target * weight))
+        if count == 0:
+            continue
+        times: list[float] = []
+        while len(times) < count:
+            start = float(arrival_rng.uniform(0.0, duration))
+            for step in range(min(train_len, count - len(times))):
+                time = start + step * headway * float(arrival_rng.uniform(0.8, 1.2))
+                if time >= duration:
+                    break
+                times.append(time)
+        users = length_rng.integers(
+            max(1, user_tokens // 2), user_tokens * 3 // 2 + 1, size=count
+        )
+        outs = length_rng.integers(
+            max(1, output_tokens // 2), output_tokens * 3 // 2 + 1, size=count
+        )
+        prefix_id = f"{name}-sys:{sys_tokens}"
+        requests.extend(
+            RequestSpec(
+                name,
+                time,
+                sys_tokens + user,
+                out,
+                prefix_id=prefix_id,
+                prefix_len=sys_tokens,
+            )
+            for time, user, out in zip(times, users.tolist(), outs.tolist())
+        )
+
+    deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
+    return Workload(
+        name=f"shared-sysprompt-{n_models}m",
+        deployments=deployments,
+        requests=requests,
+        duration=duration,
+    )
+
+
+@SCENARIOS.register("agentic-loop")
+def agentic_loop(
+    model: ModelSpec,
+    n_models: int,
+    duration: float,
+    requests_per_model: float,
+    seed: int,
+    *,
+    turns: int = 6,
+    seed_tokens: int = 520,
+    turn_tokens: int = 128,
+    output_tokens: int = 64,
+    think_seconds: float = 3.0,
+) -> Workload:
+    """Multi-turn agent sessions re-submitting a growing context.
+
+    Each session issues up to ``turns`` requests: turn ``j``'s prompt is
+    the deployment's shared seed prompt plus all earlier turns' segments
+    plus a fresh one, and its prefix path extends the previous turn's
+    (``sys:520/s0t1:131/...``).  With sharing on, each turn's prefill
+    re-computes only the newly appended segment — the radix tree grows
+    one path per session off the common seed.  The seed length is
+    deliberately *not* block-aligned, so different sessions' first turns
+    diverge inside the seed's last block and exercise the copy-on-write
+    path.
+    """
+    if turns < 1:
+        raise ValueError("turns must be >= 1")
+    if seed_tokens <= 0 or turn_tokens <= 0 or output_tokens <= 0:
+        raise ValueError("token parameters must be positive")
+    if think_seconds <= 0:
+        raise ValueError("think_seconds must be positive")
+    rng = make_rng(seed, "agentic-loop")
+    models = replica_models(model, n_models)
+    sessions = max(1, int(round(requests_per_model / turns)))
+
+    requests: list[RequestSpec] = []
+    for name in models:
+        for session in range(sessions):
+            time = float(rng.uniform(0.0, duration))
+            segments: list[tuple[str, int]] = [("sys", seed_tokens)]
+            for turn in range(turns):
+                if turn > 0:
+                    length = int(
+                        rng.integers(max(1, turn_tokens // 2), turn_tokens * 3 // 2 + 1)
+                    )
+                    segments.append((f"s{session}t{turn}", length))
+                    time += think_seconds * float(rng.uniform(0.5, 1.5))
+                if time >= duration:
+                    break
+                total = sum(length for _, length in segments)
+                path = "/".join(f"{label}:{length}" for label, length in segments)
+                out = int(
+                    rng.integers(max(1, output_tokens // 2), output_tokens * 3 // 2 + 1)
+                )
+                requests.append(
+                    RequestSpec(name, time, total, out, prefix_id=path, prefix_len=total)
+                )
+
+    deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
+    return Workload(
+        name=f"agentic-loop-{n_models}m",
+        deployments=deployments,
+        requests=requests,
+        duration=duration,
+    )
+
+
+@SCENARIOS.register("prefix-mix")
+def prefix_mix(
+    model: ModelSpec,
+    n_models: int,
+    duration: float,
+    requests_per_model: float,
+    seed: int,
+    *,
+    share: float = 0.5,
+    prefix_tokens: int = 512,
+    zipf_exponent: float = 1.2,
+    dataset: str = "azure-conversation",
+) -> Workload:
+    """A tunable mix of prefix-carrying and unique-prompt requests.
+
+    A ``share`` fraction of each deployment's requests (Bernoulli per
+    request) open with the deployment's common ``prefix_tokens`` prefix;
+    the rest are ordinary unique prompts from ``dataset``.  Sweeping
+    ``share`` — or the ad-hoc ``prefix-mix{P}`` scenario spelling, which
+    pins it to ``P`` percent — traces prefix-cache benefit as a function
+    of achievable hit rate.
+    """
+    if not 0.0 <= share <= 1.0:
+        raise ValueError("share must be in [0, 1]")
+    if prefix_tokens <= 0:
+        raise ValueError("prefix_tokens must be positive")
+    rate_rng = make_rng(seed, "prefix-mix-rates")
+    arrival_rng = make_rng(seed, "prefix-mix-arrivals")
+    length_rng = make_rng(seed, "prefix-mix-lengths")
+
+    models = replica_models(model, n_models)
+    weights = _zipf_weights(n_models, zipf_exponent, rate_rng)
+    total_target = requests_per_model * n_models
+    lengths = _length_distribution(dataset)
+
+    requests: list[RequestSpec] = []
+    for name, weight in zip(models, weights):
+        count = int(arrival_rng.poisson(total_target * weight))
+        if count == 0:
+            continue
+        times = arrival_rng.uniform(0.0, duration, size=count)
+        input_lens = lengths.sample_input_lens(length_rng, count)
+        output_lens = lengths.sample_output_lens(length_rng, count)
+        # Shared requests prepend the common prefix, so their user part
+        # must leave room for it inside the context window.
+        input_lens = clamp_input_lens(
+            input_lens, output_lens, model.max_context - prefix_tokens
+        )
+        shared_flags = length_rng.uniform(0.0, 1.0, size=count) < share
+        prefix_id = f"{name}-common:{prefix_tokens}"
+        for time, input_len, output_len, shared in zip(
+            times.tolist(), input_lens.tolist(), output_lens.tolist(), shared_flags.tolist()
+        ):
+            if shared:
+                requests.append(
+                    RequestSpec(
+                        name,
+                        time,
+                        prefix_tokens + input_len,
+                        output_len,
+                        prefix_id=prefix_id,
+                        prefix_len=prefix_tokens,
+                    )
+                )
+            else:
+                requests.append(RequestSpec(name, time, input_len, output_len))
+
+    deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
+    return Workload(
+        name=f"prefix-mix-{n_models}m",
         deployments=deployments,
         requests=requests,
         duration=duration,

@@ -16,12 +16,23 @@ class RequestSpec:
     arrival: float
     input_len: int
     output_len: int
+    # Prompt identity for prefix-sharing KV (``repro.kv``): the first
+    # ``prefix_len`` prompt tokens are the content named by ``prefix_id``
+    # (a ``name:len[/name:len...]`` segment path).  Requests whose paths
+    # share leading segments share those tokens' KV when sharing is on;
+    # both fields are inert otherwise.
+    prefix_id: str | None = None
+    prefix_len: int = 0
 
     def __post_init__(self) -> None:
         if self.arrival < 0:
             raise ValueError("arrival must be non-negative")
         if self.input_len <= 0 or self.output_len <= 0:
             raise ValueError("token lengths must be positive")
+        if self.prefix_len < 0 or self.prefix_len > self.input_len:
+            raise ValueError("prefix_len must lie in [0, input_len]")
+        if self.prefix_len > 0 and not self.prefix_id:
+            raise ValueError("prefix_len > 0 needs a prefix_id")
 
 
 @dataclass(frozen=True)
@@ -94,7 +105,14 @@ class Workload:
         if time_factor <= 0:
             raise ValueError("time_factor must be positive")
         requests = [
-            RequestSpec(r.deployment, r.arrival * time_factor, r.input_len, r.output_len)
+            RequestSpec(
+                r.deployment,
+                r.arrival * time_factor,
+                r.input_len,
+                r.output_len,
+                prefix_id=r.prefix_id,
+                prefix_len=r.prefix_len,
+            )
             for r in self.requests
         ]
         return Workload(

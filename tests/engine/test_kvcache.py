@@ -25,6 +25,15 @@ def test_round_to_blocks(cache):
     assert cache.round_to_blocks(cache.block_bytes + 1) == 2 * cache.block_bytes
 
 
+def test_round_to_blocks_handles_float_sizes(cache):
+    # Fractional byte counts (utilization-scaled targets) must round *up*;
+    # plain // on a float used to truncate a hair below a block boundary.
+    assert cache.round_to_blocks(0.5) == cache.block_bytes
+    assert cache.round_to_blocks(cache.block_bytes + 0.5) == 2 * cache.block_bytes
+    assert cache.round_to_blocks(float(cache.block_bytes)) == cache.block_bytes
+    assert cache.round_to_blocks(cache.block_bytes - 0.25) == cache.block_bytes
+
+
 def test_used_bytes_rounds_per_request(cache):
     one_token = cache.used_bytes(1)
     assert one_token == cache.block_bytes
@@ -51,6 +60,19 @@ def test_concurrent_scaling_rejected(cache):
 def test_finish_without_begin_rejected(cache):
     with pytest.raises(RuntimeError):
         cache.finish_scale()
+
+
+def test_zero_delta_scale_is_a_no_op(cache):
+    # Re-targeting the current size must not enter the scaling state (a
+    # zero-second "resize" would still briefly stall admission).
+    cache.allocated_bytes = 2 * GIB
+    target = cache.round_to_blocks(2 * GIB)
+    assert cache.begin_scale(target, live_bytes=1 * GIB) == 0.0
+    assert not cache.scaling
+    assert cache.allocated_bytes == target
+    # And a real scale can still start afterwards.
+    assert cache.begin_scale(4 * GIB, live_bytes=1 * GIB) > 0
+    assert cache.scaling
 
 
 # ----------------------------------------------------------------------

@@ -32,22 +32,56 @@ GOLDEN_AXES = dict(
 )
 
 
+# Shared-mode fixture: the same smoke axes on the canonical prefix
+# workload with the block map on.  Pinned for slinfer only — the sharing
+# machinery lives in the slinfer bundle's admission/dispatch path.
+GOLDEN_SHARED_AXES = dict(
+    scenario="shared-sysprompt",
+    model="llama-2-7b",
+    n_models=6,
+    cluster="small",
+    seed=3,
+    scale="smoke",
+    kv_sharing="on",
+)
+
+GOLDEN_SHARED_SYSTEMS = ("slinfer",)
+
+
 def golden_path(system: str) -> Path:
     safe = system.replace("+", "_plus_").replace("-", "_")
     return GOLDEN_DIR / f"{safe}.json"
+
+
+def golden_shared_path(system: str) -> Path:
+    safe = system.replace("+", "_plus_").replace("-", "_")
+    return GOLDEN_DIR / f"{safe}_kv_shared.json"
+
+
+def _write(path: Path, result) -> None:
+    payload = result.canonical_report_dict()
+    path.write_text(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n",
+        encoding="utf-8",
+    )
 
 
 def main() -> None:
     for system in SYSTEMS.names():
         spec = RunSpec(system=system, **GOLDEN_AXES)
         result = execute_spec(spec)
-        payload = result.canonical_report_dict()
         path = golden_path(system)
-        path.write_text(
-            json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n",
-            encoding="utf-8",
-        )
+        _write(path, result)
         print(f"{system:12s} -> {path.name}  ({result.report.summary_line().strip()})")
+    for system in GOLDEN_SHARED_SYSTEMS:
+        spec = RunSpec(system=system, **GOLDEN_SHARED_AXES)
+        result = execute_spec(spec)
+        path = golden_shared_path(system)
+        _write(path, result)
+        print(
+            f"{system:12s} -> {path.name}  "
+            f"(hit_rate={result.report.prefix_hit_rate:.3f})"
+        )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,73 @@
+"""BlockPool: refcounted blocks, free-list recycling, capacity views."""
+
+import pytest
+
+from repro.engine.kvcache import KVCache
+from repro.kv import BlockPool
+from repro.models.catalog import LLAMA2_7B
+
+
+@pytest.fixture
+def pool() -> BlockPool:
+    kv = KVCache(model=LLAMA2_7B)
+    kv.allocated_bytes = 8 * kv.block_bytes
+    return BlockPool(kv=kv)
+
+
+def test_capacity_tracks_the_kv_cache(pool):
+    assert pool.capacity_blocks == 8
+    pool.kv.allocated_bytes = 3 * pool.kv.block_bytes
+    assert pool.capacity_blocks == 3
+    pool.kv.allocated_bytes = 0
+    assert pool.capacity_blocks == 0
+
+
+def test_alloc_assigns_fresh_then_recycled_ids(pool):
+    a = pool.alloc(("a",))
+    b = pool.alloc(("b",))
+    assert (a.block_id, b.block_id) == (0, 1)
+    pool.release(b)
+    c = pool.alloc(("c",))
+    assert c.block_id == 1  # recycled off the free list
+    assert pool.allocated_blocks == 2
+
+
+def test_release_requires_zero_refcount(pool):
+    block = pool.alloc(("a",))
+    pool.ref(block)
+    with pytest.raises(RuntimeError, match="refcount"):
+        pool.release(block)
+    pool.unref(block)
+    pool.release(block)
+    assert pool.allocated_blocks == 0
+
+
+def test_referenced_counts_distinct_blocks_not_references(pool):
+    block = pool.alloc(("a",))
+    other = pool.alloc(("b",))
+    pool.ref(block)
+    pool.ref(block)
+    pool.ref(other)
+    assert pool.referenced_blocks == 2
+    assert pool.cached_blocks == 0
+    pool.unref(block)
+    assert pool.referenced_blocks == 2  # still one reference left
+    pool.unref(block)
+    assert pool.referenced_blocks == 1
+    assert pool.cached_blocks == 1
+
+
+def test_unref_below_zero_raises(pool):
+    block = pool.alloc(("a",))
+    with pytest.raises(RuntimeError, match="below zero"):
+        pool.unref(block)
+
+
+def test_check_invariants_catches_tampering(pool):
+    block = pool.alloc(("a",))
+    pool.check_invariants()
+    pool.ref(block)
+    pool.check_invariants()
+    block.refcount = 0  # bypass unref: counter now disagrees
+    with pytest.raises(AssertionError, match="recount"):
+        pool.check_invariants()

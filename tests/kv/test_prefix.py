@@ -1,0 +1,141 @@
+"""PrefixIndex: segment parsing, block keys, radix walks, LRU eviction."""
+
+import pytest
+
+from repro.engine.kvcache import KVCache
+from repro.kv import BlockPool, PrefixIndex, block_key, parse_segments
+from repro.models.catalog import LLAMA2_7B
+
+
+def make_index(capacity_blocks: int = 64) -> PrefixIndex:
+    kv = KVCache(model=LLAMA2_7B)
+    kv.allocated_bytes = capacity_blocks * kv.block_bytes
+    return PrefixIndex(BlockPool(kv=kv))
+
+
+# ----------------------------------------------------------------------
+# Segment paths and block keys
+# ----------------------------------------------------------------------
+def test_parse_segments_assigns_cumulative_offsets():
+    assert parse_segments("sys:128/turn:64", 192) == (
+        ("sys", 0, 128),
+        ("turn", 128, 192),
+    )
+
+
+def test_parse_segments_allows_colons_inside_names():
+    # Only the *last* colon separates name from length.
+    assert parse_segments("m:0-sys:32", 32) == (("m:0-sys", 0, 32),)
+
+
+@pytest.mark.parametrize(
+    "prefix_id,prefix_len,message",
+    [
+        ("sys", 16, "malformed"),
+        (":16", 16, "malformed"),
+        ("sys:0", 0, "non-positive"),
+        ("sys:17", 16, "covers 17"),
+    ],
+)
+def test_parse_segments_rejects_bad_paths(prefix_id, prefix_len, message):
+    with pytest.raises(ValueError, match=message):
+        parse_segments(prefix_id, prefix_len)
+
+
+def test_block_key_lists_overlapping_segments():
+    segs = parse_segments("a:24/b:16/c:8", 48)
+    assert block_key(segs, 0) == (("a", 0),)
+    assert block_key(segs, 1) == (("a", 0), ("b", 24))  # a's tail + b's head
+    assert block_key(segs, 2) == (("b", 24), ("c", 40))
+
+
+# ----------------------------------------------------------------------
+# Radix walks and insertion
+# ----------------------------------------------------------------------
+def test_walk_returns_longest_cached_chain():
+    index = make_index()
+    keys = [("k0",), ("k1",), ("k2",)]
+    node = index.root
+    for key in keys[:2]:
+        node = index.extend(node, key)
+    matched = index.walk(keys)
+    assert [n.key for n in matched] == keys[:2]
+    assert len(index) == 2
+
+
+def test_extend_is_idempotent_per_key():
+    index = make_index()
+    first = index.extend(index.root, ("k",))
+    again = index.extend(index.root, ("k",))
+    assert first is again
+    assert len(index) == 1
+
+
+def test_diverges_mid_block_spots_partial_sibling():
+    index = make_index()
+    tail = index.extend(index.root, (("sys", 0),))
+    # Cached continuation: sys's last block completed by session A's turn.
+    index.extend(tail, (("sys", 0), ("s0", 520)))
+    # Session B opens the same block with a different continuation: COW.
+    assert index.diverges_mid_block(tail, ("sys", 0), (("sys", 0), ("s1", 520)))
+    # Same full key is a plain hit, not a divergence.
+    assert not index.diverges_mid_block(tail, ("sys", 0), (("sys", 0), ("s0", 520)))
+    # A prompt ending mid-block (no full key) still diverges from the sibling.
+    assert index.diverges_mid_block(tail, ("sys", 0), None)
+    assert not index.diverges_mid_block(tail, None, None)
+
+
+# ----------------------------------------------------------------------
+# Eviction
+# ----------------------------------------------------------------------
+def test_evict_is_lru_over_unreferenced_leaves():
+    index = make_index()
+    pool = index.pool
+    old = index.extend(index.root, ("old",))
+    new = index.extend(index.root, ("new",))
+    old.block.last_used = 1
+    new.block.last_used = 2
+    assert index.evict(1) == 1
+    assert index.walk([("old",)]) == []  # the stale leaf went first
+    assert [n.key for n in index.walk([("new",)])] == [("new",)]
+    assert pool.allocated_blocks == 1
+
+
+def test_evict_skips_referenced_leaves():
+    index = make_index()
+    leaf = index.extend(index.root, ("pinned",))
+    index.pool.ref(leaf.block)
+    assert index.evict(1) == 0
+    assert len(index) == 1
+
+
+def test_evict_cascades_through_exposed_parents():
+    index = make_index()
+    node = index.root
+    for depth in range(3):
+        node = index.extend(node, (f"d{depth}",))
+    # Interior nodes are pinned by descendants; evicting 3 must peel the
+    # chain leaf-first.
+    assert index.evict(3) == 3
+    assert len(index) == 0
+    assert index.pool.allocated_blocks == 0
+
+
+def test_evict_stops_at_referenced_interior():
+    index = make_index()
+    top = index.extend(index.root, ("top",))
+    index.extend(top, ("mid",))
+    index.pool.ref(top.block)
+    assert index.evict(2) == 1  # the leaf goes; the referenced parent stays
+    assert len(index) == 1
+
+
+def test_clear_releases_everything():
+    index = make_index()
+    node = index.root
+    for depth in range(4):
+        node = index.extend(node, (f"d{depth}",))
+    index.clear()
+    assert len(index) == 0
+    assert index.pool.allocated_blocks == 0
+    assert index.walk([("d0",)]) == []

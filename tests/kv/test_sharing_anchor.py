@@ -1,0 +1,49 @@
+"""Calibration anchor for the prefix-sharing block map.
+
+The shared-sysprompt scenario is the canonical prefix workload — every
+request in a session train opens with the same system prompt — so a
+healthy cache must convert most looked-up prefix tokens into hits.  The
+anchor pins that end-to-end at bench scale (n_models=8): if a change to
+admission, eviction, or the radix match drops the hit rate below one
+half, this fails before the bench suite ever runs.
+"""
+
+from repro.runner import RunSpec, execute_spec
+
+ANCHOR_SPEC = RunSpec(
+    system="slinfer",
+    scenario="shared-sysprompt",
+    n_models=8,
+    cluster="small",
+    seed=3,
+    scale="smoke",
+    kv_sharing="on",
+)
+
+
+def test_shared_sysprompt_hit_rate_clears_anchor():
+    report = execute_spec(ANCHOR_SPEC).report
+    assert report.prefix_lookups > 0
+    assert report.prefix_hit_rate > 0.5, (
+        f"prefix hit rate {report.prefix_hit_rate:.3f} fell below the 0.5 anchor "
+        f"({report.prefix_hit_tokens}/{report.prefix_lookup_tokens} tokens)"
+    )
+    # Sharing must also show up in block terms, not just token counts.
+    assert report.shared_block_ratio > 0.0
+    assert report.shared_block_refs > 0
+
+
+def test_sharing_off_reports_no_kv_counters():
+    off = execute_spec(
+        RunSpec(
+            system="slinfer",
+            scenario="shared-sysprompt",
+            n_models=2,
+            cluster="small",
+            seed=3,
+            scale="smoke",
+        )
+    ).report
+    assert off.prefix_lookups == 0
+    assert off.prefix_hit_rate == 0.0
+    assert "kv_sharing" not in off.to_dict()

@@ -15,7 +15,13 @@ import pytest
 from repro.registry import SYSTEMS
 from repro.runner import RunSpec, execute_spec
 
-from tests.golden.generate import GOLDEN_AXES, golden_path
+from tests.golden.generate import (
+    GOLDEN_AXES,
+    GOLDEN_SHARED_AXES,
+    GOLDEN_SHARED_SYSTEMS,
+    golden_path,
+    golden_shared_path,
+)
 
 
 @pytest.mark.parametrize("system", SYSTEMS.names())
@@ -27,6 +33,21 @@ def test_bundle_reproduces_pre_redesign_report_bytes(system):
         result.canonical_report_dict(), sort_keys=True, separators=(",", ":")
     ) + "\n"
     assert got == fixture.read_text(encoding="utf-8")
+
+
+@pytest.mark.parametrize("system", GOLDEN_SHARED_SYSTEMS)
+def test_kv_shared_mode_reproduces_golden_bytes(system):
+    """The prefix-sharing block map is deterministic end to end: the
+    shared-sysprompt smoke run with kv_sharing on pins its canonical
+    report (including the kv_sharing counter block) byte-for-byte."""
+    fixture = golden_shared_path(system)
+    assert fixture.exists(), f"shared fixture missing for {system!r}; run tests/golden/generate.py"
+    result = execute_spec(RunSpec(system=system, **GOLDEN_SHARED_AXES))
+    got = json.dumps(
+        result.canonical_report_dict(), sort_keys=True, separators=(",", ":")
+    ) + "\n"
+    assert got == fixture.read_text(encoding="utf-8")
+    assert "kv_sharing" in result.canonical_report_dict()
 
 
 def _shim_factories():

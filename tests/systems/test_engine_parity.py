@@ -11,8 +11,17 @@ scenario runs under **both** backends and must produce
    (admitted = completed + dropped + in-flight) and no instance holding
    more live KV-cache than it has allocated at finalize.
 
-Each (scenario, engine) pair simulates once; the results are cached at
-module scope so parity and conservation read the same run.
+Both checks run twice per scenario: once in the default unshared KV
+mode, once with ``kv_sharing="on"`` so the prefix-cache block map is
+exercised under every registered workload.  In shared mode each
+surviving instance's block map must additionally pass its own
+conservation audit (``KvShareStore.check_invariants``: free +
+allocated + private == capacity, refcounts consistent with the
+admission tables).
+
+Each (scenario, engine, kv_sharing) triple simulates once; the results
+are cached at module scope so parity and conservation read the same
+run.
 """
 
 from __future__ import annotations
@@ -38,11 +47,12 @@ _SCENARIO_CLUSTERS = {
 _STREAMING_SCENARIOS = frozenset({"diurnal-week", "million-burst"})
 
 ENGINES_UNDER_TEST = ("reference", "vectorized")
+KV_SHARING_MODES = ("off", "on")
 
-_runs: dict[tuple[str, str], tuple[object, object, object]] = {}
+_runs: dict[tuple[str, str, str], tuple[object, object, object]] = {}
 
 
-def _spec(scenario: str) -> RunSpec:
+def _spec(scenario: str, kv_sharing: str = "off") -> RunSpec:
     return RunSpec(
         system="slinfer",
         scenario=scenario,
@@ -51,17 +61,21 @@ def _spec(scenario: str) -> RunSpec:
         seed=1,
         scale="smoke",
         metrics="streaming" if scenario in _STREAMING_SCENARIOS else "exact",
+        kv_sharing=kv_sharing,
     )
 
 
-def _run(scenario: str, engine: str):
+def _run(scenario: str, engine: str, kv_sharing: str = "off"):
     """(system, workload, report) for one backend, simulated once."""
-    key = (scenario, engine)
+    key = (scenario, engine, kv_sharing)
     if key not in _runs:
-        spec = _spec(scenario)
+        spec = _spec(scenario, kv_sharing)
         workload = build_workload(spec)
         system = system_factory("slinfer")(
-            build_cluster(spec.cluster), metrics=spec.metrics, engine=engine
+            build_cluster(spec.cluster),
+            metrics=spec.metrics,
+            engine=engine,
+            kv_sharing=kv_sharing,
         )
         report = system.run(workload)
         _runs[key] = (system, workload, report)
@@ -105,18 +119,32 @@ def assert_conservation(system, workload, report) -> None:
                 f"instance {instance.inst_id} holds {live} live KV bytes "
                 f"with only {instance.kv.committed_bytes} allocated"
             )
+            if instance.kv_share is not None:
+                instance.kv_share.check_invariants()
 
 
+@pytest.mark.parametrize("kv_sharing", KV_SHARING_MODES)
 @pytest.mark.parametrize("scenario", SCENARIOS.names())
-def test_backends_byte_identical(scenario):
-    _, _, reference = _run(scenario, "reference")
-    _, _, vectorized = _run(scenario, "vectorized")
+def test_backends_byte_identical(scenario, kv_sharing):
+    _, _, reference = _run(scenario, "reference", kv_sharing)
+    _, _, vectorized = _run(scenario, "vectorized", kv_sharing)
     assert reference.events_processed == vectorized.events_processed
     assert _canonical(reference) == _canonical(vectorized)
 
 
+@pytest.mark.parametrize("kv_sharing", KV_SHARING_MODES)
 @pytest.mark.parametrize("scenario", SCENARIOS.names())
 @pytest.mark.parametrize("engine", ENGINES_UNDER_TEST)
-def test_conservation_invariants(scenario, engine):
-    system, workload, report = _run(scenario, engine)
+def test_conservation_invariants(scenario, engine, kv_sharing):
+    system, workload, report = _run(scenario, engine, kv_sharing)
     assert_conservation(system, workload, report)
+
+
+@pytest.mark.parametrize("scenario", ["shared-sysprompt", "agentic-loop", "prefix-mix"])
+def test_sharing_scenarios_exercise_the_block_map(scenario):
+    """The prefix workloads must actually hit the cache, or parity above
+    is vacuous for the sharing machinery."""
+    _, _, report = _run(scenario, "vectorized", "on")
+    assert report.prefix_lookups > 0
+    assert report.prefix_hit_tokens > 0
+    assert report.shared_block_refs > 0

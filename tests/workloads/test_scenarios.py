@@ -24,6 +24,9 @@ def build(name, n_models=16, duration=600.0, requests_per_model=24.0, seed=3, **
         "cold-churn",
         "cpu-harvest",
         "decode-marathon",
+        "shared-sysprompt",
+        "agentic-loop",
+        "prefix-mix",
     ],
 )
 def test_scenarios_build_valid_workloads(name):
@@ -46,6 +49,9 @@ def test_scenarios_build_valid_workloads(name):
         "cold-churn",
         "cpu-harvest",
         "decode-marathon",
+        "shared-sysprompt",
+        "agentic-loop",
+        "prefix-mix",
     ],
 )
 def test_scenarios_deterministic_per_seed(name):
@@ -244,3 +250,47 @@ def test_decode_marathon_is_decode_dominated():
 def test_decode_marathon_rejects_bad_stagger():
     with pytest.raises(ValueError):
         build("decode-marathon", stagger=0.0)
+
+
+def test_shared_sysprompt_every_request_opens_with_the_system_prompt():
+    workload = build("shared-sysprompt", n_models=8, sys_tokens=512)
+    for request in workload.requests:
+        assert request.prefix_id == f"{request.deployment}-sys:512"
+        assert request.prefix_len == 512
+        assert request.input_len > 512  # user turn on top of the prompt
+    # Session trains, not uniform Poisson: per-model arrivals include
+    # intra-train gaps near the 5 s headway (with its 0.8–1.2 jitter).
+    for arrivals in (sorted(a) for a in _arrivals_by_model(workload).values()):
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        assert any(gap <= 6.0 for gap in gaps)
+
+
+def test_agentic_loop_turns_extend_the_session_path():
+    workload = build("agentic-loop", n_models=4, turns=5)
+    for request in workload.requests:
+        head = request.prefix_id.split("/")[0]
+        assert head.startswith("sys:")  # the shared seed opens every path
+        assert request.prefix_len == request.input_len  # whole prompt is named
+    depths = {request.prefix_id.count("/") for request in workload.requests}
+    assert depths == set(range(5))  # turns 0..4 all present
+
+
+def test_prefix_mix_share_controls_the_shared_fraction():
+    workload = build("prefix-mix", n_models=8, requests_per_model=40.0, share=0.5)
+    shared = [r for r in workload.requests if r.prefix_id]
+    fraction = len(shared) / workload.total_requests
+    assert 0.35 < fraction < 0.65
+    assert all(r.prefix_len == 512 for r in shared)
+    assert all(r.input_len > r.prefix_len for r in shared)
+
+
+def test_prefix_mix_rejects_bad_share():
+    with pytest.raises(ValueError):
+        build("prefix-mix", share=1.5)
+
+
+def _arrivals_by_model(workload):
+    grouped = {}
+    for request in workload.requests:
+        grouped.setdefault(request.deployment, []).append(request.arrival)
+    return grouped
