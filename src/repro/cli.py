@@ -9,9 +9,15 @@ Commands:
   ``--policy kind=spec1,spec2`` flags form a policy cross-product, so a
   mechanism ablation (e.g. SLINFER placement with the reclaim policy
   swapped) is one command line instead of a bespoke driver.
-* ``list`` — show the registered systems, scenarios, clusters, models,
-  (``list hardware``) the node specs and interconnect topologies, and
-  (``list policies``) the policy and bundle tables.
+* ``list`` — one table-driven ``repro list <kind>`` over every registry
+  (systems, scenarios, engines, clusters, models, hardware, policies,
+  kv-sharing), with ``--json`` for machine-readable output.  Singular
+  forms (``list system``) alias the canonical kinds; unknown kinds are
+  a typed error naming the valid ones.
+* ``serve`` — start the asyncio serving gateway: an OpenAI-style HTTP
+  front end that shadow-replays (or wall-clock-paces) live requests
+  through the simulator, reusing the sweep axes
+  (``--system/--cluster/--policy/--engine/--kv-sharing``).
 * ``experiment`` — run a named paper experiment (``fig22``, ``ablation``,
   ``table1``, ``table2``, ``watermark``, ``keepalive``, ``pd``, ``quant``).
 * ``calibration`` — print the calibrated latency laws against the paper's
@@ -28,8 +34,10 @@ through :mod:`repro.registry`, and runs execute through
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
+from typing import Any, Callable
 
 from repro.models import CATALOG, get_model
 from repro.policies import POLICY_KINDS, POLICY_REGISTRIES, BUNDLES, resolve_policy
@@ -185,22 +193,56 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _list_policies() -> None:
+class UnknownListKindError(RegistryError):
+    """``repro list`` was asked for a kind no table row provides."""
+
+
+def _registry_payload(registry) -> dict[str, Any]:
+    """Names plus (when the registry has them) ad-hoc pattern forms."""
+    payload: dict[str, Any] = {"names": registry.names()}
+    patterns = registry.pattern_templates()
+    if patterns:
+        payload["patterns"] = [
+            {"form": template, "summary": summary} for template, summary in patterns
+        ]
+    return payload
+
+
+def _render_names(header: str) -> Callable[[Any], None]:
+    def render(payload: Any) -> None:
+        names = payload["names"] if isinstance(payload, dict) else payload
+        suffix = ""
+        if isinstance(payload, dict) and payload.get("patterns"):
+            forms = " / ".join(f"'{p['form']}'" for p in payload["patterns"])
+            suffix = f" (plus ad-hoc {forms})"
+        print(f"{header}{suffix}:")
+        for name in names:
+            print(f"  {name}")
+
+    return render
+
+
+def _policies_payload() -> dict[str, Any]:
+    return {
+        "policies": {kind: POLICY_REGISTRIES[kind].names() for kind in POLICY_KINDS},
+        "bundles": {name: BUNDLES.get(name)().describe() for name in BUNDLES.names()},
+    }
+
+
+def _render_policies(payload: dict[str, Any]) -> None:
     print("policies (use with 'sweep --policy kind=spec[,spec...]'):")
-    for kind in POLICY_KINDS:
-        names = ", ".join(POLICY_REGISTRIES[kind].names())
-        print(f"  {kind}: {names}")
+    for kind, names in payload["policies"].items():
+        print(f"  {kind}: {', '.join(names)}")
     print("bundles (system name -> policy assignment):")
-    for name in BUNDLES.names():
-        composition = BUNDLES.get(name)().describe()
+    for name, composition in payload["bundles"].items():
         rendered = ", ".join(f"{kind}={spec}" for kind, spec in composition.items())
         print(f"  {name}: {rendered}")
 
 
-def _list_hardware() -> None:
+def _hardware_payload() -> dict[str, Any]:
     from repro.hardware import specs as hw
 
-    print("hardware specs:")
+    specs = []
     for spec in (
         hw.XEON_GEN4_32C,
         hw.XEON_GEN3_32C,
@@ -208,50 +250,146 @@ def _list_hardware() -> None:
         hw.A100_80GB,
         hw.V100_32GB,
     ):
-        cores = f" {spec.cores}c" if spec.cores else ""
-        amx = "" if spec.matrix_accelerated else " no-AMX"
+        specs.append(
+            {
+                "name": spec.name,
+                "kind": spec.kind.value,
+                "cores": spec.cores,
+                "matrix_accelerated": spec.matrix_accelerated,
+                "memory_gib": spec.memory_bytes // hw.GIB,
+                "prefill_factor": spec.prefill_factor,
+                "decode_factor": spec.decode_factor,
+                "loader_gib_per_s": spec.loader_bytes_per_s / hw.GIB,
+            }
+        )
+    paper = build_cluster("paper")
+    topologies = [
+        {"name": name, "describe": TOPOLOGIES.get(name)(paper).describe()}
+        for name in TOPOLOGIES.names()
+    ]
+    return {"specs": specs, "topologies": topologies}
+
+
+def _render_hardware(payload: dict[str, Any]) -> None:
+    print("hardware specs:")
+    for spec in payload["specs"]:
+        cores = f" {spec['cores']}c" if spec["cores"] else ""
+        amx = "" if spec["matrix_accelerated"] else " no-AMX"
         print(
-            f"  {spec.name}: {spec.kind.value}{cores}{amx} "
-            f"mem={spec.memory_bytes // hw.GIB}GiB "
-            f"prefill_x={spec.prefill_factor:g} decode_x={spec.decode_factor:g} "
-            f"loader={spec.loader_bytes_per_s / hw.GIB:g}GiB/s"
+            f"  {spec['name']}: {spec['kind']}{cores}{amx} "
+            f"mem={spec['memory_gib']}GiB "
+            f"prefill_x={spec['prefill_factor']:g} decode_x={spec['decode_factor']:g} "
+            f"loader={spec['loader_gib_per_s']:g}GiB/s"
         )
     print("topologies (use with 'sweep --topology NAME', shown on the paper testbed):")
-    paper = build_cluster("paper")
-    for name in TOPOLOGIES.names():
-        print(f"  {TOPOLOGIES.get(name)(paper).describe()}")
+    for topology in payload["topologies"]:
+        print(f"  {topology['describe']}")
+
+
+def _kv_sharing_payload() -> dict[str, str]:
+    return {
+        "off": "per-request KV accounting (default; byte-identical to prior runs)",
+        "on": "prefix-sharing block map (radix cache, copy-on-write, LRU eviction)",
+    }
+
+
+def _render_kv_sharing(payload: dict[str, str]) -> None:
+    print("kv sharing (use with 'sweep --kv-sharing MODE'):")
+    for mode, summary in payload.items():
+        print(f"  {mode}: {summary}")
+
+
+#: the ``repro list`` table: kind -> (payload builder, text renderer).
+#: The JSON view and the text view render the same payload, so adding a
+#: kind is one row here — never another if-branch in ``cmd_list``.
+LIST_KINDS: dict[str, tuple[Callable[[], Any], Callable[[Any], None]]] = {
+    "systems": (lambda: SYSTEMS.names(), _render_names("systems")),
+    "scenarios": (
+        lambda: _registry_payload(SCENARIOS),
+        _render_names("scenarios"),
+    ),
+    "kv-sharing": (_kv_sharing_payload, _render_kv_sharing),
+    "engines": (
+        lambda: ENGINES.names(),
+        _render_names("engines (byte-identical backends; use with 'sweep --engine NAME')"),
+    ),
+    "clusters": (
+        lambda: _registry_payload(CLUSTERS),
+        _render_names("clusters"),
+    ),
+    "models": (lambda: sorted(CATALOG), _render_names("models")),
+    "hardware": (_hardware_payload, _render_hardware),
+    "policies": (_policies_payload, _render_policies),
+}
+
+#: accepted spellings that map onto a canonical table row
+LIST_ALIASES = {
+    "system": "systems",
+    "scenario": "scenarios",
+    "engine": "engines",
+    "cluster": "clusters",
+    "model": "models",
+    "policy": "policies",
+    "bundles": "policies",
+    "kv": "kv-sharing",
+    "topologies": "hardware",
+}
 
 
 def cmd_list(args: argparse.Namespace) -> int:
     what = getattr(args, "what", "all")
-    if what in ("all", "systems"):
-        print("systems:")
-        for name in SYSTEMS.names():
-            print(f"  {name}")
-    if what in ("all", "scenarios"):
-        print("scenarios (plus ad-hoc 'prefix-mix{P}' for a P%-shared prefix mix):")
-        for name in SCENARIOS.names():
-            print(f"  {name}")
-    if what in ("all", "kv-sharing"):
-        print("kv sharing (use with 'sweep --kv-sharing MODE'):")
-        print("  off: per-request KV accounting (default; byte-identical to prior runs)")
-        print("  on: prefix-sharing block map (radix cache, copy-on-write, LRU eviction)")
-    if what in ("all", "engines"):
-        print("engines (byte-identical backends; use with 'sweep --engine NAME'):")
-        for name in ENGINES.names():
-            print(f"  {name}")
-    if what in ("all", "clusters"):
-        print("clusters (plus ad-hoc 'cpu{N}-gpu{M}' / 'harvest{C}'):")
-        for name in CLUSTERS.names():
-            print(f"  {name}")
-    if what in ("all", "models"):
-        print("models:")
-        for name in sorted(CATALOG):
-            print(f"  {name}")
-    if what in ("all", "hardware"):
-        _list_hardware()
-    if what in ("all", "policies"):
-        _list_policies()
+    kind = LIST_ALIASES.get(what, what)
+    if kind != "all" and kind not in LIST_KINDS:
+        known = ", ".join(["all", *LIST_KINDS])
+        raise UnknownListKindError(f"unknown list kind {what!r} (known: {known})")
+    kinds = list(LIST_KINDS) if kind == "all" else [kind]
+    if getattr(args, "json", False):
+        payloads = {name: LIST_KINDS[name][0]() for name in kinds}
+        print(json.dumps(payloads if kind == "all" else payloads[kind], indent=2))
+        return 0
+    for name in kinds:
+        payload_fn, render = LIST_KINDS[name]
+        render(payload_fn())
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.gateway import GatewayServer, SimBridge
+
+    topology = args.topology or None
+    _validate_names(
+        systems=[args.system],
+        scenarios=[args.scenario],
+        clusters=[args.cluster],
+        models=[args.model],
+        topologies=[topology],
+    )
+    axes = _parse_policy_axes(args.policy or [])
+    overrides = []
+    for kind, specs in axes.items():
+        if len(specs) > 1:
+            raise RegistryError(
+                f"serve takes one policy per kind, got {kind}={','.join(specs)}"
+            )
+        overrides.append((kind, specs[0]))
+    spec = RunSpec(
+        system=args.system,
+        scenario=args.scenario,
+        model=args.model,
+        n_models=args.models,
+        cluster=args.cluster,
+        topology=topology,
+        seed=args.seed,
+        scale=args.scale,
+        duration=args.duration,
+        policy_overrides=tuple(overrides),
+        metrics=args.metrics,
+        engine=args.engine,
+        kv_sharing=args.kv_sharing,
+    )
+    bridge = SimBridge.from_spec(spec, mode=args.mode, pace_ratio=args.pace_ratio)
+    print(f"serving {spec.label()} [{args.mode} mode]", flush=True)
+    GatewayServer(bridge, host=args.host, port=args.port).run()
     return 0
 
 
@@ -395,12 +533,52 @@ def build_parser() -> argparse.ArgumentParser:
         "what",
         nargs="?",
         default="all",
-        choices=[
-            "all", "systems", "scenarios", "engines", "clusters",
-            "models", "hardware", "policies", "kv-sharing",
-        ],
+        metavar="kind",
+        help=f"one of: all, {', '.join(LIST_KINDS)} (singular forms alias)",
+    )
+    listing.add_argument(
+        "--json", action="store_true", help="machine-readable output"
     )
     listing.set_defaults(func=cmd_list)
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the HTTP serving gateway (shadow-replay or paced what-if)",
+    )
+    serve.add_argument("--system", default="slinfer", help="serving system bundle")
+    serve.add_argument(
+        "--scenario", default="azure",
+        help="scenario supplying the deployments (and, when set, the horizon)",
+    )
+    serve.add_argument("--model", default="llama-2-7b", help="model name")
+    serve.add_argument("--models", type=int, default=32, help="number of deployments")
+    serve.add_argument("--cluster", default="paper", help="cluster shape")
+    serve.add_argument(
+        "--topology", default="", help="named interconnect topology (default: cluster's own)"
+    )
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--scale", default="quick", choices=["full", "quick", "smoke"])
+    serve.add_argument("--duration", type=float, default=None, help="override scale window (s)")
+    serve.add_argument(
+        "--policy", action="append", metavar="KIND=SPEC",
+        help="policy override (repeatable, one spec per kind)",
+    )
+    serve.add_argument("--metrics", default="exact", choices=["exact", "streaming"])
+    serve.add_argument("--engine", default="reference", choices=ENGINES.names())
+    serve.add_argument(
+        "--kv-sharing", dest="kv_sharing", default="off", choices=["off", "on"]
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    serve.add_argument(
+        "--mode", default="shadow", choices=["shadow", "paced"],
+        help="shadow: virtual-time trace replay; paced: wall-clock arrivals",
+    )
+    serve.add_argument(
+        "--pace-ratio", dest="pace_ratio", type=float, default=1.0,
+        help="simulation seconds per wall second (paced mode)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     experiment = sub.add_parser("experiment", help="run a named paper experiment")
     experiment.add_argument(

@@ -27,7 +27,7 @@ import itertools
 import operator
 import time as _wallclock
 from collections import deque
-from typing import Optional, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
 
 from repro.compute.scheduler import WorkItem
 from repro.core.config import SystemConfig
@@ -58,6 +58,7 @@ from repro.sim.engine import EngineBackend, resolve_engine
 from repro.sim.simulator import EventHandle, Simulator
 from repro.slo import DEFAULT_SLO, SloPolicy
 from repro.workloads.spec import Deployment, Workload
+from repro.workloads.stream import StreamOrderError, WorkloadStream
 
 #: tombstone compaction threshold: sweep once stale entries dominate
 _QUEUE_COMPACT_MIN = 8
@@ -145,6 +146,7 @@ class ServingSystem:
         self._work_hints: dict[str, dict[int, Instance]] = {}
         self._attach_seq = itertools.count()
         self.placing_request: Optional[Request] = None
+        self._arrival_stream: Optional[Iterator] = None
         self._retrying = False
         self._last_retry_at = -1.0
         self._retry_dirty = True
@@ -152,16 +154,35 @@ class ServingSystem:
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
-    def run(self, workload: Workload, until: Optional[float] = None) -> RunReport:
-        """Serve a workload to completion and return the measured report."""
+    def run(
+        self, workload: Union[Workload, WorkloadStream], until: Optional[float] = None
+    ) -> RunReport:
+        """Serve a workload to completion and return the measured report.
+
+        Materialized workloads pre-load the arrival heap (the legacy,
+        byte-identical path).  A :class:`WorkloadStream` is consumed
+        lazily instead: the system keeps exactly one pending arrival in
+        the heap and pulls the next only after fully processing it, so
+        ingest memory is O(in-flight) and live (unbounded-horizon)
+        streams run until their source closes.
+        """
         start = _wallclock.perf_counter()
         self.deployments = dict(workload.deployments)
         self.policies.prepare(self, workload)
-        for spec in workload.requests:
-            self.sim.schedule_at(spec.arrival, self._arrive, spec)
+        if isinstance(workload, Workload):
+            for spec in workload.requests:
+                self.sim.schedule_at(spec.arrival, self._arrive, spec)
+        else:
+            self._arrival_stream = iter(workload)
+            self._pump_arrival()
         for observer in self.observers:
             observer.on_run_start(self, workload)
-        horizon = until if until is not None else workload.duration + self.config.drain_timeout
+        if until is not None:
+            horizon = until
+        elif workload.duration is not None:
+            horizon = workload.duration + self.config.drain_timeout
+        else:
+            horizon = None  # live stream: run until the source closes + drain
         self.engine.run_loop(self, horizon)
         topology = self.cluster.topology
         if topology.has_shared_links:
@@ -169,7 +190,8 @@ class ServingSystem:
             # contend; dedicated-link (default) topologies skip it so
             # their reports stay byte-identical to the pre-topology ones.
             self.metrics.record_link_stats(topology.link_stats(self.sim.now))
-        report = self.metrics.finalize(self.sim.now, workload.duration, self.name)
+        duration = workload.duration if workload.duration is not None else self.sim.now
+        report = self.metrics.finalize(self.sim.now, duration, self.name)
         report.wall_seconds = _wallclock.perf_counter() - start
         report.events_processed = self.sim.events_processed
         return report
@@ -196,6 +218,36 @@ class ServingSystem:
     # ------------------------------------------------------------------
     # Arrivals, queue, drops
     # ------------------------------------------------------------------
+    def _pump_arrival(self) -> None:
+        """Schedule the stream's next arrival (exactly one in the heap).
+
+        Blocks on live streams until the producer pushes or closes —
+        while the consumer blocks here, the previous arrival has been
+        fully processed and the simulation is quiescent (the contract
+        behind ``QueueStream.wait_processed``).
+        """
+        stream = self._arrival_stream
+        if stream is None:
+            return
+        spec = next(stream, None)
+        if spec is None:
+            self._arrival_stream = None
+            return
+        if spec.arrival < self.sim.now:
+            raise StreamOrderError(
+                f"stream arrival {spec.arrival:.6f} precedes simulation "
+                f"time {self.sim.now:.6f}; streams must be nondecreasing "
+                f"in arrival time"
+            )
+        self.sim.schedule_at(spec.arrival, self._arrive_streamed, spec)
+
+    def _arrive_streamed(self, spec) -> None:
+        # Process the current arrival completely before pulling the next:
+        # pull-first would make a live producer's verdict for request i
+        # wait on the submission of request i+1.
+        self._arrive(spec)
+        self._pump_arrival()
+
     def _arrive(self, spec) -> None:
         request = Request(
             req_id=next(self._req_seq),

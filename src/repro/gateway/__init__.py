@@ -1,0 +1,38 @@
+"""Serving gateway: the simulator as a live what-if backend.
+
+An asyncio HTTP server (stdlib only) accepts an OpenAI-style request
+stream and answers "what would this system/policy bundle have done to
+this traffic?" — per-request verdicts (admitted/queued/dropped,
+predicted TTFT) while the trace flows, and the full
+:class:`~repro.metrics.report.RunReport` when it ends.
+
+Three layers:
+
+* :class:`SimBridge` — runs a :class:`~repro.core.system.ServingSystem`
+  on a simulation thread fed by a
+  :class:`~repro.workloads.stream.QueueStream`, translating each pushed
+  request into an admission verdict once the simulator has fully
+  processed it.  Shadow mode replays in virtual time (faster than
+  real time); paced mode maps wall-clock submission times onto the
+  simulation clock at a configurable ratio.
+* :class:`GatewayServer` — the asyncio front end exposing
+  ``/v1/completions`` (ingest), ``/admit`` (advisory probe),
+  ``/report`` (finalize + RunReport), ``/healthz``, and ``/shutdown``.
+* :class:`GatewayClient` — a minimal blocking HTTP client used by the
+  examples, tests, and the CI smoke job.
+
+Wired into the CLI as ``repro serve`` with the sweep axes
+(``--system/--cluster/--policy/--engine/--kv-sharing``).
+"""
+
+from repro.gateway.bridge import GatewayError, SimBridge, Verdict
+from repro.gateway.client import GatewayClient
+from repro.gateway.server import GatewayServer
+
+__all__ = [
+    "GatewayClient",
+    "GatewayError",
+    "GatewayServer",
+    "SimBridge",
+    "Verdict",
+]

@@ -1,0 +1,97 @@
+"""A minimal blocking HTTP client for the gateway (stdlib only).
+
+Used by the examples, the tests, and the CI smoke job; any OpenAI-style
+HTTP client works just as well against the same endpoints.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Any, Iterable, Optional
+
+from repro.workloads.spec import RequestSpec
+
+
+class GatewayClient:
+    """Talk to a running :class:`~repro.gateway.server.GatewayServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8000, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self._conn = HTTPConnection(host, port, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def request(
+        self, method: str, path: str, payload: Optional[dict[str, Any]] = None
+    ) -> tuple[int, dict[str, Any]]:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        self._conn.request(method, path, body=body, headers=headers)
+        response = self._conn.getresponse()
+        data = response.read()
+        return response.status, json.loads(data) if data else {}
+
+    def _checked(
+        self, method: str, path: str, payload: Optional[dict[str, Any]] = None
+    ) -> dict[str, Any]:
+        status, data = self.request(method, path, payload)
+        if status != 200:
+            raise RuntimeError(f"{method} {path} -> {status}: {data.get('error', data)}")
+        return data
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        return self._checked("GET", "/healthz")
+
+    def completion(
+        self,
+        model: str,
+        prompt_tokens: int,
+        max_tokens: int = 64,
+        arrival: Optional[float] = None,
+        prefix_id: Optional[str] = None,
+        prefix_len: int = 0,
+    ) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "model": model,
+            "prompt_tokens": prompt_tokens,
+            "max_tokens": max_tokens,
+        }
+        if arrival is not None:
+            payload["arrival"] = arrival
+        if prefix_id is not None:
+            payload["prefix_id"] = prefix_id
+            payload["prefix_len"] = prefix_len
+        return self._checked("POST", "/v1/completions", payload)
+
+    def submit_spec(self, spec: RequestSpec) -> dict[str, Any]:
+        """Replay one recorded trace entry (shadow-mode helper)."""
+        return self.completion(
+            spec.deployment,
+            spec.input_len,
+            max_tokens=spec.output_len,
+            arrival=spec.arrival,
+            prefix_id=spec.prefix_id,
+            prefix_len=spec.prefix_len,
+        )
+
+    def replay(self, specs: Iterable[RequestSpec]) -> list[dict[str, Any]]:
+        """Replay a recorded trace in order; returns one verdict each."""
+        return [self.submit_spec(spec) for spec in specs]
+
+    def admit(self, model: str, prompt_tokens: int = 512) -> dict[str, Any]:
+        return self._checked("POST", "/admit", {"model": model, "prompt_tokens": prompt_tokens})
+
+    def report(self) -> dict[str, Any]:
+        return self._checked("GET", "/report")
+
+    def shutdown(self) -> dict[str, Any]:
+        return self._checked("POST", "/shutdown")

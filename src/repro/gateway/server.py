@@ -1,0 +1,252 @@
+"""The asyncio HTTP front end over a :class:`SimBridge`.
+
+Stdlib-only (``asyncio.start_server`` plus a minimal HTTP/1.1 layer —
+no web framework dependency).  Endpoints:
+
+* ``POST /v1/completions`` — OpenAI-completions-shaped ingest.  The body
+  names the deployment (``model``) and prompt/output lengths
+  (``prompt_tokens``/``max_tokens``, or a literal ``prompt`` whose
+  length is heuristically tokenized); the response is the simulator's
+  :class:`~repro.gateway.bridge.Verdict` for that request.
+* ``POST /admit`` — advisory probe: what would likely happen to a
+  request arriving now, without submitting one.
+* ``GET/POST /report`` — close the stream, drain the simulation, and
+  return the final canonical RunReport (idempotent; ingest after the
+  report is a 409).
+* ``GET /healthz`` — liveness plus ingest counters.
+* ``POST /shutdown`` — clean stop (responds first, then exits).
+
+Blocking bridge calls run in the default thread-pool executor so the
+event loop keeps serving health checks while a verdict is pending.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import threading
+from typing import Any, Optional
+
+from repro.gateway.bridge import GatewayError, SimBridge
+from repro.workloads.stream import StreamClosedError, StreamOrderError
+
+#: crude prompt -> token-count heuristic for literal ``prompt`` bodies
+_CHARS_PER_TOKEN = 4
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _response(status: int, payload: dict[str, Any]) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+class GatewayServer:
+    """Serve a :class:`SimBridge` over HTTP until shut down."""
+
+    def __init__(self, bridge: SimBridge, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.bridge = bridge
+        self.host = host
+        self.port = port  # updated to the bound port once listening
+        self.ready = threading.Event()  # set once the socket is bound
+        self._stop: Optional[asyncio.Event] = None
+        self._report_lock = threading.Lock()
+        self._final: Optional[dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Block serving requests until ``POST /shutdown`` (CLI entry)."""
+        asyncio.run(self._serve())
+
+    async def _serve(self) -> None:
+        self._stop = asyncio.Event()
+        self.bridge.start()
+        server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        # The CI smoke job (and --subprocess example mode) parses this
+        # line to discover a port chosen with --port 0.
+        print(f"repro-gateway listening on http://{self.host}:{self.port}", flush=True)
+        self.ready.set()
+        async with server:
+            await self._stop.wait()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                try:
+                    status, payload = await self._route(method, path, body)
+                except _HttpError as exc:
+                    status, payload = exc.status, {"error": exc.message}
+                except (StreamClosedError, GatewayError) as exc:
+                    status, payload = 409, {"error": str(exc)}
+                except (StreamOrderError, ValueError) as exc:
+                    status, payload = 400, {"error": str(exc)}
+                except Exception as exc:  # noqa: BLE001 — report, don't drop the socket
+                    status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+                writer.write(_response(status, payload))
+                await writer.drain()
+                if path == "/shutdown" and status == 200:
+                    assert self._stop is not None
+                    self._stop.set()
+                    break
+                if headers.get("connection", "").lower() == "close":
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[tuple[str, str, dict[str, str], bytes]]:
+        try:
+            line = await reader.readline()
+        except (ConnectionError, OSError):
+            return None
+        if not line or not line.strip():
+            return None
+        try:
+            method, path, _version = line.decode("ascii").split()
+        except ValueError:
+            return None
+        headers: dict[str, str] = {}
+        while True:
+            header = await reader.readline()
+            if not header or header in (b"\r\n", b"\n"):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        if path == "/healthz" and method == "GET":
+            return 200, {
+                "status": "ok",
+                "mode": self.bridge.mode,
+                "finalized": self._final is not None,
+                **self.bridge.outcome_counts,
+            }
+        if path == "/v1/completions" and method == "POST":
+            return await self._completions(self._json_body(body))
+        if path == "/admit" and method == "POST":
+            return await self._admit(self._json_body(body))
+        if path == "/report" and method in ("GET", "POST"):
+            return await self._report()
+        if path == "/shutdown" and method == "POST":
+            return 200, {"status": "shutting down"}
+        return 404, {"error": f"no route for {method} {path}"}
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict[str, Any]:
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "JSON body must be an object")
+        return payload
+
+    @staticmethod
+    def _deployment(payload: dict[str, Any]) -> str:
+        deployment = payload.get("deployment") or payload.get("model")
+        if not deployment:
+            raise _HttpError(400, "body must name a 'model' (or 'deployment')")
+        return str(deployment)
+
+    @staticmethod
+    def _prompt_tokens(payload: dict[str, Any]) -> int:
+        if "prompt_tokens" in payload:
+            tokens = payload["prompt_tokens"]
+        elif "prompt" in payload:
+            tokens = math.ceil(len(str(payload["prompt"])) / _CHARS_PER_TOKEN)
+        else:
+            raise _HttpError(400, "body must carry 'prompt_tokens' or 'prompt'")
+        if not isinstance(tokens, int) or tokens <= 0:
+            raise _HttpError(400, "prompt_tokens must be a positive integer")
+        return tokens
+
+    async def _completions(self, payload: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        if self._final is not None:
+            raise _HttpError(409, "run already finalized; no further ingest")
+        deployment = self._deployment(payload)
+        input_len = self._prompt_tokens(payload)
+        output_len = int(payload.get("max_tokens", 64))
+        arrival = payload.get("arrival")
+        prefix_len = int(payload.get("prefix_len", 0))
+        verdict = await asyncio.get_running_loop().run_in_executor(
+            None,
+            lambda: self.bridge.submit(
+                deployment,
+                input_len,
+                output_len,
+                arrival=float(arrival) if arrival is not None else None,
+                prefix_id=payload.get("prefix_id"),
+                prefix_len=prefix_len,
+            ),
+        )
+        return 200, verdict.to_dict()
+
+    async def _admit(self, payload: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        deployment = self._deployment(payload)
+        input_len = int(payload.get("prompt_tokens", 512))
+        probe = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self.bridge.probe(deployment, input_len)
+        )
+        return 200, probe
+
+    async def _report(self) -> tuple[int, dict[str, Any]]:
+        def _finalize() -> dict[str, Any]:
+            with self._report_lock:
+                if self._final is None:
+                    report = self.bridge.finalize()
+                    self._final = {
+                        "outcomes": self.bridge.outcome_counts,
+                        "report": report.to_dict(include_volatile=False),
+                    }
+                return self._final
+
+        payload = await asyncio.get_running_loop().run_in_executor(None, _finalize)
+        return 200, payload

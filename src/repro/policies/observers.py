@@ -39,8 +39,13 @@ class Observer:
     def attach(self, system: "ServingSystem") -> None:
         """Subscribe to the system's event bus (called at construction)."""
 
-    def on_run_start(self, system: "ServingSystem", workload: "Workload") -> None:
-        """Called once after the trace's arrivals are scheduled."""
+    def on_run_start(self, system: "ServingSystem", workload) -> None:
+        """Called once after the trace's arrivals are scheduled.
+
+        ``workload`` is a :class:`~repro.workloads.spec.Workload` or a
+        :class:`~repro.workloads.stream.WorkloadStream` (whose
+        ``duration`` may be ``None`` for live ingest).
+        """
 
 
 class MetricsObserver(Observer):
@@ -108,8 +113,13 @@ class MemoryUsageSampler(Observer):
         self._system: "ServingSystem | None" = None
         self._trace_duration = 0.0
 
-    def on_run_start(self, system: "ServingSystem", workload: "Workload") -> None:
+    def on_run_start(self, system: "ServingSystem", workload) -> None:
         self._system = system
+        if workload.duration is None:
+            # Live stream with no known horizon: each sample reschedules
+            # while ``now <= duration``, so sampling would keep an
+            # unbounded run from ever draining.
+            return
         self._trace_duration = workload.duration
         if system.config.sample_interval > 0:
             system.sim.schedule(system.config.sample_interval, self._sample)

@@ -3,10 +3,18 @@
 :mod:`repro.registry` instantiates the system/cluster/scenario tables;
 :mod:`repro.policies.registry` instantiates the per-kind policy tables.
 Both import the machinery from here so neither depends on the other.
+
+Beyond exact names, a registry can carry *patterns* — brace templates
+like ``cpu{N}-gpu{M}`` or ``prefix-mix{P}`` whose integer parameters
+parameterize a builder.  :meth:`Registry.resolve` is the single entry
+point that tries exact names first and then every registered pattern,
+so the CLI, run specs, and sweeps all share one spelling grammar.
 """
 
 from __future__ import annotations
 
+import re
+from dataclasses import dataclass
 from typing import Callable, Generic, Iterator, TypeVar
 
 T = TypeVar("T")
@@ -19,12 +27,49 @@ class RegistryError(KeyError):
         return self.args[0] if self.args else ""
 
 
-class Registry(Generic[T]):
-    """A named table of factories with decorator registration."""
+def compile_brace_template(template: str) -> re.Pattern[str]:
+    """Compile ``harvest{C}``-style templates to anchored regexes.
 
-    def __init__(self, kind: str) -> None:
+    Each ``{NAME}`` placeholder matches one nonnegative integer, captured
+    as group ``NAME``; everything else is literal.
+    """
+    parts: list[str] = []
+    last = 0
+    for match in re.finditer(r"\{([A-Za-z_][A-Za-z0-9_]*)\}", template):
+        parts.append(re.escape(template[last : match.start()]))
+        parts.append(f"(?P<{match.group(1)}>\\d+)")
+        last = match.end()
+    parts.append(re.escape(template[last:]))
+    if len(parts) == 1:
+        raise ValueError(f"pattern template {template!r} has no {{NAME}} placeholder")
+    return re.compile("".join(parts) + r"\Z")
+
+
+@dataclass(frozen=True)
+class PatternEntry(Generic[T]):
+    """One registered name pattern: template, compiled form, builder."""
+
+    template: str
+    regex: re.Pattern[str]
+    builder: Callable[..., T]
+    summary: str = ""
+
+
+class Registry(Generic[T]):
+    """A named table of factories with decorator registration.
+
+    ``unknown_error`` customizes the exception type raised for unknown
+    names (it must accept a single message argument and should subclass
+    :class:`RegistryError` so callers can keep catching that).
+    """
+
+    def __init__(
+        self, kind: str, unknown_error: type[RegistryError] | None = None
+    ) -> None:
         self.kind = kind
+        self.unknown_error = unknown_error or RegistryError
         self._entries: dict[str, T] = {}
+        self._patterns: list[PatternEntry[T]] = []
 
     # ------------------------------------------------------------------
     # Registration
@@ -50,6 +95,24 @@ class Registry(Generic[T]):
             return _add(obj)
         return _add
 
+    def register_pattern(
+        self, template: str, summary: str = ""
+    ) -> Callable[[Callable[..., T]], Callable[..., T]]:
+        """Register a brace-template pattern (decorator only).
+
+        The decorated builder is called as ``builder(name, **params)``
+        with each ``{NAME}`` placeholder bound to its matched integer,
+        and must return a registry entry (the same type :meth:`get`
+        yields).
+        """
+        regex = compile_brace_template(template)
+
+        def _add(builder: Callable[..., T]) -> Callable[..., T]:
+            self._patterns.append(PatternEntry(template, regex, builder, summary))
+            return builder
+
+        return _add
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
@@ -61,6 +124,33 @@ class Registry(Generic[T]):
             raise RegistryError(
                 f"unknown {self.kind} {name!r} (known: {known})"
             ) from None
+
+    def resolve(self, name: str) -> T:
+        """Entry by exact name, falling back to registered patterns.
+
+        Unknown names raise the registry's ``unknown_error`` with the
+        known names *and* the pattern spellings, so every caller (CLI,
+        run specs, sweeps) reports the full grammar.
+        """
+        entry = self._entries.get(name)
+        if entry is not None:
+            return entry
+        for pattern in self._patterns:
+            match = pattern.regex.fullmatch(name)
+            if match:
+                params = {key: int(value) for key, value in match.groupdict().items()}
+                return pattern.builder(name, **params)
+        known = ", ".join(self.names())
+        message = f"unknown {self.kind} {name!r} (known: {known}"
+        if self._patterns:
+            forms = ", ".join(f"'{p.template}'" for p in self._patterns)
+            message += f"; or use the {forms} form"
+            message += "s" if len(self._patterns) > 1 else ""
+        raise self.unknown_error(message + ")") from None
+
+    def pattern_templates(self) -> list[tuple[str, str]]:
+        """``(template, summary)`` pairs for the registered patterns."""
+        return [(p.template, p.summary) for p in self._patterns]
 
     def names(self) -> list[str]:
         return sorted(self._entries)

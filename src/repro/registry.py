@@ -36,7 +36,6 @@ Contracts:
 
 from __future__ import annotations
 
-import re
 from typing import Callable, Iterable, Mapping, Optional
 
 from repro.core.config import SystemConfig
@@ -60,6 +59,7 @@ __all__ = [
     "STANDARD_SYSTEMS",
     "SYSTEMS",
     "TOPOLOGIES",
+    "UnknownScenarioError",
     "apply_topology",
     "build_cluster",
     "resolve_scenario",
@@ -68,12 +68,18 @@ __all__ = [
 ]
 
 
+class UnknownScenarioError(RegistryError):
+    """A scenario name that is neither registered nor a known pattern."""
+
+
 # ----------------------------------------------------------------------
 # The three registries
 # ----------------------------------------------------------------------
 SYSTEMS: Registry[Callable[..., ServingSystem]] = Registry("system")
 CLUSTERS: Registry[Callable[[], Cluster]] = Registry("cluster")
-SCENARIOS: Registry[Callable[..., object]] = Registry("scenario")
+SCENARIOS: Registry[Callable[..., object]] = Registry(
+    "scenario", unknown_error=UnknownScenarioError
+)
 TOPOLOGIES: Registry[Callable[[Cluster], Topology]] = Registry("topology")
 
 
@@ -87,9 +93,39 @@ def systems_named(*names: str) -> list[tuple[str, Callable[..., ServingSystem]]]
     return [(name, SYSTEMS.get(name)) for name in names]
 
 
-_CLUSTER_PATTERN = re.compile(r"^cpu(\d+)-gpu(\d+)$")
-_HARVEST_PATTERN = re.compile(r"^harvest(\d+)$")
-_PREFIX_MIX_PATTERN = re.compile(r"^prefix-mix(\d{1,3})$")
+# ----------------------------------------------------------------------
+# Name patterns: ad-hoc spellings resolved through the registries
+# ----------------------------------------------------------------------
+@CLUSTERS.register_pattern("cpu{N}-gpu{M}", summary="ad-hoc node counts")
+def _cpu_gpu_cluster(name: str, N: int, M: int) -> Callable[[], Cluster]:
+    return lambda: Cluster.build(cpu_count=N, gpu_count=M)
+
+
+@CLUSTERS.register_pattern(
+    "harvest{C}", summary="Fig. 29 harvested-core CPUs: 4 cpu (C cores) + 4 gpu"
+)
+def _harvest_cluster(name: str, C: int) -> Callable[[], Cluster]:
+    if not 0 < C <= XEON_GEN4_32C.cores:
+        raise RegistryError(
+            f"{name}: harvested cores must be in 1..{XEON_GEN4_32C.cores}"
+        )
+    return lambda: Cluster.build(cpu_count=4, gpu_count=4, cpu_spec=harvested_cpu(C))
+
+
+@SCENARIOS.register_pattern(
+    "prefix-mix{P}", summary="prefix-mix with the shared fraction pinned to P percent"
+)
+def _prefix_mix_pinned(name: str, P: int) -> Callable[..., object]:
+    if P > 100:
+        raise RegistryError(f"{name}: shared fraction must be in 0..100 percent")
+    base = SCENARIOS.get("prefix-mix")
+
+    def factory(model, n_models, duration, requests_per_model, seed, **params):
+        params.setdefault("share", P / 100.0)
+        return base(model, n_models, duration, requests_per_model, seed, **params)
+
+    factory.__name__ = f"prefix_mix_{P}"
+    return factory
 
 
 def resolve_scenario(name: str) -> Callable[..., object]:
@@ -98,27 +134,10 @@ def resolve_scenario(name: str) -> Callable[..., object]:
     Beyond the registry, ``prefix-mix{P}`` (e.g. ``prefix-mix75``) pins
     the prefix-mix scenario's shared-request fraction to ``P`` percent —
     the hit-rate sensitivity axis for ``--kv-sharing`` sweeps, mirroring
-    the ``cpu{N}-gpu{M}`` cluster pattern.
+    the ``cpu{N}-gpu{M}`` cluster pattern.  Unknown names raise
+    :class:`UnknownScenarioError` listing both grammars.
     """
-    if name in SCENARIOS:
-        return SCENARIOS.get(name)
-    match = _PREFIX_MIX_PATTERN.match(name)
-    if match:
-        percent = int(match.group(1))
-        if percent > 100:
-            raise RegistryError(f"{name}: shared fraction must be in 0..100 percent")
-        base = SCENARIOS.get("prefix-mix")
-
-        def factory(model, n_models, duration, requests_per_model, seed, **params):
-            params.setdefault("share", percent / 100.0)
-            return base(model, n_models, duration, requests_per_model, seed, **params)
-
-        factory.__name__ = f"prefix_mix_{percent}"
-        return factory
-    known = ", ".join(SCENARIOS.names())
-    raise RegistryError(
-        f"unknown scenario {name!r} (known: {known}; or use the 'prefix-mix{{P}}' form)"
-    )
+    return SCENARIOS.resolve(name)
 
 
 def apply_topology(cluster: Cluster, topology: Optional[str]) -> Cluster:
@@ -141,26 +160,7 @@ def build_cluster(name: str, topology: Optional[str] = None) -> Cluster:
     nodes restricted to ``C`` harvested cores + 4 GPU nodes).  An
     explicit ``topology`` name replaces the cluster's interconnect.
     """
-    if name in CLUSTERS:
-        return apply_topology(CLUSTERS.get(name)(), topology)
-    match = _CLUSTER_PATTERN.match(name)
-    if match:
-        cluster = Cluster.build(cpu_count=int(match.group(1)), gpu_count=int(match.group(2)))
-        return apply_topology(cluster, topology)
-    match = _HARVEST_PATTERN.match(name)
-    if match:
-        cores = int(match.group(1))
-        if not 0 < cores <= XEON_GEN4_32C.cores:
-            raise RegistryError(
-                f"harvest{cores}: harvested cores must be in 1..{XEON_GEN4_32C.cores}"
-            )
-        cluster = Cluster.build(cpu_count=4, gpu_count=4, cpu_spec=harvested_cpu(cores))
-        return apply_topology(cluster, topology)
-    known = ", ".join(CLUSTERS.names())
-    raise RegistryError(
-        f"unknown cluster {name!r} (known: {known}; or use the 'cpu{{N}}-gpu{{M}}' "
-        f"/ 'harvest{{C}}' forms)"
-    )
+    return apply_topology(CLUSTERS.resolve(name)(), topology)
 
 
 # ----------------------------------------------------------------------

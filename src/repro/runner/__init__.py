@@ -16,7 +16,12 @@ Quickstart::
 """
 
 from repro.runner.cache import ResultCache, default_cache_dir
-from repro.runner.executor import SweepExecutor, default_workers, execute_spec
+from repro.runner.executor import (
+    SweepExecutor,
+    build_system,
+    default_workers,
+    execute_spec,
+)
 from repro.runner.scale import (
     FULL_SCALE,
     QUICK_SCALE,
@@ -30,6 +35,7 @@ from repro.runner.spec import (
     RunResult,
     RunSpec,
     build_workload,
+    build_workload_stream,
     expand_grid,
     expand_policy_grid,
 )
@@ -44,7 +50,9 @@ __all__ = [
     "SCALES",
     "SMOKE_SCALE",
     "SweepExecutor",
+    "build_system",
     "build_workload",
+    "build_workload_stream",
     "current_scale",
     "default_cache_dir",
     "default_workers",

@@ -20,7 +20,7 @@ from typing import Any, Sequence
 
 from repro.registry import build_cluster, system_factory
 from repro.runner.cache import ResultCache
-from repro.runner.spec import RunResult, RunSpec, build_workload
+from repro.runner.spec import RunResult, RunSpec, build_workload, build_workload_stream
 
 
 def default_workers() -> int:
@@ -31,29 +31,50 @@ def default_workers() -> int:
         return 1
 
 
-def execute_spec(spec: RunSpec, workload=None, **system_kwargs: Any) -> RunResult:
-    """Run one spec in-process and return its result envelope.
+def build_system(spec: RunSpec, **system_kwargs: Any):
+    """Construct the spec's serving system (cluster + policies + axes).
 
-    ``workload`` short-circuits trace synthesis when the caller already
-    materialized the spec's workload (it must be the one
-    ``build_workload(spec)`` would produce, or the fingerprint lies).
+    The single assembly point shared by :func:`execute_spec` and the
+    gateway bridge, so a live run faces exactly the system a batch run
+    of the same spec would.  Axis kwargs are only forwarded when
+    non-default, so system factories written before an axis existed
+    keep working for every default-valued spec.
     """
-    if workload is None:
-        workload = build_workload(spec)
     if spec.policy_overrides:
         system_kwargs.setdefault("policy_overrides", dict(spec.policy_overrides))
-    # Like policy_overrides: only forwarded when non-default, so system
-    # factories written before the metrics axis existed keep working for
-    # every exact-mode spec.
     if spec.metrics != "exact":
         system_kwargs.setdefault("metrics", spec.metrics)
     if spec.engine != "reference":
         system_kwargs.setdefault("engine", spec.engine)
     if spec.kv_sharing != "off":
         system_kwargs.setdefault("kv_sharing", spec.kv_sharing)
-    system = system_factory(spec.system)(
+    return system_factory(spec.system)(
         build_cluster(spec.cluster, topology=spec.topology), **system_kwargs
     )
+
+
+def execute_spec(
+    spec: RunSpec, workload=None, ingest: str = "materialize", **system_kwargs: Any
+) -> RunResult:
+    """Run one spec in-process and return its result envelope.
+
+    ``workload`` short-circuits trace synthesis when the caller already
+    materialized the spec's workload (it must be the one
+    ``build_workload(spec)`` would produce, or the fingerprint lies).
+    ``ingest="stream"`` feeds the scenario lazily through its
+    :class:`~repro.workloads.stream.WorkloadStream` — same report,
+    O(in-flight) ingest memory.
+    """
+    if workload is None:
+        if ingest == "stream":
+            workload = build_workload_stream(spec)
+        elif ingest == "materialize":
+            workload = build_workload(spec)
+        else:
+            raise ValueError(
+                f"unknown ingest mode {ingest!r} (known: materialize, stream)"
+            )
+    system = build_system(spec, **system_kwargs)
     report = system.run(workload)
     return RunResult(
         spec=spec,

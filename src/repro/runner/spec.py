@@ -15,6 +15,7 @@ spec fingerprint.
 from __future__ import annotations
 
 import hashlib
+import inspect
 import json
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
@@ -25,6 +26,7 @@ from repro.registry import resolve_scenario
 from repro.runner.scale import get_scale
 from repro.workloads.azure_serverless import REQUESTS_PER_MODEL_30MIN
 from repro.workloads.spec import Workload
+from repro.workloads.stream import WorkloadStream
 
 PAYLOAD_VERSION = 1
 
@@ -227,6 +229,36 @@ def build_workload(spec: RunSpec) -> Workload:
         spec.seed,
         **spec.params_dict(),
     )
+
+
+def build_workload_stream(spec: RunSpec) -> "WorkloadStream":
+    """The spec's workload as a lazy :class:`WorkloadStream`.
+
+    Scenario factories that understand ``emit`` yield a genuinely lazy
+    stream; anything else is materialized and adapted, so every
+    registered (or future third-party) scenario streams uniformly.
+    ``emit`` never enters ``scenario_params``: the trace is identical
+    either way, so fingerprints must not fork on ingest mode.
+    """
+    factory = resolve_scenario(spec.scenario)
+    parameters = inspect.signature(factory).parameters
+    supports_emit = "emit" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+    if not supports_emit:
+        return build_workload(spec).stream()
+    trace = factory(
+        get_model(spec.model),
+        spec.n_models,
+        spec.resolved_duration(),
+        spec.resolved_requests_per_model(),
+        spec.seed,
+        emit="stream",
+        **spec.params_dict(),
+    )
+    if isinstance(trace, Workload):
+        return trace.stream()
+    return trace
 
 
 def expand_policy_grid(

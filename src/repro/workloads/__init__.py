@@ -24,8 +24,32 @@ from repro.workloads.popularity import (
     lmsys_request_rates,
 )
 from repro.workloads.spec import Deployment, RequestSpec, Workload
+from repro.workloads.stream import (
+    ArrayGroup,
+    GroupedStream,
+    IteratorStream,
+    MaterializedStream,
+    QueueStream,
+    SpecGroup,
+    StreamClosedError,
+    StreamOrderError,
+    WorkloadStream,
+    finish_trace,
+    rename_trace,
+)
 
 __all__ = [
+    "ArrayGroup",
+    "GroupedStream",
+    "IteratorStream",
+    "MaterializedStream",
+    "QueueStream",
+    "SpecGroup",
+    "StreamClosedError",
+    "StreamOrderError",
+    "WorkloadStream",
+    "finish_trace",
+    "rename_trace",
     "AZURE_CODE",
     "AZURE_CONV",
     "AzureServerlessConfig",

@@ -26,7 +26,8 @@ import numpy as np
 from repro.models.catalog import ModelSpec
 from repro.sim.rng import make_rng
 from repro.workloads.datasets import AZURE_CONV, LengthDistribution
-from repro.workloads.spec import Deployment, RequestSpec, Workload
+from repro.workloads.spec import Deployment, Workload
+from repro.workloads.stream import ArrayGroup, WorkloadStream, finish_trace
 
 # Requests per model per 30 minutes in the paper's sampled segments
 # (2366/32 ≈ 4684/64 ≈ 9266/128 ≈ 73 requests per model on average).
@@ -95,12 +96,14 @@ def synthesize_azure_trace(
     config: AzureServerlessConfig | None = None,
     length_distribution: LengthDistribution = AZURE_CONV,
     tp_degrees: dict[str, int] | None = None,
-) -> Workload:
+    emit: str = "materialize",
+) -> Workload | WorkloadStream:
     """Generate a multi-model serverless workload.
 
     ``models`` maps deployment names to their model specs (replicas of the
     same spec get distinct names, as in §IX-B where "32, 64, and 128 replica
-    models are generated from Llama-3.2-3B").
+    models are generated from Llama-3.2-3B").  ``emit="stream"`` returns a
+    lazy :class:`WorkloadStream` over the same request sequence.
     """
     config = config or AzureServerlessConfig(n_models=len(models))
     if len(models) != config.n_models:
@@ -122,7 +125,7 @@ def synthesize_azure_trace(
     weights = _zipf_weights(len(names), config.zipf_exponent, rate_rng)
     total_target = config.requests_per_model * len(names)
 
-    requests: list[RequestSpec] = []
+    groups: list[ArrayGroup] = []
     for name, weight in zip(names, weights):
         expected = total_target * weight
         count = int(arrival_rng.poisson(expected))
@@ -145,23 +148,15 @@ def synthesize_azure_trace(
         input_lens = length_distribution.sample_input_lens(length_rng, len(times))
         output_lens = length_distribution.sample_output_lens(length_rng, len(times))
         input_lens = clamp_input_lens(input_lens, output_lens, models[name].max_context)
-        requests.extend(
-            RequestSpec(name, time, input_len, output_len)
-            for time, input_len, output_len in zip(
-                times, input_lens.tolist(), output_lens.tolist()
-            )
-        )
+        groups.append(ArrayGroup(name, times, input_lens, output_lens))
 
     tp_degrees = tp_degrees or {}
     deployments = {
         name: Deployment(name=name, model=spec, tp_degree=tp_degrees.get(name, 1))
         for name, spec in models.items()
     }
-    return Workload(
-        name=f"azure-serverless-{len(names)}m",
-        deployments=deployments,
-        requests=requests,
-        duration=config.duration,
+    return finish_trace(
+        f"azure-serverless-{len(names)}m", deployments, groups, config.duration, emit
     )
 
 

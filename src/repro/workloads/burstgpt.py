@@ -20,6 +20,7 @@ from repro.models.catalog import ModelSpec
 from repro.sim.rng import make_rng
 from repro.workloads.datasets import AZURE_CONV, LengthDistribution
 from repro.workloads.spec import Deployment, RequestSpec, Workload
+from repro.workloads.stream import SpecGroup, WorkloadStream, finish_trace
 
 
 @dataclass(frozen=True)
@@ -42,7 +43,8 @@ def synthesize_burstgpt_trace(
     models: dict[str, ModelSpec],
     config: BurstGPTConfig | None = None,
     length_distribution: LengthDistribution = AZURE_CONV,
-) -> Workload:
+    emit: str = "materialize",
+) -> Workload | WorkloadStream:
     """Generate a BurstGPT-style workload over ``models``."""
     config = config or BurstGPTConfig(n_models=len(models))
     if len(models) != config.n_models:
@@ -73,9 +75,10 @@ def synthesize_burstgpt_trace(
         requests.append(RequestSpec(name, float(time), input_len, output_len))
 
     deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
-    return Workload(
-        name=f"burstgpt-{config.aggregate_rps:g}rps",
-        deployments=deployments,
-        requests=requests,
-        duration=config.duration,
+    return finish_trace(
+        f"burstgpt-{config.aggregate_rps:g}rps",
+        deployments,
+        [SpecGroup(requests)],
+        config.duration,
+        emit,
     )

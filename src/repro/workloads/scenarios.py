@@ -53,6 +53,11 @@ Scenarios:
 * ``prefix-mix`` — a tunable fraction of requests carry a common
   per-deployment prefix; the hit-rate sensitivity axis (the ad-hoc
   ``prefix-mix{P}`` spelling pins the fraction to ``P`` percent).
+
+Every factory accepts ``emit="materialize"`` (the default, returning a
+:class:`~repro.workloads.spec.Workload`) or ``emit="stream"`` (returning
+a lazy :class:`~repro.workloads.stream.WorkloadStream` over the same
+request sequence — identical RNG draws, spec construction deferred).
 """
 
 from __future__ import annotations
@@ -73,6 +78,15 @@ from repro.workloads.azure_serverless import (
 from repro.workloads.burstgpt import BurstGPTConfig, synthesize_burstgpt_trace
 from repro.workloads.datasets import DATASETS, LengthDistribution
 from repro.workloads.spec import Deployment, RequestSpec, Workload
+from repro.workloads.stream import (
+    ArrayGroup,
+    SpecGroup,
+    WorkloadStream,
+    finish_trace,
+    rename_trace,
+)
+
+Trace = Workload | WorkloadStream
 
 
 def _length_distribution(dataset: str) -> LengthDistribution:
@@ -89,22 +103,18 @@ def _emit(
     length_rng: np.random.Generator,
     lengths: LengthDistribution,
     model: ModelSpec,
-    out: list[RequestSpec],
-) -> None:
-    """Append one request per arrival time, with context-clamped lengths.
+) -> ArrayGroup:
+    """One emission group: a request per arrival, context-clamped lengths.
 
     Lengths are drawn and clamped as whole arrays (inputs first, then
-    outputs — the same stream order as per-request sampling).
+    outputs — the same stream order as per-request sampling).  The
+    group holds the drawn arrays; spec construction is deferred to
+    materialization or lazy iteration (identical values either way).
     """
     input_lens = lengths.sample_input_lens(length_rng, len(times))
     output_lens = lengths.sample_output_lens(length_rng, len(times))
     input_lens = clamp_input_lens(input_lens, output_lens, model.max_context)
-    out.extend(
-        RequestSpec(name, time, input_len, output_len)
-        for time, input_len, output_len in zip(
-            times, input_lens.tolist(), output_lens.tolist()
-        )
-    )
+    return ArrayGroup(name, times, input_lens, output_lens)
 
 
 # ----------------------------------------------------------------------
@@ -119,7 +129,8 @@ def azure(
     seed: int,
     *,
     dataset: str = "azure-conversation",
-) -> Workload:
+    emit: str = "materialize",
+) -> Trace:
     """§IX-B: replica deployments on the synthetic Azure Serverless trace."""
     config = AzureServerlessConfig(
         n_models=n_models,
@@ -128,7 +139,7 @@ def azure(
         seed=seed,
     )
     return synthesize_azure_trace(
-        replica_models(model, n_models), config, _length_distribution(dataset)
+        replica_models(model, n_models), config, _length_distribution(dataset), emit=emit
     )
 
 
@@ -142,7 +153,8 @@ def burstgpt(
     *,
     aggregate_rps: float | None = None,
     dataset: str = "azure-conversation",
-) -> Workload:
+    emit: str = "materialize",
+) -> Trace:
     """§IX-I2: gamma-burst arrivals with Pareto model popularity.
 
     ``aggregate_rps`` overrides the rate implied by ``requests_per_model``.
@@ -153,7 +165,7 @@ def burstgpt(
         aggregate_rps=aggregate_rps, duration=duration, n_models=n_models, seed=seed
     )
     return synthesize_burstgpt_trace(
-        replica_models(model, n_models), config, _length_distribution(dataset)
+        replica_models(model, n_models), config, _length_distribution(dataset), emit=emit
     )
 
 
@@ -172,7 +184,8 @@ def diurnal(
     cycles: float = 1.0,
     zipf_exponent: float = 1.2,
     dataset: str = "azure-conversation",
-) -> Workload:
+    emit: str = "materialize",
+) -> Trace:
     """A day/night cycle compressed into the trace window.
 
     The arrival density is a raised sinusoid starting at the trough:
@@ -200,22 +213,17 @@ def diurnal(
     cdf = np.cumsum(density)
     cdf = (cdf - cdf[0]) / (cdf[-1] - cdf[0])
 
-    requests: list[RequestSpec] = []
+    groups: list[ArrayGroup] = []
     for name, weight in zip(names, weights):
         count = int(arrival_rng.poisson(total_target * weight))
         if count == 0:
             continue
         uniforms = arrival_rng.uniform(0.0, 1.0, size=count)
         times = np.interp(uniforms, cdf, grid).tolist()
-        _emit(name, times, length_rng, _length_distribution(dataset), model, requests)
+        groups.append(_emit(name, times, length_rng, _length_distribution(dataset), model))
 
     deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
-    return Workload(
-        name=f"diurnal-{n_models}m",
-        deployments=deployments,
-        requests=requests,
-        duration=duration,
-    )
+    return finish_trace(f"diurnal-{n_models}m", deployments, groups, duration, emit)
 
 
 # ----------------------------------------------------------------------
@@ -233,7 +241,8 @@ def diurnal_week(
     weekend_factor: float = 0.6,
     zipf_exponent: float = 1.2,
     dataset: str = "azure-conversation",
-) -> Workload:
+    emit: str = "materialize",
+) -> Trace:
     """Seven day/night cycles with weekday/weekend modulation.
 
     The trace window represents one week: the arrival density is the
@@ -268,22 +277,17 @@ def diurnal_week(
     cdf = np.cumsum(density)
     cdf = (cdf - cdf[0]) / (cdf[-1] - cdf[0])
 
-    requests: list[RequestSpec] = []
+    groups: list[ArrayGroup] = []
     for name, weight in zip(names, weights):
         count = int(arrival_rng.poisson(total_target * weight))
         if count == 0:
             continue
         uniforms = arrival_rng.uniform(0.0, 1.0, size=count)
         times = np.interp(uniforms, cdf, grid).tolist()
-        _emit(name, times, length_rng, _length_distribution(dataset), model, requests)
+        groups.append(_emit(name, times, length_rng, _length_distribution(dataset), model))
 
     deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
-    return Workload(
-        name=f"diurnal-week-{n_models}m",
-        deployments=deployments,
-        requests=requests,
-        duration=duration,
-    )
+    return finish_trace(f"diurnal-week-{n_models}m", deployments, groups, duration, emit)
 
 
 # ----------------------------------------------------------------------
@@ -304,7 +308,8 @@ def million_burst(
     hot_share: float = 0.25,
     zipf_exponent: float = 1.2,
     dataset: str = "azure-conversation",
-) -> Workload:
+    emit: str = "materialize",
+) -> Trace:
     """Sustained storm traffic: heavy background plus a flash-crowd train.
 
     The total budget is ``load_factor`` times the stationary scenarios'
@@ -363,19 +368,14 @@ def million_burst(
                     arrival_rng.uniform(start, end, size=count).tolist()
                 )
 
-    requests: list[RequestSpec] = []
+    groups: list[ArrayGroup] = []
     for index, name in enumerate(names):
         times = times_by_model[index]
         if times:
-            _emit(name, times, length_rng, lengths, model, requests)
+            groups.append(_emit(name, times, length_rng, lengths, model))
 
     deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
-    return Workload(
-        name=f"million-burst-{n_models}m",
-        deployments=deployments,
-        requests=requests,
-        duration=duration,
-    )
+    return finish_trace(f"million-burst-{n_models}m", deployments, groups, duration, emit)
 
 
 # ----------------------------------------------------------------------
@@ -395,7 +395,8 @@ def bursty_spike(
     spike_share: float = 0.125,
     zipf_exponent: float = 1.2,
     dataset: str = "azure-conversation",
-) -> Workload:
+    emit: str = "materialize",
+) -> Trace:
     """Background traffic plus a coordinated flash crowd.
 
     Every deployment receives stationary Poisson background load; inside
@@ -422,7 +423,7 @@ def bursty_spike(
     window_start = spike_start * duration
     window_end = min(duration, (spike_start + spike_width) * duration)
 
-    requests: list[RequestSpec] = []
+    groups: list[ArrayGroup] = []
     for index, (name, weight) in enumerate(zip(names, weights)):
         base_count = int(arrival_rng.poisson(total_target * weight))
         times = arrival_rng.uniform(0.0, duration, size=base_count).tolist()
@@ -430,15 +431,10 @@ def bursty_spike(
             surge = int(arrival_rng.poisson(spike_factor * total_target * weight))
             times += arrival_rng.uniform(window_start, window_end, size=surge).tolist()
         if times:
-            _emit(name, times, length_rng, lengths, model, requests)
+            groups.append(_emit(name, times, length_rng, lengths, model))
 
     deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
-    return Workload(
-        name=f"bursty-spike-{n_models}m",
-        deployments=deployments,
-        requests=requests,
-        duration=duration,
-    )
+    return finish_trace(f"bursty-spike-{n_models}m", deployments, groups, duration, emit)
 
 
 # ----------------------------------------------------------------------
@@ -457,7 +453,8 @@ def mixed_fleet(
     *,
     ratio: tuple[int, int, int, int] = (4, 1, 1, 1),
     dataset: str = "azure-conversation",
-) -> Workload:
+    emit: str = "materialize",
+) -> Trace:
     """§IX-E: a 3B/7B/13B/34B fleet, the 34B tensor-parallel over 2 GPUs.
 
     ``ratio`` gives the population weights for the four sizes.  The
@@ -477,15 +474,10 @@ def mixed_fleet(
         seed=seed,
     )
     tp_degrees = {name: 2 for name, spec in models.items() if spec is CODELLAMA_34B}
-    workload = synthesize_azure_trace(
-        models, config, _length_distribution(dataset), tp_degrees=tp_degrees
+    source = synthesize_azure_trace(
+        models, config, _length_distribution(dataset), tp_degrees=tp_degrees, emit=emit
     )
-    return Workload(
-        name=f"mixed-fleet-{n_models}m",
-        deployments=workload.deployments,
-        requests=workload.requests,
-        duration=workload.duration,
-    )
+    return rename_trace(source, f"mixed-fleet-{n_models}m")
 
 
 # ----------------------------------------------------------------------
@@ -501,7 +493,8 @@ def het_fleet(
     *,
     ratio: tuple[int, int, int] = (3, 2, 1),
     dataset: str = "azure-conversation",
-) -> Workload:
+    emit: str = "materialize",
+) -> Trace:
     """A 3B/7B/13B population for mixed-generation GPU fleets.
 
     Pair with the ``het-gpu`` cluster (2 CPU + 2 A100 + 2 V100-32GB):
@@ -522,13 +515,8 @@ def het_fleet(
         requests_per_model=requests_per_model,
         seed=seed,
     )
-    workload = synthesize_azure_trace(models, config, _length_distribution(dataset))
-    return Workload(
-        name=f"het-fleet-{n_models}m",
-        deployments=workload.deployments,
-        requests=workload.requests,
-        duration=workload.duration,
-    )
+    source = synthesize_azure_trace(models, config, _length_distribution(dataset), emit=emit)
+    return rename_trace(source, f"het-fleet-{n_models}m")
 
 
 @SCENARIOS.register("cold-churn")
@@ -543,7 +531,8 @@ def cold_churn(
     wave_width: float = 0.5,
     background_share: float = 0.1,
     dataset: str = "azure-conversation",
-) -> Workload:
+    emit: str = "materialize",
+) -> Trace:
     """Rotating activity waves that keep the fleet cold-starting.
 
     The trace window splits into ``waves`` slots; deployment ``d`` is
@@ -567,7 +556,7 @@ def cold_churn(
     lengths = _length_distribution(dataset)
     slot = duration / waves
 
-    requests: list[RequestSpec] = []
+    groups: list[ArrayGroup] = []
     for index, name in enumerate(names):
         times: list[float] = []
         background = int(arrival_rng.poisson(background_share * requests_per_model))
@@ -579,15 +568,10 @@ def cold_churn(
             end = min(duration, start + wave_width * slot)
             times.extend(arrival_rng.uniform(start, end, size=burst).tolist())
         if times:
-            _emit(name, times, length_rng, lengths, model, requests)
+            groups.append(_emit(name, times, length_rng, lengths, model))
 
     deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
-    return Workload(
-        name=f"cold-churn-{n_models}m",
-        deployments=deployments,
-        requests=requests,
-        duration=duration,
-    )
+    return finish_trace(f"cold-churn-{n_models}m", deployments, groups, duration, emit)
 
 
 @SCENARIOS.register("decode-marathon")
@@ -601,7 +585,8 @@ def decode_marathon(
     input_len: int = 64,
     output_len: int = 3500,
     stagger: float = 15.0,
-) -> Workload:
+    emit: str = "materialize",
+) -> Trace:
     """Sustained long-decode streams: the chained-decode regime.
 
     Short prompts, near-maximum-length outputs, and a gentle staggered
@@ -629,11 +614,8 @@ def decode_marathon(
             requests.append(RequestSpec(name, time, input_len, out_len))
 
     deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
-    return Workload(
-        name=f"decode-marathon-{n_models}m",
-        deployments=deployments,
-        requests=requests,
-        duration=duration,
+    return finish_trace(
+        f"decode-marathon-{n_models}m", deployments, [SpecGroup(requests)], duration, emit
     )
 
 
@@ -654,7 +636,8 @@ def shared_sysprompt(
     train_len: int = 10,
     headway: float = 5.0,
     zipf_exponent: float = 1.2,
-) -> Workload:
+    emit: str = "materialize",
+) -> Trace:
     """Prompts dominated by one long per-deployment system prompt.
 
     Every request to deployment ``d`` opens with ``d``'s ``sys_tokens``
@@ -682,7 +665,7 @@ def shared_sysprompt(
     weights = _zipf_weights(n_models, zipf_exponent, rate_rng)
     total_target = requests_per_model * n_models
 
-    requests: list[RequestSpec] = []
+    groups: list[ArrayGroup] = []
     for name, weight in zip(models, weights):
         count = int(arrival_rng.poisson(total_target * weight))
         if count == 0:
@@ -701,26 +684,19 @@ def shared_sysprompt(
         outs = length_rng.integers(
             max(1, output_tokens // 2), output_tokens * 3 // 2 + 1, size=count
         )
-        prefix_id = f"{name}-sys:{sys_tokens}"
-        requests.extend(
-            RequestSpec(
+        groups.append(
+            ArrayGroup(
                 name,
-                time,
-                sys_tokens + user,
-                out,
-                prefix_id=prefix_id,
+                times,
+                sys_tokens + users,
+                outs,
+                prefix_id=f"{name}-sys:{sys_tokens}",
                 prefix_len=sys_tokens,
             )
-            for time, user, out in zip(times, users.tolist(), outs.tolist())
         )
 
     deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
-    return Workload(
-        name=f"shared-sysprompt-{n_models}m",
-        deployments=deployments,
-        requests=requests,
-        duration=duration,
-    )
+    return finish_trace(f"shared-sysprompt-{n_models}m", deployments, groups, duration, emit)
 
 
 @SCENARIOS.register("agentic-loop")
@@ -736,7 +712,8 @@ def agentic_loop(
     turn_tokens: int = 128,
     output_tokens: int = 64,
     think_seconds: float = 3.0,
-) -> Workload:
+    emit: str = "materialize",
+) -> Trace:
     """Multi-turn agent sessions re-submitting a growing context.
 
     Each session issues up to ``turns`` requests: turn ``j``'s prompt is
@@ -783,11 +760,8 @@ def agentic_loop(
                 )
 
     deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
-    return Workload(
-        name=f"agentic-loop-{n_models}m",
-        deployments=deployments,
-        requests=requests,
-        duration=duration,
+    return finish_trace(
+        f"agentic-loop-{n_models}m", deployments, [SpecGroup(requests)], duration, emit
     )
 
 
@@ -803,7 +777,8 @@ def prefix_mix(
     prefix_tokens: int = 512,
     zipf_exponent: float = 1.2,
     dataset: str = "azure-conversation",
-) -> Workload:
+    emit: str = "materialize",
+) -> Trace:
     """A tunable mix of prefix-carrying and unique-prompt requests.
 
     A ``share`` fraction of each deployment's requests (Bernoulli per
@@ -826,7 +801,7 @@ def prefix_mix(
     total_target = requests_per_model * n_models
     lengths = _length_distribution(dataset)
 
-    requests: list[RequestSpec] = []
+    groups: list[SpecGroup] = []
     for name, weight in zip(models, weights):
         count = int(arrival_rng.poisson(total_target * weight))
         if count == 0:
@@ -841,11 +816,12 @@ def prefix_mix(
         )
         shared_flags = length_rng.uniform(0.0, 1.0, size=count) < share
         prefix_id = f"{name}-common:{prefix_tokens}"
+        specs: list[RequestSpec] = []
         for time, input_len, output_len, shared in zip(
             times.tolist(), input_lens.tolist(), output_lens.tolist(), shared_flags.tolist()
         ):
             if shared:
-                requests.append(
+                specs.append(
                     RequestSpec(
                         name,
                         time,
@@ -856,15 +832,11 @@ def prefix_mix(
                     )
                 )
             else:
-                requests.append(RequestSpec(name, time, input_len, output_len))
+                specs.append(RequestSpec(name, time, input_len, output_len))
+        groups.append(SpecGroup(specs))
 
     deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
-    return Workload(
-        name=f"prefix-mix-{n_models}m",
-        deployments=deployments,
-        requests=requests,
-        duration=duration,
-    )
+    return finish_trace(f"prefix-mix-{n_models}m", deployments, groups, duration, emit)
 
 
 @SCENARIOS.register("cpu-harvest")
@@ -876,7 +848,8 @@ def cpu_harvest(
     seed: int,
     *,
     dataset: str = "azure-conversation",
-) -> Workload:
+    emit: str = "materialize",
+) -> Trace:
     """Fig. 29: small-model traffic a harvested-core CPU can still serve.
 
     Replica deployments of the 3B model on the azure arrival process —
@@ -891,12 +864,7 @@ def cpu_harvest(
         requests_per_model=requests_per_model,
         seed=seed,
     )
-    workload = synthesize_azure_trace(
-        replica_models(LLAMA32_3B, n_models), config, _length_distribution(dataset)
+    source = synthesize_azure_trace(
+        replica_models(LLAMA32_3B, n_models), config, _length_distribution(dataset), emit=emit
     )
-    return Workload(
-        name=f"cpu-harvest-{n_models}m",
-        deployments=workload.deployments,
-        requests=workload.requests,
-        duration=workload.duration,
-    )
+    return rename_trace(source, f"cpu-harvest-{n_models}m")

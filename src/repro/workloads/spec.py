@@ -4,8 +4,12 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.models.catalog import ModelSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.stream import MaterializedStream, WorkloadStream
 
 
 @dataclass(frozen=True)
@@ -58,6 +62,33 @@ class Workload:
         unknown = {r.deployment for r in self.requests} - set(self.deployments)
         if unknown:
             raise ValueError(f"requests reference unknown deployments: {sorted(unknown)}")
+
+    # ------------------------------------------------------------------
+    # Stream adapters (the materialized end of the WorkloadStream seam)
+    # ------------------------------------------------------------------
+    def stream(self) -> "MaterializedStream":
+        """This workload viewed as a (re-iterable) WorkloadStream."""
+        from repro.workloads.stream import MaterializedStream
+
+        return MaterializedStream(self)
+
+    @classmethod
+    def from_stream(cls, stream: "WorkloadStream") -> "Workload":
+        """Drain a stream into a materialized workload.
+
+        Unknown-horizon streams (live ingest) get the last arrival as
+        their duration.
+        """
+        requests = list(stream)
+        duration = stream.duration
+        if duration is None:
+            duration = max((spec.arrival for spec in requests), default=0.0)
+        return cls(
+            name=stream.name,
+            deployments=dict(stream.deployments),
+            requests=requests,
+            duration=duration,
+        )
 
     # ------------------------------------------------------------------
     # Characterization (Fig. 21-style statistics)

@@ -1,0 +1,192 @@
+"""The serving gateway: bridge semantics and HTTP end-to-end behaviour.
+
+The headline contract (ISSUE acceptance): shadow-replaying a recorded
+trace through the gateway produces a final RunReport canonically equal
+to the batch ``execute_spec`` run of the same spec — the live path and
+the batch path are the same simulator, one request of lookahead apart.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.gateway import GatewayClient, GatewayError, GatewayServer, SimBridge
+from repro.runner import RunSpec, build_workload, execute_spec
+from repro.workloads import StreamOrderError
+
+
+def _spec(**overrides) -> RunSpec:
+    defaults = dict(
+        system="slinfer",
+        scenario="azure",
+        n_models=2,
+        cluster="cpu2-gpu2",
+        seed=1,
+        scale="smoke",
+        duration=120.0,
+    )
+    defaults.update(overrides)
+    return RunSpec(**defaults)
+
+
+def _canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# SimBridge (no HTTP)
+# ----------------------------------------------------------------------
+def test_shadow_replay_matches_batch_run():
+    spec = _spec()
+    trace = build_workload(spec)
+    bridge = SimBridge.from_spec(spec)
+    bridge.start()
+    verdicts = [bridge.submit_spec(request) for request in trace.requests]
+    report = bridge.finalize()
+
+    assert len(verdicts) == trace.total_requests
+    assert [v.index for v in verdicts] == list(range(len(verdicts)))
+    assert all(v.verdict in ("admitted", "queued", "dropped") for v in verdicts)
+    admitted = [v for v in verdicts if v.verdict == "admitted"]
+    assert admitted, "expected at least one admitted request at this load"
+    assert all(v.predicted_ttft is not None and v.predicted_ttft >= 0 for v in admitted)
+    assert all(v.ttft_slo > 0 for v in verdicts)
+
+    batch = execute_spec(spec).report
+    assert _canonical(report.to_dict(include_volatile=False)) == _canonical(
+        batch.to_dict(include_volatile=False)
+    )
+
+
+def test_bridge_rejects_out_of_order_shadow_arrivals():
+    spec = _spec()
+    bridge = SimBridge.from_spec(spec)
+    bridge.start()
+    deployment = next(iter(bridge.stream.deployments))
+    bridge.submit(deployment, 128, 16, arrival=10.0)
+    with pytest.raises(StreamOrderError):
+        bridge.submit(deployment, 128, 16, arrival=5.0)
+    bridge.finalize()
+
+
+def test_paced_mode_stamps_wall_clock_arrivals():
+    from repro.runner import build_system
+
+    spec = _spec()
+    source = build_workload(spec)
+    # duration=None: an open-ended interactive session that drains on
+    # finalize rather than at a scenario horizon.
+    bridge = SimBridge(
+        build_system(spec),
+        dict(source.deployments),
+        duration=None,
+        mode="paced",
+        pace_ratio=50.0,
+    )
+    bridge.start()
+    deployment = next(iter(source.deployments))
+    first = bridge.submit(deployment, 128, 16)
+    second = bridge.submit(deployment, 128, 16)
+    assert 0.0 <= first.arrival <= second.arrival
+    report = bridge.finalize()
+    assert report.total_requests == 2
+
+
+def test_probe_is_advisory_and_validates_deployment():
+    spec = _spec()
+    bridge = SimBridge.from_spec(spec)
+    bridge.start()
+    deployment = next(iter(bridge.stream.deployments))
+    probe = bridge.probe(deployment)
+    assert probe["decision"] in ("admit", "cold-start")
+    assert probe["queue_depth"] == 0
+    with pytest.raises(GatewayError, match="unknown deployment"):
+        bridge.probe("no-such-deployment")
+    # Probing submitted nothing.
+    assert bridge.outcome_counts["submitted"] == 0
+    bridge.finalize()
+
+
+def test_bridge_misuse_errors():
+    spec = _spec()
+    bridge = SimBridge.from_spec(spec)
+    with pytest.raises(GatewayError, match="not started"):
+        bridge.finalize()
+    deployment = next(iter(bridge.stream.deployments))
+    with pytest.raises(GatewayError, match="not started"):
+        bridge.submit(deployment, 128, 16)
+    bridge.start()
+    with pytest.raises(GatewayError, match="already started"):
+        bridge.start()
+    bridge.finalize()
+    with pytest.raises(ValueError, match="unknown gateway mode"):
+        SimBridge.from_spec(spec, mode="turbo")
+
+
+# ----------------------------------------------------------------------
+# HTTP end to end
+# ----------------------------------------------------------------------
+@pytest.fixture
+def served():
+    spec = _spec()
+    server = GatewayServer(SimBridge.from_spec(spec), port=0)
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    assert server.ready.wait(timeout=60), "server never bound its socket"
+    client = GatewayClient(port=server.port)
+    yield spec, client
+    try:
+        client.shutdown()
+    except Exception:
+        pass  # the test may already have shut it down
+    client.close()
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+def test_http_replay_end_to_end(served):
+    spec, client = served
+    health = client.health()
+    assert health["status"] == "ok" and health["mode"] == "shadow"
+
+    trace = build_workload(spec)
+    verdicts = client.replay(trace.requests)
+    assert [v["index"] for v in verdicts] == list(range(trace.total_requests))
+
+    deployment = next(iter(trace.deployments))
+    probe = client.admit(deployment)
+    assert probe["decision"] in ("admit", "cold-start")
+
+    final = client.report()
+    assert final["outcomes"]["submitted"] == trace.total_requests
+    batch = execute_spec(spec).report.to_dict(include_volatile=False)
+    assert _canonical(final["report"]) == _canonical(batch)
+
+    # /report is idempotent; ingest after it is a conflict.
+    assert client.report() == final
+    status, payload = client.request(
+        "POST", "/v1/completions", {"model": deployment, "prompt_tokens": 64}
+    )
+    assert status == 409 and "error" in payload
+
+
+def test_http_error_shapes(served):
+    _spec_unused, client = served
+    status, payload = client.request("GET", "/no/such/route")
+    assert status == 404 and "error" in payload
+    status, payload = client.request("POST", "/v1/completions", {"prompt_tokens": 64})
+    assert status == 400 and "model" in payload["error"]
+    status, payload = client.request(
+        "POST", "/v1/completions", {"model": "nope", "prompt_tokens": -3}
+    )
+    assert status == 400
+    # A literal prompt is tokenized heuristically instead of rejected.
+    status, payload = client.request(
+        "POST",
+        "/v1/completions",
+        {"model": next(iter(build_workload(_spec_unused).deployments)), "prompt": "x" * 64},
+    )
+    assert status == 200 and payload["verdict"] in ("admitted", "queued", "dropped")

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.registries import compile_brace_template
 from repro.registry import (
     CLUSTERS,
     SCENARIOS,
@@ -9,7 +10,9 @@ from repro.registry import (
     SYSTEMS,
     Registry,
     RegistryError,
+    UnknownScenarioError,
     build_cluster,
+    resolve_scenario,
     system_factory,
     systems_named,
 )
@@ -84,3 +87,57 @@ def test_build_cluster_registered_and_pattern():
 def test_build_cluster_unknown_name():
     with pytest.raises(RegistryError, match="unknown cluster"):
         build_cluster("warehouse-scale")
+
+
+# ----------------------------------------------------------------------
+# Pattern resolution (the shared brace-template machinery)
+# ----------------------------------------------------------------------
+def test_compile_brace_template_matches_and_escapes():
+    regex = compile_brace_template("cpu{N}-gpu{M}")
+    match = regex.fullmatch("cpu4-gpu12")
+    assert match and match.groupdict() == {"N": "4", "M": "12"}
+    assert regex.fullmatch("cpu4-gpu12-extra") is None
+    # Literal segments are escaped, not treated as regex.
+    dotty = compile_brace_template("v1.{X}")
+    assert dotty.fullmatch("v1x2") is None and dotty.fullmatch("v1.2")
+
+
+def test_compile_brace_template_requires_a_placeholder():
+    with pytest.raises(ValueError, match="placeholder"):
+        compile_brace_template("static-name")
+
+
+def test_register_pattern_resolves_with_int_params():
+    reg = Registry("widget")
+    reg.register("fixed", "FIXED")
+
+    @reg.register_pattern("size{N}", summary="ad-hoc sizes")
+    def _build(name, N):
+        return f"{name}:{N * 2}"
+
+    assert reg.resolve("fixed") == "FIXED"  # exact names win
+    assert reg.resolve("size21") == "size21:42"
+    assert reg.pattern_templates() == [("size{N}", "ad-hoc sizes")]
+
+
+def test_resolve_unknown_raises_typed_error_listing_forms():
+    reg = Registry("widget", unknown_error=UnknownScenarioError)
+    reg.register("only", 1)
+    reg.register_pattern("size{N}")(lambda name, N: N)
+    with pytest.raises(UnknownScenarioError, match=r"only.*'size\{N\}'"):
+        reg.resolve("missing")
+
+
+def test_scenario_patterns_resolve_through_the_registry():
+    factory = resolve_scenario("prefix-mix75")
+    assert callable(factory)
+    assert SCENARIOS.resolve("azure") is SCENARIOS.get("azure")
+    with pytest.raises(UnknownScenarioError, match="unknown scenario"):
+        resolve_scenario("prefix-blend50")
+
+
+def test_cluster_patterns_enforce_bounds():
+    harvest = build_cluster("harvest16")
+    assert len(harvest.cpu_nodes) == 4 and len(harvest.gpu_nodes) == 4
+    with pytest.raises(RegistryError, match="harvested cores"):
+        build_cluster("harvest999")

@@ -1,0 +1,38 @@
+"""The ``repro.baselines`` shims are formally deprecated.
+
+Each legacy class must (a) warn with DeprecationWarning pointing at its
+policy-bundle replacement and (b) still build a working system whose
+bundle matches that replacement — the migration table in the README is
+only honest while both halves hold.
+"""
+
+import pytest
+
+from repro.baselines import NeoSystem, PdSlinfer, PdSllmSystem, SllmSystem
+from repro.core.slinfer import Slinfer
+from repro.registry import build_cluster
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster("cpu1-gpu1")
+
+
+@pytest.mark.parametrize(
+    ("shim", "kwargs", "bundle"),
+    [
+        (SllmSystem, {}, "sllm"),
+        (SllmSystem, {"use_cpu": True}, "sllm+c"),
+        (SllmSystem, {"use_cpu": True, "static_share": True}, "sllm+c+s"),
+        (Slinfer, {}, "slinfer"),
+        (NeoSystem, {}, "neo+"),
+        # The registry names are pd-sllm / pd-slinfer; the bundles they
+        # build carry their composition names.
+        (PdSllmSystem, {}, "sllm+c+s+pd"),
+        (PdSlinfer, {}, "slinfer+pd"),
+    ],
+)
+def test_shims_warn_and_compose_their_bundle(cluster, shim, kwargs, bundle):
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        system = shim(cluster, **kwargs)
+    assert system.name == bundle

@@ -181,6 +181,54 @@ def test_sweep_rejects_unknown_topology(capsys):
     assert "unknown topology" in capsys.readouterr().err
 
 
+def test_list_json_output(capsys):
+    assert main(["list", "scenarios", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "azure" in payload["names"]
+    assert any(p["form"] == "prefix-mix{P}" for p in payload["patterns"])
+
+
+def test_list_json_all_covers_every_kind(capsys):
+    assert main(["list", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {
+        "systems", "scenarios", "kv-sharing", "engines",
+        "clusters", "models", "hardware", "policies",
+    }
+    assert "slinfer" in payload["systems"]
+    assert payload["policies"]["bundles"]["slinfer"]["placement"] == "slinfer"
+
+
+def test_list_singular_aliases(capsys):
+    assert main(["list", "system"]) == 0
+    singular = capsys.readouterr().out
+    assert main(["list", "systems"]) == 0
+    assert singular == capsys.readouterr().out
+
+
+def test_list_unknown_kind_is_a_typed_usage_error(capsys):
+    assert main(["list", "gadgets"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown list kind 'gadgets'" in err
+    assert "scenarios" in err  # the error names the valid kinds
+
+
+def test_serve_parser_defaults():
+    args = build_parser().parse_args(["serve"])
+    assert args.system == "slinfer" and args.scenario == "azure"
+    assert args.mode == "shadow" and args.port == 0 and args.pace_ratio == 1.0
+
+
+def test_serve_rejects_multiple_policies_per_kind(capsys):
+    assert main(["serve", "--policy", "reclaim=keepalive,never"]) == 2
+    assert "one policy per kind" in capsys.readouterr().err
+
+
+def test_serve_rejects_unknown_system(capsys):
+    assert main(["serve", "--system", "no-such"]) == 2
+    assert "unknown system" in capsys.readouterr().err
+
+
 def test_parser_rejects_unknown_experiment():
     parser = build_parser()
     with pytest.raises(SystemExit):

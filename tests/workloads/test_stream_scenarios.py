@@ -1,0 +1,45 @@
+"""Every registered scenario must stream exactly what it materializes.
+
+The lazy emission path reorders *construction* (chunked array slices
+merged through a heap) but must never reorder *content*: for any spec,
+``build_workload_stream`` yields the same RequestSpec sequence — and the
+same deployments and horizon — as the materialized ``build_workload``.
+This is the pin that lets the simulator's streamed ingest claim
+byte-identical reports without re-running every golden fixture twice.
+"""
+
+import pytest
+
+from repro.registry import SCENARIOS
+from repro.runner import RunSpec, build_workload, build_workload_stream
+
+
+def _spec(scenario: str) -> RunSpec:
+    return RunSpec(
+        system="slinfer",
+        scenario=scenario,
+        n_models=4,
+        cluster="cpu2-gpu2",
+        seed=1,
+        scale="smoke",
+    )
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS.names())
+def test_stream_equals_materialized(scenario):
+    spec = _spec(scenario)
+    workload = build_workload(spec)
+    stream = build_workload_stream(spec)
+    assert stream.name == workload.name
+    assert stream.duration == workload.duration
+    assert set(stream.deployments) == set(workload.deployments)
+    for name, deployment in workload.deployments.items():
+        streamed = stream.deployments[name]
+        assert streamed.model is deployment.model
+        assert streamed.tp_degree == deployment.tp_degree
+    assert list(stream) == workload.requests
+
+
+def test_pattern_scenarios_stream_too():
+    spec = _spec("prefix-mix75")
+    assert list(build_workload_stream(spec)) == build_workload(spec).requests
