@@ -1,0 +1,39 @@
+"""Static analysis and runtime invariant auditing.
+
+Two halves of the same contract:
+
+* :mod:`repro.analysis.engine` + :mod:`repro.analysis.rules` — an
+  AST-based lint engine (``repro lint``) whose rules encode the
+  determinism hazards the dynamic test suite can only catch after the
+  fact: wall-clock reads, ambient RNG, unordered iteration feeding
+  event scheduling, unfingerprinted :class:`~repro.runner.spec.RunSpec`
+  axes, impure event handlers, simulator-seam violations, and naive
+  float accumulation.
+* :mod:`repro.analysis.audit` — the ``REPRO_AUDIT=1`` runtime seam
+  that re-checks conservation invariants (KV block accounting, request
+  arrivals = completed + dropped + in-flight) at the end of every run.
+"""
+
+from repro.analysis.audit import AuditError, audit_enabled, audit_system
+from repro.analysis.engine import (
+    FileContext,
+    LintReport,
+    Rule,
+    all_rule_ids,
+    get_rule,
+    run_lint,
+)
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "AuditError",
+    "audit_enabled",
+    "audit_system",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "all_rule_ids",
+    "get_rule",
+    "run_lint",
+]

@@ -1,0 +1,135 @@
+"""Runtime conservation audits behind the ``REPRO_AUDIT=1`` env seam.
+
+When enabled, :meth:`repro.core.system.ServingSystem.run` calls
+:func:`audit_system` once the event loop drains — so every
+``execute_spec`` (and gateway replay) re-proves, at zero cost to
+un-audited runs:
+
+* **KV block conservation** — ``KvShareStore.check_invariants`` on
+  every sharing-enabled instance (free + allocated + private ==
+  capacity, refcount bookkeeping).
+* **Request conservation** — arrivals == completed + dropped +
+  in-flight, with in-flight cross-checked against where requests
+  actually live (instance batches, prefill queues, the admission
+  queue, or mid-migration): a request the system lost track of fails
+  the audit even though every counter looks plausible.
+
+The seam follows the ``REPRO_ENGINE``/``REPRO_WORKERS`` convention:
+read per run, so tests can monkeypatch the environment.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Iterable
+
+from repro.engine.request import Request, RequestState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.system import ServingSystem
+
+AUDIT_ENV = "REPRO_AUDIT"
+
+_FINISHED = (RequestState.COMPLETED, RequestState.DROPPED)
+
+
+class AuditError(AssertionError):
+    """A conservation invariant failed at end of run."""
+
+
+def audit_enabled() -> bool:
+    """True when ``REPRO_AUDIT`` is set to a non-empty, non-"0" value."""
+    return os.environ.get(AUDIT_ENV, "") not in ("", "0")
+
+
+def _live_requests(system: "ServingSystem") -> list[Request]:
+    """The collector's view of requests still in flight."""
+    metrics = system.metrics
+    if metrics.streaming:
+        return list(metrics._pending.values())
+    return [r for r in metrics.requests if r.state not in _FINISHED]
+
+
+def _outcome_counts(system: "ServingSystem") -> tuple[int, int, int]:
+    """(arrivals, completed, dropped) from the metrics collector."""
+    metrics = system.metrics
+    if metrics.streaming:
+        aggregate = metrics._aggregate
+        assert aggregate is not None
+        return aggregate.arrivals, aggregate.completed, aggregate.dropped
+    completed = sum(1 for r in metrics.requests if r.state is RequestState.COMPLETED)
+    dropped = sum(1 for r in metrics.requests if r.state is RequestState.DROPPED)
+    return len(metrics.requests), completed, dropped
+
+
+def _resident_requests(system: "ServingSystem") -> dict[int, int]:
+    """Map req_id → inst_id for every request resident on an instance.
+
+    Raises :class:`AuditError` if a request is resident twice (two
+    instances both believe they own it) or a finished request was left
+    behind in a batch.
+    """
+    resident: dict[int, int] = {}
+    for executor in system.executors:
+        for instance in executor.instances:
+            occupants: Iterable[Request] = (*instance.batch, *instance.prefill_pending)
+            for request in occupants:
+                if request.req_id in resident:
+                    raise AuditError(
+                        f"request {request.req_id} resident on two instances "
+                        f"({resident[request.req_id]} and {instance.inst_id})"
+                    )
+                if request.state in _FINISHED:
+                    raise AuditError(
+                        f"finished request {request.req_id} "
+                        f"({request.state.value}) still resident on instance "
+                        f"{instance.inst_id}"
+                    )
+                resident[request.req_id] = instance.inst_id
+    return resident
+
+
+def audit_system(system: "ServingSystem") -> None:
+    """Run every end-of-run conservation audit; raise AuditError on failure."""
+    for executor in system.executors:
+        for instance in executor.instances:
+            if instance.kv_share is not None:
+                instance.kv_share.check_invariants()
+
+    resident = _resident_requests(system)
+    queued = {request.req_id for request in system.queued_requests()}
+    live = _live_requests(system)
+    arrivals, completed, dropped = _outcome_counts(system)
+    if arrivals != completed + dropped + len(live):
+        raise AuditError(
+            f"request conservation violated: {arrivals} arrivals != "
+            f"{completed} completed + {dropped} dropped + {len(live)} in-flight"
+        )
+    for request in live:
+        if request.req_id in resident or request.req_id in queued:
+            continue
+        if request.state is RequestState.MIGRATING:
+            continue  # in transit between instances (preemption/PD hand-off)
+        raise AuditError(
+            f"request {request.req_id} leaked: state {request.state.value} "
+            "but not resident on any instance, not queued, and not migrating"
+        )
+
+
+def maybe_audit(system: "ServingSystem") -> None:
+    """Audit ``system`` iff the env seam is enabled."""
+    if audit_enabled():
+        audit_system(system)
+
+
+def maybe_audit_store(store: object) -> None:
+    """Prove a KV share store's invariants iff the env seam is enabled.
+
+    Called at instance detach, just before the store is cleared — in a
+    serverless run every instance is eventually reclaimed, so this is
+    the hook that guarantees ``check_invariants`` ran against real
+    allocation state (the end-of-run audit only sees instances that
+    outlived the workload).
+    """
+    if store is not None and audit_enabled():
+        store.check_invariants()  # type: ignore[attr-defined]

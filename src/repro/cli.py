@@ -422,6 +422,40 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if outcome.gate_passed else 3
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.analysis import all_rule_ids, run_lint
+    from repro.analysis.engine import write_baseline
+
+    if args.write_baseline and not args.baseline:
+        print("error: --write-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
+    try:
+        report = run_lint(
+            args.paths or ["src/repro"],
+            rules=args.rule or None,
+            baseline=None if args.write_baseline else args.baseline,
+        )
+    except KeyError as error:
+        # Unknown --rule id: a usage error, like unknown registry names.
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        print(f"known rules: {', '.join(all_rule_ids())}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        write_baseline(args.baseline, report.findings)
+        print(f"wrote {len(report.findings)} finding(s) to {args.baseline}")
+        return 0
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return 1 if report.failed else 0
+
+
 def cmd_calibration(_args: argparse.Namespace) -> int:
     from repro.experiments import run_table1, run_table2
 
@@ -617,6 +651,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="tolerated fractional events/sec drop vs the baseline (default 0.25)",
     )
     bench.set_defaults(func=cmd_bench)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism/invariant static-analysis rules",
+        description=(
+            "AST-based lint of simulation determinism contracts: wall-clock "
+            "reads, ambient RNG, unordered iteration, fingerprint axes, "
+            "handler purity, engine seams, float accumulation, strict typing. "
+            "Exit 0 clean; 1 on findings or stale baseline entries; 2 on "
+            "usage errors."
+        ),
+    )
+    lint.add_argument(
+        "paths", nargs="*", help="files/directories to lint (default: src/repro)"
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID",
+        help="run only this rule id (repeatable)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings grandfathered in FILE; stale entries fail",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite --baseline FILE from the current findings and exit 0",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     calibration = sub.add_parser("calibration", help="print calibration anchors")
     calibration.set_defaults(func=cmd_calibration)

@@ -27,7 +27,10 @@ import itertools
 import operator
 import time as _wallclock
 from collections import deque
+from contextlib import contextmanager
 from typing import Iterator, Optional, Sequence, Union
+
+from repro.analysis.audit import maybe_audit, maybe_audit_store
 
 from repro.compute.scheduler import WorkItem
 from repro.core.config import SystemConfig
@@ -191,6 +194,10 @@ class ServingSystem:
             # their reports stay byte-identical to the pre-topology ones.
             self.metrics.record_link_stats(topology.link_stats(self.sim.now))
         duration = workload.duration if workload.duration is not None else self.sim.now
+        # REPRO_AUDIT=1: re-prove conservation invariants (KV block
+        # accounting, arrivals = completed + dropped + in-flight) on the
+        # drained system before the report is assembled.
+        maybe_audit(self)
         report = self.metrics.finalize(self.sim.now, duration, self.name)
         report.wall_seconds = _wallclock.perf_counter() - start
         report.events_processed = self.sim.events_processed
@@ -205,6 +212,24 @@ class ServingSystem:
     def record_overhead(self, name: str, seconds: float) -> None:
         """Report one wall-clock scheduling-overhead sample (Fig. 33)."""
         self.bus.publish(OverheadMeasured(name, seconds))
+
+    @contextmanager
+    def overhead_timer(self, name: str) -> Iterator[None]:
+        """Time a policy code section against the host clock (Fig. 33).
+
+        The one sanctioned wall-clock seam for policy code: a no-op
+        unless ``config.measure_overheads``, so deterministic modules
+        never read the host clock themselves (``repro lint`` rule
+        ``no-wall-clock`` enforces this statically).
+        """
+        if not self.config.measure_overheads:
+            yield
+            return
+        start = _wallclock.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_overhead(name, _wallclock.perf_counter() - start)
 
     @property
     def retrying(self) -> bool:
@@ -401,6 +426,9 @@ class ServingSystem:
 
     def detach(self, instance: Instance) -> None:
         if instance.kv_share is not None:
+            # Under REPRO_AUDIT=1 prove block conservation against the
+            # store's final allocation state before it is torn down.
+            maybe_audit_store(instance.kv_share)
             instance.kv_share.clear()
         executor = self._executor_of.pop(instance.inst_id)
         executor.remove_instance(instance)

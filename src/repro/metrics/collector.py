@@ -26,6 +26,7 @@ pure O(iterations) overhead.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -74,7 +75,12 @@ class _NodeActivity:
         intervals = self.intervals
         if self.busy_since is not None:
             intervals = intervals + [(self.busy_since, now)]
-        return sum(max(0.0, min(end, horizon) - min(start, horizon)) for start, end in intervals)
+        # fsum: exact and permutation-invariant, so the busy integral is
+        # independent of interval accumulation order (shard merges fold
+        # these into cross-run sums).
+        return math.fsum(
+            max(0.0, min(end, horizon) - min(start, horizon)) for start, end in intervals
+        )
 
 
 @dataclass

@@ -15,6 +15,7 @@ per-request views (``requests`` / ``completed``) are exact-only.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Union
 
@@ -262,7 +263,9 @@ class RunReport:
     @property
     def link_bytes_total(self) -> float:
         """Bytes moved across all tracked links (loads + KV migrations)."""
-        return sum(stats.get("bytes", 0.0) for stats in self.link_utilization.values())
+        return math.fsum(
+            stats.get("bytes", 0.0) for stats in self.link_utilization.values()
+        )
 
     # ------------------------------------------------------------------
     # Prefix sharing (``kv_sharing="on"`` runs)
@@ -539,10 +542,10 @@ def merge_run_reports(reports: Iterable["RunReport"]) -> "RunReport":
 
     return RunReport(
         system=first.system,
-        duration=sum(report.duration for report in reports),
+        duration=math.fsum(report.duration for report in reports),
         requests=[request for report in reports for request in report.requests],
-        node_seconds_cpu=sum(report.node_seconds_cpu for report in reports),
-        node_seconds_gpu=sum(report.node_seconds_gpu for report in reports),
+        node_seconds_cpu=math.fsum(report.node_seconds_cpu for report in reports),
+        node_seconds_gpu=math.fsum(report.node_seconds_gpu for report in reports),
         decode_tokens_cpu=sum(report.decode_tokens_cpu for report in reports),
         decode_tokens_gpu=sum(report.decode_tokens_gpu for report in reports),
         batch_histogram=batch_histogram,
@@ -552,7 +555,7 @@ def merge_run_reports(reports: Iterable["RunReport"]) -> "RunReport":
         overhead_stats=overhead_stats,
         link_utilization=link_utilization,
         scaling_ops=sum(report.scaling_ops for report in reports),
-        scaling_busy_seconds=sum(report.scaling_busy_seconds for report in reports),
+        scaling_busy_seconds=math.fsum(report.scaling_busy_seconds for report in reports),
         migrations=sum(report.migrations for report in reports),
         evictions=sum(report.evictions for report in reports),
         preemptions=sum(report.preemptions for report in reports),
@@ -563,7 +566,7 @@ def merge_run_reports(reports: Iterable["RunReport"]) -> "RunReport":
         shared_block_refs=sum(report.shared_block_refs for report in reports),
         logical_prompt_blocks=sum(report.logical_prompt_blocks for report in reports),
         cow_blocks=sum(report.cow_blocks for report in reports),
-        wall_seconds=sum(report.wall_seconds for report in reports),
+        wall_seconds=math.fsum(report.wall_seconds for report in reports),
         events_processed=sum(report.events_processed for report in reports),
         metrics_mode=first.metrics_mode,
         request_aggregate=merged_aggregate,

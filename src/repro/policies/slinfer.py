@@ -21,7 +21,6 @@ iteration underestimation recovery (§VII-D) subscribes to
 from __future__ import annotations
 
 import dataclasses
-import time as _wallclock
 from typing import TYPE_CHECKING, Optional
 
 from repro.compute.shadow import (
@@ -310,23 +309,14 @@ class SlinferPlacement(PlacementPolicy):
         system = self.system
         assert system is not None
         busy_until = executor.busy_until if executor.busy else system.sim.now
-        if not self.cfg.measure_overheads:
-            return shadow_validate(
+        with system.overhead_timer("shadow_validation"):
+            verdict = shadow_validate(
                 shadows,
                 now=system.sim.now,
                 busy_until=busy_until,
                 tpot_slo=system.slo.tpot,
                 overestimate=self.cfg.overestimate,
             )
-        start = _wallclock.perf_counter()
-        verdict = shadow_validate(
-            shadows,
-            now=system.sim.now,
-            busy_until=busy_until,
-            tpot_slo=system.slo.tpot,
-            overestimate=self.cfg.overestimate,
-        )
-        system.record_overhead("shadow_validation", _wallclock.perf_counter() - start)
         return verdict
 
     def _shadow_precheck(
@@ -444,11 +434,7 @@ class SlinferPlacement(PlacementPolicy):
         assert system is not None
         if not system.instances_of(deployment.name):
             return False
-        if self.cfg.measure_overheads:
-            start = _wallclock.perf_counter()
-            plan = plan_preemption(self, request, deployment.name)
-            system.record_overhead("preemption_planning", _wallclock.perf_counter() - start)
-        else:
+        with system.overhead_timer("preemption_planning"):
             plan = plan_preemption(self, request, deployment.name)
         if plan is None:
             return False

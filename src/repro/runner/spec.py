@@ -30,6 +30,26 @@ from repro.workloads.stream import WorkloadStream
 
 PAYLOAD_VERSION = 1
 
+#: Axes serialized only when non-default: each entry maps a
+#: :class:`RunSpec` field to the default that is *omitted* from the
+#: payload, so fingerprints (and cached results) minted before the axis
+#: existed stay valid for default-valued specs.  The ``fingerprint-axis``
+#: lint rule cross-checks this registry against the dataclass fields —
+#: a new sweep axis must either always serialize or register here.
+PAYLOAD_OPTIONAL_AXES: dict[str, Any] = {
+    "topology": None,
+    "policy_overrides": (),
+    "metrics": "exact",
+    "engine": "reference",
+    "kv_sharing": "off",
+}
+
+#: Axes excluded from the fingerprint even when serialized.  Engine
+#: backends are byte-identical by contract, so an engine choice is part
+#: of *how* a spec runs, not *what* it measures: it must never fork (or
+#: invalidate) the result cache.
+FINGERPRINT_EXEMPT_AXES: frozenset[str] = frozenset({"engine"})
+
 
 def _freeze_params(params: Any) -> tuple[tuple[str, Any], ...]:
     """Normalize scenario params to a sorted, hashable tuple of pairs."""
@@ -139,28 +159,15 @@ class RunSpec:
             "duration": self.duration,
             "scenario_params": self.params_dict(),
         }
-        # Omitted when unset so pre-topology fingerprints (and cached
-        # results) stay valid for specs on the cluster's own topology.
-        if self.topology is not None:
-            payload["topology"] = self.topology
-        # Omitted when empty so pre-policy fingerprints (and cached
-        # results) stay valid for un-overridden specs.
-        if self.policy_overrides:
-            payload["policy_overrides"] = dict(self.policy_overrides)
-        # Same compatibility rule: the default (exact) mode serializes
-        # exactly as before the streaming subsystem existed.
-        if self.metrics != "exact":
-            payload["metrics"] = self.metrics
-        # Backends are byte-identical, so the engine is part of *how* a
-        # spec runs, not *what* it measures: omitted when reference so
-        # fingerprints (and the cache) are engine-independent.
-        if self.engine != "reference":
-            payload["engine"] = self.engine
-        # Prefix sharing alters the measured results, so (unlike the
-        # engine key) it stays in the fingerprint when on; the off
-        # default is omitted for pre-sharing payload compatibility.
-        if self.kv_sharing != "off":
-            payload["kv_sharing"] = self.kv_sharing
+        # Optional axes serialize only when non-default (see
+        # PAYLOAD_OPTIONAL_AXES) so payloads — and therefore fingerprints
+        # and cached results — from before each axis existed stay valid
+        # for default-valued specs.
+        for axis, default in PAYLOAD_OPTIONAL_AXES.items():
+            value = getattr(self, axis)
+            if value == default:
+                continue
+            payload[axis] = dict(value) if axis == "policy_overrides" else value
         return payload
 
     @classmethod
@@ -185,13 +192,15 @@ class RunSpec:
     def fingerprint(self) -> str:
         """Stable content hash of the spec (the cache key).
 
-        The engine axis is excluded: backends are byte-identical, so a
-        cached result computed under either backend answers a spec
-        pinned to the other (``to_dict`` keeps the key so worker
-        processes still run the requested backend).
+        The FINGERPRINT_EXEMPT_AXES (the engine axis) are excluded:
+        backends are byte-identical, so a cached result computed under
+        either backend answers a spec pinned to the other (``to_dict``
+        keeps the key so worker processes still run the requested
+        backend).
         """
         payload = self.to_dict()
-        payload.pop("engine", None)
+        for axis in sorted(FINGERPRINT_EXEMPT_AXES):
+            payload.pop(axis, None)
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

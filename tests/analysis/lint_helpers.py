@@ -1,0 +1,25 @@
+"""Helpers for the static-analysis tests."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import FileContext, get_rule
+from repro.analysis.findings import Finding
+
+
+def lint_source(
+    source: str, rule_id: str, module: str | None = None, path: str = "x.py"
+) -> list[Finding]:
+    """Run one rule against a source string (no pragma/baseline layers)."""
+    rule = get_rule(rule_id)
+    if not rule.applies(module):
+        return []
+    ctx = FileContext(
+        path=path,
+        module=module,
+        source=source,
+        lines=tuple(source.splitlines()),
+        tree=ast.parse(source),
+    )
+    return list(rule.check(ctx))

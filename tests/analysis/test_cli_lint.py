@@ -1,0 +1,101 @@
+"""The ``repro lint`` command: acceptance gates pinned end to end."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import all_rule_ids
+from repro.cli import main
+
+FIXTURE = str(Path(__file__).parent / "fixtures" / "violations.py")
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSeededFixture:
+    def test_exits_nonzero_with_one_finding_per_rule(self, capsys):
+        code = main(["lint", FIXTURE, "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        by_rule = sorted(f["rule"] for f in payload["findings"])
+        # Exactly one violation of every shipped rule — the acceptance pin.
+        assert by_rule == all_rule_ids()
+
+    def test_rule_filter_restricts_findings(self, capsys):
+        code = main(["lint", FIXTURE, "--rule", "no-wall-clock", "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert [f["rule"] for f in payload["findings"]] == ["no-wall-clock"]
+        assert payload["rules_run"] == ["no-wall-clock"]
+
+    def test_text_output_names_file_line_and_rule(self, capsys):
+        main(["lint", FIXTURE, "--rule", "engine-seam"])
+        out = capsys.readouterr().out
+        assert "violations.py" in out
+        assert "engine-seam" in out
+        assert "1 finding(s)" in out
+
+
+class TestRealTree:
+    def test_src_repro_is_clean_with_empty_baseline(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        code = main(["lint", "src/repro", "--baseline", "lint_baseline.json"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "0 finding(s)" in out
+
+    def test_src_repro_is_clean_without_baseline(self, monkeypatch, capsys):
+        # Stronger than the gate: no grandfathered findings exist at all.
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", "src/repro"]) == 0
+        capsys.readouterr()
+
+
+class TestBaselineFlags:
+    def test_write_baseline_then_gate_passes(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", FIXTURE, "--baseline", str(baseline), "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["lint", FIXTURE, "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+    def test_stale_baseline_fails_and_names_fix(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "findings": [
+                        {
+                            "path": str(clean),
+                            "line": 1,
+                            "col": 0,
+                            "rule": "no-wall-clock",
+                            "message": "gone",
+                        }
+                    ],
+                }
+            )
+        )
+        code = main(["lint", str(clean), "--baseline", str(baseline)])
+        assert code == 1
+        assert "fixed — remove from baseline" in capsys.readouterr().out
+
+    def test_write_baseline_requires_baseline_path(self, capsys):
+        assert main(["lint", FIXTURE, "--write-baseline"]) == 2
+        assert "--write-baseline requires --baseline" in capsys.readouterr().err
+
+
+class TestUsageErrors:
+    def test_unknown_rule_exits_2_and_lists_known(self, capsys):
+        assert main(["lint", FIXTURE, "--rule", "no-such-rule"]) == 2
+        err = capsys.readouterr().err
+        assert "no-such-rule" in err
+        assert "no-wall-clock" in err
+
+    def test_missing_baseline_file_exits_2(self, tmp_path, capsys):
+        code = main(["lint", FIXTURE, "--baseline", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

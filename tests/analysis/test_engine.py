@@ -1,0 +1,209 @@
+"""Engine behaviour: pragmas, baselines, JSON round-trips, file walking."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.engine import (
+    LintReport,
+    all_rule_ids,
+    apply_baseline,
+    get_rule,
+    load_baseline,
+    module_name_for,
+    run_lint,
+    suppressed_rules,
+    write_baseline,
+)
+from repro.analysis.findings import Finding
+
+
+def _write(tmp_path, name: str, source: str):
+    path = tmp_path / name
+    path.write_text(source)
+    return path
+
+
+WALL_CLOCK = "import time\nt = time.perf_counter()\n"
+
+
+# ----------------------------------------------------------------------
+# Suppression pragmas
+# ----------------------------------------------------------------------
+class TestPragmas:
+    def test_pragma_on_exact_line_suppresses(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            "import time\nt = time.perf_counter()  # repro: allow[no-wall-clock]\n",
+        )
+        report = run_lint([path], rules=["no-wall-clock"])
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].rule == "no-wall-clock"
+
+    def test_pragma_on_other_line_does_not_suppress(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            "import time  # repro: allow[no-wall-clock]\nt = time.perf_counter()\n",
+        )
+        report = run_lint([path], rules=["no-wall-clock"])
+        assert len(report.findings) == 1
+
+    def test_pragma_is_rule_specific(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "mod.py",
+            "import time\nt = time.perf_counter()  # repro: allow[float-accum]\n",
+        )
+        report = run_lint([path], rules=["no-wall-clock"])
+        assert len(report.findings) == 1
+
+    def test_pragma_accepts_multiple_rules(self):
+        line = "x = 1  # repro: allow[no-wall-clock, float-accum]"
+        assert suppressed_rules(line) == {"no-wall-clock", "float-accum"}
+        assert suppressed_rules("x = 1  # plain comment") == frozenset()
+
+
+# ----------------------------------------------------------------------
+# Baseline workflow
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_baseline_entry_absorbs_matching_finding(self, tmp_path):
+        source_path = _write(tmp_path, "mod.py", WALL_CLOCK)
+        report = run_lint([source_path], rules=["no-wall-clock"])
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, report.findings)
+
+        gated = run_lint([source_path], rules=["no-wall-clock"], baseline=baseline_path)
+        assert gated.findings == []
+        assert gated.stale_baseline == []
+        assert not gated.failed
+
+    def test_baseline_matches_by_rule_and_path_despite_line_drift(self, tmp_path):
+        source_path = _write(tmp_path, "mod.py", WALL_CLOCK)
+        report = run_lint([source_path], rules=["no-wall-clock"])
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, report.findings)
+
+        # Unrelated edits move the finding to another line; the
+        # grandfathered entry still absorbs it.
+        source_path.write_text("# a new comment\n# another\n" + WALL_CLOCK)
+        gated = run_lint([source_path], rules=["no-wall-clock"], baseline=baseline_path)
+        assert gated.findings == [] and gated.stale_baseline == []
+
+    def test_stale_entry_reported_as_fixed(self, tmp_path):
+        source_path = _write(tmp_path, "mod.py", WALL_CLOCK)
+        report = run_lint([source_path], rules=["no-wall-clock"])
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, report.findings)
+
+        source_path.write_text("t = 0.0\n")  # hazard fixed
+        gated = run_lint([source_path], rules=["no-wall-clock"], baseline=baseline_path)
+        assert gated.findings == []
+        assert len(gated.stale_baseline) == 1
+        assert gated.failed  # a stale baseline must be pruned
+        assert "fixed — remove from baseline" in gated.render_text()
+
+    def test_each_entry_absorbs_exactly_one_finding(self):
+        finding = Finding("mod.py", 2, 0, "no-wall-clock", "m")
+        twin = Finding("mod.py", 9, 0, "no-wall-clock", "m")
+        new, stale = apply_baseline([finding, twin], [finding])
+        assert new == [twin]
+        assert stale == []
+
+    def test_write_then_load_round_trips(self, tmp_path):
+        findings = [
+            Finding("b.py", 2, 4, "engine-seam", "msg"),
+            Finding("a.py", 1, 0, "no-wall-clock", "msg"),
+        ]
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        assert load_baseline(path) == sorted(findings)
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_shipped_baseline_is_empty(self):
+        # The satellite contract: no grandfathered findings anywhere —
+        # in particular repro/sim + repro/engine ship clean.
+        assert load_baseline("lint_baseline.json") == []
+
+
+# ----------------------------------------------------------------------
+# Reports and serialization
+# ----------------------------------------------------------------------
+class TestReports:
+    def test_json_schema_round_trip(self, tmp_path):
+        path = _write(tmp_path, "mod.py", WALL_CLOCK)
+        report = run_lint([path], rules=["no-wall-clock"])
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 1
+        restored = LintReport.from_dict(payload)
+        assert restored.findings == report.findings
+        assert restored.suppressed == report.suppressed
+        assert restored.rules_run == report.rules_run
+
+    def test_finding_round_trip(self):
+        finding = Finding("x.py", 3, 7, "float-accum", "use fsum")
+        assert Finding.from_dict(finding.to_dict()) == finding
+
+    def test_findings_sorted_by_path_then_line(self, tmp_path):
+        _write(tmp_path, "b.py", WALL_CLOCK)
+        _write(tmp_path, "a.py", "import time\n\n\nt = time.time()\n")
+        report = run_lint([tmp_path], rules=["no-wall-clock"])
+        assert [f.path.rsplit("/", 1)[-1] for f in report.findings] == ["a.py", "b.py"]
+
+    def test_parse_error_is_a_finding(self, tmp_path):
+        path = _write(tmp_path, "broken.py", "def f(:\n")
+        report = run_lint([path])
+        assert len(report.findings) == 1
+        assert report.findings[0].rule == "parse-error"
+        assert report.failed
+
+
+# ----------------------------------------------------------------------
+# Registry and scoping plumbing
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_all_shipped_rules_registered(self):
+        assert all_rule_ids() == [
+            "engine-seam",
+            "fingerprint-axis",
+            "float-accum",
+            "handler-purity",
+            "no-ambient-rng",
+            "no-wall-clock",
+            "typed-defs",
+            "unordered-iteration",
+        ]
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError, match="unknown rule"):
+            get_rule("no-such-rule")
+
+    def test_module_name_for(self, tmp_path):
+        assert (
+            module_name_for(tmp_path / "src" / "repro" / "sim" / "engine.py")
+            == "repro.sim.engine"
+        )
+        assert (
+            module_name_for(tmp_path / "src" / "repro" / "kv" / "__init__.py")
+            == "repro.kv"
+        )
+        assert module_name_for(tmp_path / "fixtures" / "violations.py") is None
+
+    def test_pycache_skipped(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        _write(cache, "junk.py", WALL_CLOCK)
+        _write(tmp_path, "mod.py", "x = 1\n")
+        report = run_lint([tmp_path])
+        assert report.files_scanned == 1

@@ -2,7 +2,15 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# Every simulated run in the suite re-proves the conservation audits
+# (KV block accounting, request arrivals = completed + dropped +
+# in-flight) at finalize; see repro.analysis.audit.  setdefault so an
+# explicit REPRO_AUDIT=0 still disables it for debugging.
+os.environ.setdefault("REPRO_AUDIT", "1")
 
 from repro.hardware import Cluster
 from repro.perf import PerfDatabase
