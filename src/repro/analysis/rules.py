@@ -74,10 +74,11 @@ class NoWallClockRule(Rule):
     rule_id = "no-wall-clock"
     description = (
         "time.time/perf_counter/datetime.now forbidden in repro.sim, "
-        "repro.engine, repro.policies (use sim.now or the overhead seam)"
+        "repro.engine, repro.policies, repro.federation (use sim.now or "
+        "the overhead seam)"
     )
 
-    DENY = ("repro.sim", "repro.engine", "repro.policies")
+    DENY = ("repro.sim", "repro.engine", "repro.policies", "repro.federation")
     TIME_ATTRS = frozenset(
         {
             "time",

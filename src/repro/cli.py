@@ -44,12 +44,14 @@ from repro.policies import POLICY_KINDS, POLICY_REGISTRIES, BUNDLES, resolve_pol
 from repro.registry import (
     CLUSTERS,
     ENGINES,
+    FEDERATIONS,
     RegistryError,
     SCENARIOS,
     STANDARD_SYSTEMS,
     SYSTEMS,
     TOPOLOGIES,
     build_cluster,
+    resolve_federation,
     resolve_scenario,
 )
 from repro.runner import (
@@ -89,7 +91,9 @@ def _parse_policy_axes(flags: list[str]) -> dict[str, list[str]]:
     return axes
 
 
-def _validate_names(systems=(), scenarios=(), clusters=(), models=(), topologies=()) -> None:
+def _validate_names(
+    systems=(), scenarios=(), clusters=(), models=(), topologies=(), federations=()
+) -> None:
     """Fail fast (before any simulation) on unknown registry names."""
     for name in systems:
         SYSTEMS.get(name)
@@ -100,6 +104,9 @@ def _validate_names(systems=(), scenarios=(), clusters=(), models=(), topologies
     for name in topologies:
         if name is not None:
             TOPOLOGIES.get(name)
+    for name in federations:
+        if name is not None:
+            resolve_federation(name)
     for name in models:
         try:
             get_model(name)
@@ -146,12 +153,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     systems = _csv(args.systems) if args.systems else list(STANDARD_SYSTEMS)
     topologies = _csv(args.topology) if args.topology else [None]
+    federations = _csv(args.federation) if args.federation else [None]
     _validate_names(
         systems=systems,
         scenarios=_csv(args.scenarios),
         clusters=_csv(args.clusters),
         models=_csv(args.model),
         topologies=topologies,
+        federations=federations,
     )
     specs = expand_grid(
         systems,
@@ -167,6 +176,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         metrics=args.metrics,
         engine=args.engine,
         kv_sharing=args.kv_sharing,
+        federations=federations,
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     executor = SweepExecutor(workers=args.workers, cache=cache)
@@ -320,6 +330,10 @@ LIST_KINDS: dict[str, tuple[Callable[[], Any], Callable[[Any], None]]] = {
     "models": (lambda: sorted(CATALOG), _render_names("models")),
     "hardware": (_hardware_payload, _render_hardware),
     "policies": (_policies_payload, _render_policies),
+    "federations": (
+        lambda: _registry_payload(FEDERATIONS),
+        _render_names("federations (multi-cluster fleets; use with 'sweep --federation NAME')"),
+    ),
 }
 
 #: accepted spellings that map onto a canonical table row
@@ -333,6 +347,7 @@ LIST_ALIASES = {
     "bundles": "policies",
     "kv": "kv-sharing",
     "topologies": "hardware",
+    "federation": "federations",
 }
 
 
@@ -549,6 +564,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="prefix-sharing block-map KV subsystem (radix prefix cache, "
         "copy-on-write, supply-coupled admission); changes results, so "
         "on-mode specs fingerprint separately",
+    )
+    sweep.add_argument(
+        "--federation",
+        default="",
+        help="comma list of multi-cluster fleets to sweep (e.g. fleet4, "
+        "sticky2, balanced4, wan4; default: unsharded; see "
+        "'repro list federations')",
     )
     sweep.add_argument(
         "--workers", type=int, default=default_workers(),

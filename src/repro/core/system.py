@@ -153,6 +153,12 @@ class ServingSystem:
         self._retrying = False
         self._last_retry_at = -1.0
         self._retry_dirty = True
+        # Stepped-run state (begin_run/advance/finish_run): the horizon
+        # computed at begin, the workload being served, and the
+        # wall-clock mark the final report's cost accounting starts from.
+        self.run_horizon: Optional[float] = None
+        self._run_workload: Optional[Union[Workload, WorkloadStream]] = None
+        self._run_started: float = 0.0
 
     # ------------------------------------------------------------------
     # Entry point
@@ -168,8 +174,31 @@ class ServingSystem:
         the heap and pulls the next only after fully processing it, so
         ingest memory is O(in-flight) and live (unbounded-horizon)
         streams run until their source closes.
+
+        ``run`` is the one-shot composition of the stepped primitives
+        below — ``begin_run`` / ``advance`` / ``finish_run`` — which
+        federated (epoch-synchronized) execution drives individually.
+        A single ``advance`` to the horizon is exactly the legacy loop,
+        so this path stays byte-identical to the pre-stepped one.
         """
-        start = _wallclock.perf_counter()
+        self.begin_run(workload, until)
+        self.advance(self.run_horizon)
+        return self.finish_run()
+
+    # ------------------------------------------------------------------
+    # Stepped execution (the federation seam)
+    # ------------------------------------------------------------------
+    def begin_run(
+        self, workload: Union[Workload, WorkloadStream], until: Optional[float] = None
+    ) -> None:
+        """Load the workload and prepare policies; no events execute yet.
+
+        Computes :attr:`run_horizon`: ``until`` when given, else the
+        workload window plus the drain timeout, else ``None`` for live
+        streams (run until the source closes).
+        """
+        self._run_started = _wallclock.perf_counter()
+        self._run_workload = workload
         self.deployments = dict(workload.deployments)
         self.policies.prepare(self, workload)
         if isinstance(workload, Workload):
@@ -181,12 +210,38 @@ class ServingSystem:
         for observer in self.observers:
             observer.on_run_start(self, workload)
         if until is not None:
-            horizon = until
+            self.run_horizon = until
         elif workload.duration is not None:
-            horizon = workload.duration + self.config.drain_timeout
+            self.run_horizon = workload.duration + self.config.drain_timeout
         else:
-            horizon = None  # live stream: run until the source closes + drain
-        self.engine.run_loop(self, horizon)
+            self.run_horizon = None  # live stream: run until the source closes + drain
+
+    def advance(self, until: Optional[float]) -> None:
+        """Execute events up to ``until`` (simulated seconds).
+
+        Safe to call repeatedly with a non-decreasing ladder of times:
+        ``advance(t1); advance(t2)`` is equivalent to ``advance(t2)``
+        for both engine backends, which is what lets a federation shard
+        step through conservative time-window epochs.  New arrivals may
+        be injected between calls as long as they lie at or beyond the
+        current simulation time.
+        """
+        self.engine.run_loop(self, until)
+
+    def inject_arrival(self, spec) -> None:
+        """Schedule one externally-routed arrival (federation hand-off).
+
+        ``spec.arrival`` must not precede the current simulation time —
+        the conservative epoch protocol guarantees delivery times land
+        in the receiving shard's future.
+        """
+        self.sim.schedule_at(spec.arrival, self._arrive, spec)
+
+    def finish_run(self) -> RunReport:
+        """Assemble the report for a run begun with :meth:`begin_run`."""
+        workload = self._run_workload
+        if workload is None:
+            raise RuntimeError("finish_run() without begin_run()")
         topology = self.cluster.topology
         if topology.has_shared_links:
             # Per-link utilization is only meaningful where transfers can
@@ -199,7 +254,7 @@ class ServingSystem:
         # drained system before the report is assembled.
         maybe_audit(self)
         report = self.metrics.finalize(self.sim.now, duration, self.name)
-        report.wall_seconds = _wallclock.perf_counter() - start
+        report.wall_seconds = _wallclock.perf_counter() - self._run_started
         report.events_processed = self.sim.events_processed
         return report
 

@@ -44,6 +44,7 @@ from repro.hardware.cluster import Cluster, paper_testbed
 from repro.hardware.node import Node
 from repro.hardware.specs import A100_80GB, V100_32GB, XEON_GEN4_32C, harvested_cpu
 from repro.hardware.topology import Topology
+from repro.federation.spec import FEDERATIONS, Federation, resolve_federation
 from repro.policies.observers import Observer
 from repro.policies.registry import BUNDLES, build_bundle
 from repro.registries import Registry, RegistryError
@@ -53,6 +54,8 @@ from repro.slo import DEFAULT_SLO, SloPolicy
 __all__ = [
     "CLUSTERS",
     "ENGINES",
+    "FEDERATIONS",
+    "Federation",
     "Registry",
     "RegistryError",
     "SCENARIOS",
@@ -62,6 +65,7 @@ __all__ = [
     "UnknownScenarioError",
     "apply_topology",
     "build_cluster",
+    "resolve_federation",
     "resolve_scenario",
     "system_factory",
     "systems_named",

@@ -64,7 +64,22 @@ def execute_spec(
     ``ingest="stream"`` feeds the scenario lazily through its
     :class:`~repro.workloads.stream.WorkloadStream` — same report,
     O(in-flight) ingest memory.
+
+    Specs with a ``federation`` axis dispatch to the sharded executor
+    (:func:`repro.federation.runner.execute_federated`): the returned
+    report is the merge of the fleet's shard reports.  Shard systems are
+    assembled internally, so caller workloads and system kwargs cannot
+    apply there.
     """
+    if spec.federation is not None:
+        if workload is not None or system_kwargs:
+            raise ValueError(
+                "federated specs build their shard systems and workloads "
+                "internally; workload= and system kwargs are not supported"
+            )
+        from repro.federation.runner import execute_federated
+
+        return execute_federated(spec, ingest=ingest)
     if workload is None:
         if ingest == "stream":
             workload = build_workload_stream(spec)

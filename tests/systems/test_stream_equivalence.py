@@ -31,7 +31,9 @@ _SCENARIO_CLUSTERS = {
     "cpu-harvest": "harvest16",
 }
 
-_STREAMING_SCENARIOS = frozenset({"diurnal-week", "million-burst"})
+_STREAMING_SCENARIOS = frozenset(
+    {"diurnal-week", "million-burst", "fleet-diurnal-week", "global-storm"}
+)
 
 ENGINES_UNDER_TEST = ("reference", "vectorized")
 

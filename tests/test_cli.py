@@ -193,8 +193,9 @@ def test_list_json_all_covers_every_kind(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert set(payload) == {
         "systems", "scenarios", "kv-sharing", "engines",
-        "clusters", "models", "hardware", "policies",
+        "clusters", "models", "hardware", "policies", "federations",
     }
+    assert "wan4" in payload["federations"]["names"]
     assert "slinfer" in payload["systems"]
     assert payload["policies"]["bundles"]["slinfer"]["placement"] == "slinfer"
 
